@@ -1,0 +1,54 @@
+//! Criterion benches for the Fig. 2 comparison: per-algorithm solve time on
+//! representative suite cases (E1/E2 in DESIGN.md §5).
+//!
+//! The published observation (§4.3) is that all three algorithms run in
+//! milliseconds-to-seconds; these benches regenerate that comparison with
+//! statistical rigor. Criterion parameters are tuned down so the full
+//! bench suite completes in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elpc_mapping::{elpc_delay, elpc_rate, greedy, streamline, CostModel};
+use elpc_workloads::cases::paper_cases;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let cases = paper_cases();
+    let mut group = c.benchmark_group("fig2_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // one small, one medium, one large suite case
+    for idx in [0usize, 7, 14] {
+        let case = &cases[idx];
+        let inst_owned = case.generate().expect("suite cases generate");
+        let label = format!("m{}_n{}_l{}", case.modules, case.nodes, case.links);
+
+        group.bench_with_input(BenchmarkId::new("elpc_delay", &label), &inst_owned, |b, io| {
+            let inst = io.as_instance();
+            b.iter(|| black_box(elpc_delay::solve(&inst, &cost)))
+        });
+        group.bench_with_input(BenchmarkId::new("elpc_rate", &label), &inst_owned, |b, io| {
+            let inst = io.as_instance();
+            b.iter(|| black_box(elpc_rate::solve(&inst, &cost)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("streamline_delay", &label),
+            &inst_owned,
+            |b, io| {
+                let inst = io.as_instance();
+                b.iter(|| black_box(streamline::solve_min_delay(&inst, &cost)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy_delay", &label), &inst_owned, |b, io| {
+            let inst = io.as_instance();
+            b.iter(|| black_box(greedy::solve_min_delay(&inst, &cost)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

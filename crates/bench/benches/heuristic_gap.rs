@@ -1,0 +1,43 @@
+//! Criterion benches for ablation A2 (experiment E8): the cost of widening
+//! the ELPC-rate label set, against the exact enumerator on an instance
+//! small enough for it.
+//!
+//! The gap *quality* numbers come from `elpc-experiments --bin
+//! ablation_gap`; this bench measures what the extra labels cost in time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elpc_mapping::elpc_rate::{solve_with, RateConfig};
+use elpc_mapping::{exact, CostModel};
+use elpc_workloads::InstanceSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_gap(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let small = InstanceSpec::sized(5, 8, 16).generate(0xA11).unwrap();
+    let medium = InstanceSpec::sized(12, 30, 120).generate(0xB22).unwrap();
+
+    let mut group = c.benchmark_group("heuristic_gap");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("rate_k_labels_small", k), &k, |b, &k| {
+            let inst = small.as_instance();
+            b.iter(|| black_box(solve_with(&inst, &cost, RateConfig { k_labels: k })))
+        });
+        group.bench_with_input(BenchmarkId::new("rate_k_labels_medium", k), &k, |b, &k| {
+            let inst = medium.as_instance();
+            b.iter(|| black_box(solve_with(&inst, &cost, RateConfig { k_labels: k })))
+        });
+    }
+    group.bench_function("exact_rate_small", |b| {
+        let inst = small.as_instance();
+        b.iter(|| black_box(exact::max_rate(&inst, &cost, exact::ExactLimits::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the §4.3 scaling claim (experiment E7): solver
+//! runtime as a function of problem size, verifying the published
+//! complexity classes (`O(n·|E|)` ELPC-delay, `O(m·n²)` Streamline,
+//! `O(m·n)` Greedy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elpc_mapping::{elpc_delay, greedy, streamline, CostModel};
+use elpc_workloads::InstanceSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let sweep: Vec<(usize, usize, usize)> = vec![
+        (10, 25, 80),
+        (20, 50, 250),
+        (40, 100, 800),
+        (80, 200, 3000),
+    ];
+    let mut group = c.benchmark_group("scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &(m, n, l) in &sweep {
+        let inst_owned = InstanceSpec::sized(m, n, l)
+            .generate(0xBE_EF + m as u64)
+            .expect("sweep instances generate");
+        // n·|E| is the DP's work unit; report throughput in those terms
+        group.throughput(Throughput::Elements((m * l * 2) as u64));
+        let label = format!("m{m}_n{n}_l{l}");
+        group.bench_with_input(BenchmarkId::new("elpc_delay", &label), &inst_owned, |b, io| {
+            let inst = io.as_instance();
+            b.iter(|| black_box(elpc_delay::solve(&inst, &cost)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("streamline_delay", &label),
+            &inst_owned,
+            |b, io| {
+                let inst = io.as_instance();
+                b.iter(|| black_box(streamline::solve_min_delay(&inst, &cost)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy_delay", &label), &inst_owned, |b, io| {
+            let inst = io.as_instance();
+            b.iter(|| black_box(greedy::solve_min_delay(&inst, &cost)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the discrete-event substrate (experiment V1's
+//! engine): single-dataset execution and saturated streaming across frame
+//! counts — the simulator must stay cheap enough to validate every suite
+//! instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elpc_mapping::{elpc_delay, elpc_rate, CostModel};
+use elpc_simcore::{simulate, Workload};
+use elpc_workloads::InstanceSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_simulation(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let inst_owned = InstanceSpec::sized(10, 20, 60).generate(0xC33).unwrap();
+    let inst = inst_owned.as_instance();
+    let delay = elpc_delay::solve(&inst, &cost).unwrap();
+    let rate = elpc_rate::solve(&inst, &cost).unwrap();
+
+    let mut group = c.benchmark_group("simulation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("single_dataset", |b| {
+        b.iter(|| black_box(simulate(&inst, &cost, &delay.mapping, Workload::single())))
+    });
+    for frames in [10usize, 100, 1000] {
+        group.throughput(Throughput::Elements(frames as u64));
+        group.bench_with_input(
+            BenchmarkId::new("stream_frames", frames),
+            &frames,
+            |b, &frames| {
+                b.iter(|| {
+                    black_box(simulate(
+                        &inst,
+                        &cost,
+                        &rate.mapping,
+                        Workload::stream(frames),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

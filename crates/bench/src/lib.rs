@@ -1,0 +1,6 @@
+//! # elpc-bench — criterion benchmarks per paper table/figure
+//!
+//! See `benches/`: `fig2_algorithms` (E1/E2), `scaling` (E7),
+//! `heuristic_gap` (E8/A2), `simulation` (V1 engine cost). Run with
+//! `cargo bench --workspace`; DESIGN.md §5 maps each bench to its paper
+//! artifact.

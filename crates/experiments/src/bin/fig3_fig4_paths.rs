@@ -1,0 +1,156 @@
+//! Regenerates **Fig. 3** (the optimal minimum-delay mapping) and **Fig. 4**
+//! (the optimal maximum-frame-rate mapping) for the worked small instance —
+//! 5 modules on a 6-node network — as ASCII diagrams plus Graphviz DOT
+//! files with the selected paths highlighted.
+//!
+//! ```text
+//! cargo run -p elpc-experiments --bin fig3_fig4_paths
+//! ```
+//!
+//! Artifacts: `results/fig3_min_delay.dot`, `results/fig4_max_rate.dot`.
+
+use elpc_experiments::results_dir;
+use elpc_mapping::{elpc_delay, elpc_rate, CostModel, Mapping, NodeId, Stage};
+use elpc_netgraph::dot::{to_dot, DotOptions};
+use elpc_workloads::cases::small_case;
+
+fn main() {
+    let inst_owned = small_case().expect("the small case generates");
+    let inst = inst_owned.as_instance();
+    let cost = CostModel::default();
+
+    println!("=== the Fig. 3/4 worked instance ===");
+    println!(
+        "{} — src node {}, dst node {}\n",
+        inst_owned.label, inst.src, inst.dst
+    );
+    for (j, m) in inst.pipeline.modules().iter().enumerate() {
+        println!(
+            "  Mod{j}: complexity {:>6.2}  output {:>10.0} B",
+            m.complexity, m.output_bytes
+        );
+    }
+    println!();
+
+    // ---- Fig. 3: minimum end-to-end delay with node reuse --------------
+    let delay = elpc_delay::solve(&inst, &cost).expect("the small case is delay-feasible");
+    println!("--- Fig. 3: minimum end-to-end delay (node reuse) ---");
+    println!("total delay: {:.1} ms", delay.delay_ms);
+    print_mapping(&inst, &cost, &delay.mapping);
+    write_dot(&inst_owned, &delay.mapping, "fig3_min_delay", "Fig3");
+
+    // ---- Fig. 4: maximum frame rate without node reuse ------------------
+    match elpc_rate::solve(&inst, &cost) {
+        Ok(rate) => {
+            println!("\n--- Fig. 4: maximum frame rate (no node reuse) ---");
+            println!(
+                "frame rate: {:.2} fps (bottleneck {:.1} ms)",
+                rate.frame_rate_fps(),
+                rate.bottleneck_ms
+            );
+            print_mapping(&inst, &cost, &rate.mapping);
+            let b = cost.bottleneck_stage(&inst, &rate.mapping).unwrap();
+            match b {
+                Stage::Compute { node, modules, ms, .. } => println!(
+                    "bottleneck: computing modules {modules:?} on node {node} ({ms:.1} ms)"
+                ),
+                Stage::Transfer {
+                    from_position,
+                    bytes,
+                    ms,
+                } => println!(
+                    "bottleneck: transferring {bytes:.0} B after position {from_position} ({ms:.1} ms)"
+                ),
+            }
+            write_dot(&inst_owned, &rate.mapping, "fig4_max_rate", "Fig4");
+        }
+        Err(e) => println!("\nFig. 4 mapping infeasible on this draw: {e}"),
+    }
+}
+
+/// ASCII rendering in the style of the paper's figures: modules above,
+/// selected nodes below.
+fn print_mapping(
+    inst: &elpc_mapping::Instance<'_>,
+    cost: &CostModel,
+    mapping: &Mapping,
+) {
+    let assignment = mapping.assignment();
+    let mods: Vec<String> = (0..assignment.len()).map(|j| format!("Mod{j}")).collect();
+    println!("  pipeline: {}", mods.join(" -> "));
+    let hosts: Vec<String> = assignment.iter().map(|n| format!("N{n}")).collect();
+    println!("  hosts:    {}", hosts.join("    "));
+    println!("  path:     {:?}  groups: {:?}", mapping.path(), mapping.group_sizes());
+    for stage in cost.stage_times(inst, mapping).expect("valid mapping") {
+        match stage {
+            Stage::Compute {
+                position,
+                node,
+                modules,
+                ms,
+            } => println!(
+                "    g{position}: modules {}..{} on node {node}  compute {ms:.2} ms (p = {:.0})",
+                modules.start,
+                modules.end,
+                inst.network.power(node)
+            ),
+            Stage::Transfer {
+                from_position,
+                bytes,
+                ms,
+            } => println!("    transfer after g{from_position}: {bytes:.0} B, {ms:.2} ms"),
+        }
+    }
+}
+
+/// DOT export with the chosen path and module groups as labels.
+fn write_dot(
+    inst: &elpc_workloads::ProblemInstance,
+    mapping: &Mapping,
+    file: &str,
+    name: &str,
+) {
+    let on_path: std::collections::BTreeMap<NodeId, Vec<usize>> = {
+        let mut m: std::collections::BTreeMap<NodeId, Vec<usize>> = Default::default();
+        for (j, node) in mapping.assignment().into_iter().enumerate() {
+            m.entry(node).or_default().push(j);
+        }
+        m
+    };
+    let path_edges: std::collections::BTreeSet<(NodeId, NodeId)> = mapping
+        .path()
+        .windows(2)
+        .flat_map(|w| [(w[0], w[1]), (w[1], w[0])])
+        .collect();
+    let dot = to_dot(
+        inst.network.graph(),
+        &DotOptions {
+            name: name.into(),
+            collapse_symmetric: true,
+        },
+        |id, n| {
+            let base = format!("label=\"node {id}\\np={:.0}\"", n.power);
+            match on_path.get(&id) {
+                Some(mods) => format!(
+                    "{base}, style=filled, fillcolor=lightblue, xlabel=\"modules {mods:?}\""
+                ),
+                None => base,
+            }
+        },
+        |_, e| {
+            let thick = path_edges.contains(&(e.src, e.dst));
+            let label = format!(
+                "label=\"{:.0} Mbps\\n{:.1} ms\"",
+                e.payload.bw_mbps, e.payload.mld_ms
+            );
+            if thick {
+                format!("{label}, penwidth=3, color=blue")
+            } else {
+                label
+            }
+        },
+    );
+    let path = results_dir().join(format!("{file}.dot"));
+    std::fs::write(&path, dot).expect("write dot file");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,67 @@
+//! Regenerates the **Fig. 5** (minimum end-to-end delay vs case number) and
+//! **Fig. 6** (maximum frame rate vs case number) line-plot series as CSV,
+//! one series per algorithm.
+//!
+//! ```text
+//! cargo run --release -p elpc-experiments --bin fig5_fig6_series
+//! ```
+//!
+//! Artifacts: `results/fig5_delay_series.csv`,
+//! `results/fig6_rate_series.csv`.
+
+use elpc_experiments::{results_dir, save_csv, suite_results};
+
+fn main() {
+    let fresh = std::env::args().any(|a| a == "--fresh");
+    let rows = suite_results(!fresh);
+
+    let to_cell = |o: &elpc_workloads::compare::Outcome, fps: bool| -> String {
+        let v = if fps { o.fps() } else { o.ms() };
+        v.map(|x| format!("{x:.4}")).unwrap_or_default() // empty = no point
+    };
+
+    let mut fig5 = vec![vec![
+        "case".to_string(),
+        "elpc_delay_ms".to_string(),
+        "streamline_delay_ms".to_string(),
+        "greedy_delay_ms".to_string(),
+    ]];
+    let mut fig6 = vec![vec![
+        "case".to_string(),
+        "elpc_rate_fps".to_string(),
+        "streamline_rate_fps".to_string(),
+        "greedy_rate_fps".to_string(),
+    ]];
+    for (i, r) in rows.iter().enumerate() {
+        fig5.push(vec![
+            format!("{}", i + 1),
+            to_cell(&r.delay_elpc, false),
+            to_cell(&r.delay_streamline, false),
+            to_cell(&r.delay_greedy, false),
+        ]);
+        fig6.push(vec![
+            format!("{}", i + 1),
+            to_cell(&r.rate_elpc, true),
+            to_cell(&r.rate_streamline, true),
+            to_cell(&r.rate_greedy, true),
+        ]);
+    }
+    save_csv(&results_dir().join("fig5_delay_series.csv"), &fig5);
+    save_csv(&results_dir().join("fig6_rate_series.csv"), &fig6);
+
+    // qualitative checks the paper reports for these figures
+    let delays: Vec<f64> = rows.iter().filter_map(|r| r.delay_elpc.ms()).collect();
+    let first_half: f64 = delays[..delays.len() / 2].iter().sum::<f64>() / (delays.len() / 2) as f64;
+    let second_half: f64 =
+        delays[delays.len() / 2..].iter().sum::<f64>() / (delays.len() - delays.len() / 2) as f64;
+    println!("Fig. 5 shape: mean ELPC delay grows from {first_half:.0} ms (cases 1-10) to {second_half:.0} ms (cases 11-20)");
+    println!("  (the paper: delay generally — not absolutely — increases with problem size)");
+    let rates: Vec<f64> = rows.iter().filter_map(|r| r.rate_elpc.fps()).collect();
+    let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = rates.iter().copied().fold(0.0, f64::max);
+    println!(
+        "Fig. 6 shape: ELPC frame rate spans {min:.2}..{max:.2} fps with no monotone trend \
+         ({} of 20 cases solvable without reuse)",
+        rates.len()
+    );
+}

@@ -1,0 +1,91 @@
+//! Experiment V1: the analytic cost model (Eq. 1/2) vs discrete-event
+//! execution, on the suite prefix and the two §1 scenario pipelines.
+//!
+//! ```text
+//! cargo run --release -p elpc-experiments --bin validate_sim
+//! ```
+//!
+//! Artifact: `results/validate_sim.csv`.
+
+use elpc_experiments::{results_dir, save_csv};
+use elpc_mapping::{elpc_delay, elpc_rate, CostModel, Instance};
+use elpc_simcore::{simulate, Workload};
+use elpc_workloads::cases;
+
+fn main() {
+    let cost = CostModel::default();
+    let mut rows = vec![vec![
+        "instance".to_string(),
+        "analytic_delay_ms".to_string(),
+        "simulated_delay_ms".to_string(),
+        "analytic_fps".to_string(),
+        "simulated_fps".to_string(),
+    ]];
+    println!("=== analytic model vs discrete-event execution ===\n");
+    println!(
+        "{:<44} {:>13} {:>13} {:>9} {:>9}",
+        "instance", "Eq.1 (ms)", "DES (ms)", "Eq.2 fps", "DES fps"
+    );
+
+    let mut checks = Vec::new();
+    for case in &cases::paper_cases()[..8] {
+        checks.push(case.generate().expect("suite cases generate"));
+    }
+    // the two §1 scenario pipelines on the small-case network
+    let base = cases::small_case().unwrap();
+    for (label, pipe) in [
+        (
+            "remote visualization (50 MB)",
+            elpc_pipeline::scenarios::remote_visualization_default(),
+        ),
+        (
+            "video surveillance (720p)",
+            elpc_pipeline::scenarios::video_surveillance_default(),
+        ),
+    ] {
+        let mut inst = base.clone();
+        inst.pipeline = pipe;
+        inst.label = label.to_string();
+        checks.push(inst);
+    }
+
+    let mut max_rel_err = 0.0_f64;
+    for owned in &checks {
+        let inst = Instance::new(&owned.network, &owned.pipeline, owned.src, owned.dst)
+            .expect("owned instances are valid");
+        let delay = elpc_delay::solve(&inst, &cost).expect("delay-feasible");
+        let sim_delay = simulate(&inst, &cost, &delay.mapping, Workload::single())
+            .unwrap()
+            .end_to_end_delay_ms(0)
+            .unwrap();
+        let (a_fps, s_fps) = match elpc_rate::solve(&inst, &cost) {
+            Ok(rate) => {
+                let frames = 4 * owned.pipeline.len().max(5);
+                let rep = simulate(&inst, &cost, &rate.mapping, Workload::stream(frames)).unwrap();
+                (rate.frame_rate_fps(), rep.steady_rate_fps().unwrap())
+            }
+            Err(_) => (f64::NAN, f64::NAN),
+        };
+        println!(
+            "{:<44} {:>13.2} {:>13.2} {:>9.3} {:>9.3}",
+            owned.label, delay.delay_ms, sim_delay, a_fps, s_fps
+        );
+        max_rel_err = max_rel_err.max((sim_delay - delay.delay_ms).abs() / delay.delay_ms);
+        if a_fps.is_finite() {
+            max_rel_err = max_rel_err.max((s_fps - a_fps).abs() / a_fps);
+        }
+        rows.push(vec![
+            owned.label.clone(),
+            format!("{:.4}", delay.delay_ms),
+            format!("{sim_delay:.4}"),
+            format!("{a_fps:.4}"),
+            format!("{s_fps:.4}"),
+        ]);
+    }
+    save_csv(&results_dir().join("validate_sim.csv"), &rows);
+    println!("\nmaximum relative deviation: {:.2e} (zero up to float rounding)", max_rel_err);
+    assert!(
+        max_rel_err < 1e-6,
+        "simulation diverged from the analytic model"
+    );
+}

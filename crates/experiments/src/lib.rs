@@ -1,0 +1,135 @@
+//! # elpc-experiments — the paper's tables and figures, regenerated
+//!
+//! One binary per artifact (see DESIGN.md §5 for the experiment index):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig2_table` | the Fig. 2 comparison table (20 cases × 3 algorithms × 2 objectives) |
+//! | `fig3_fig4_paths` | the Fig. 3 / Fig. 4 worked mapping illustrations (ASCII + DOT) |
+//! | `fig5_fig6_series` | the Fig. 5 / Fig. 6 per-case series (CSV) |
+//! | `scaling` | §4.3's runtime claim (ms → s across problem sizes) |
+//! | `ablation_gap` | E8: ELPC-rate heuristic vs exact optimum |
+//! | `ablation_mld` | A1: the MLD cost-model term on vs off |
+//! | `validate_sim` | V1: analytic objectives vs discrete-event execution |
+//!
+//! All binaries print human-readable tables to stdout and drop
+//! machine-readable artifacts under `results/`.
+
+use elpc_mapping::CostModel;
+use elpc_workloads::compare::{run_case, CaseResult};
+use elpc_workloads::{cases, sweep};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiment artifacts are written.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ELPC_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("cannot create results directory");
+    p
+}
+
+/// Runs the full 20-case suite (both objectives, all algorithms) in
+/// parallel, or loads a previously computed JSON artifact when present and
+/// `reuse` is true.
+pub fn suite_results(reuse: bool) -> Vec<CaseResult> {
+    let path = results_dir().join("fig2_results.json");
+    if reuse {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(rows) = serde_json::from_str::<Vec<CaseResult>>(&text) {
+                if rows.len() == 20 {
+                    eprintln!("(reusing cached {})", path.display());
+                    return rows;
+                }
+            }
+        }
+    }
+    let specs = cases::paper_cases();
+    let cost = CostModel::default();
+    let rows = sweep::run_parallel(&specs, 0, |_, spec| {
+        let inst = spec.generate().expect("suite cases generate cleanly");
+        let row = run_case(&inst, &cost);
+        eprintln!("  finished {}", row.label);
+        row
+    });
+    save_json(&path, &rows);
+    rows
+}
+
+/// Writes pretty JSON to `path`.
+pub fn save_json<T: serde::Serialize>(path: &Path, value: &T) {
+    let mut f = std::fs::File::create(path).expect("cannot create artifact file");
+    let text = serde_json::to_string_pretty(value).expect("serializable artifact");
+    f.write_all(text.as_bytes()).expect("artifact write");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Writes CSV rows (first row = header) to `path`.
+pub fn save_csv(path: &Path, rows: &[Vec<String>]) {
+    let mut f = std::fs::File::create(path).expect("cannot create artifact file");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("artifact write");
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+/// Renders a Markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        header.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Formats an outcome as `123.4` / `infeasible` / `error`.
+pub fn fmt_ms(o: &elpc_workloads::compare::Outcome) -> String {
+    match o.ms() {
+        Some(ms) => format!("{ms:.1}"),
+        None => match o {
+            elpc_workloads::compare::Outcome::Infeasible => "infeasible".into(),
+            _ => "error".into(),
+        },
+    }
+}
+
+/// Formats an outcome's frame rate as `12.34` fps.
+pub fn fmt_fps(o: &elpc_workloads::compare::Outcome) -> String {
+    match o.fps() {
+        Some(fps) => format!("{fps:.2}"),
+        None => match o {
+            elpc_workloads::compare::Outcome::Infeasible => "infeasible".into(),
+            _ => "error".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_renders() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("|---|---|"));
+        assert!(t.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn outcome_formatting() {
+        use elpc_workloads::compare::Outcome;
+        assert_eq!(fmt_ms(&Outcome::Solved { ms: 12.34 }), "12.3");
+        assert_eq!(fmt_ms(&Outcome::Infeasible), "infeasible");
+        assert_eq!(fmt_fps(&Outcome::Solved { ms: 100.0 }), "10.00");
+        assert_eq!(fmt_fps(&Outcome::Error("x".into())), "error");
+    }
+}

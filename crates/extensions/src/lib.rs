@@ -1,0 +1,27 @@
+//! # elpc-extensions — the paper's §5 future-work items, implemented
+//!
+//! The conclusion of Wu et al. names three directions; this crate builds
+//! all three on top of the core stack:
+//!
+//! * [`reuse_rate`] — "study the pipeline mapping problem for maximum frame
+//!   rate in the case of node reuse": a label-correcting dynamic program
+//!   over grouped simple paths, where a node hosting a group of modules
+//!   serializes their work (`Σ c_j·m_{j-1} / p`), which is exactly how the
+//!   discrete-event simulator says shared nodes behave.
+//! * [`workflow`] — "extend linear pipelines to graph workflows": a DAG
+//!   workflow model plus a HEFT-style list scheduler (upward-rank priority,
+//!   earliest-finish-time placement with routed transfers).
+//! * [`adaptive`] — "time-varying nature of system resources' availability":
+//!   epoch-based remapping over an `elpc_netsim::dynamics::DynamicNetwork`
+//!   with switching hysteresis, compared against a map-once static
+//!   strategy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod reuse_rate;
+pub mod workflow;
+
+/// Result alias shared with the mapping crate.
+pub type Result<T> = std::result::Result<T, elpc_mapping::MappingError>;

@@ -1,0 +1,449 @@
+//! Graph (DAG) workflows — the §5 "extend linear pipelines to graph
+//! workflows" direction.
+//!
+//! A [`DagWorkflow`] generalizes the linear pipeline: modules form a
+//! directed acyclic graph whose edges carry the transferred data sizes; a
+//! module's compute work is `complexity × Σ incoming bytes` (which reduces
+//! exactly to the paper's `c_j · m_{j-1}` on a chain).
+//!
+//! The mapper is a HEFT-style list scheduler (Topcuoglu et al.'s canonical
+//! heuristic family, the natural baseline for DAG mapping): modules are
+//! prioritized by *upward rank* (critical-path length under average costs)
+//! and placed, in rank order, on the node minimizing their earliest finish
+//! time given routed transfers from already-placed predecessors and
+//! per-node serial availability. On a chain this degenerates to a
+//! delay-style mapping, which the tests compare against the optimal
+//! ELPC-delay DP.
+
+use elpc_mapping::{CostModel, MappingError};
+use elpc_netgraph::{Graph, NodeId};
+use elpc_netsim::Network;
+use serde::{Deserialize, Serialize};
+
+/// A module in a DAG workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagModule {
+    /// Per-input-byte computational complexity (the paper's `c`).
+    pub complexity: f64,
+    /// Optional stage name.
+    pub name: Option<String>,
+}
+
+/// A directed acyclic workflow of modules; edge payloads are transfer sizes
+/// in bytes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DagWorkflow {
+    graph: Graph<DagModule, f64>,
+}
+
+impl Default for DagWorkflow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DagWorkflow {
+    /// An empty workflow.
+    pub fn new() -> Self {
+        DagWorkflow {
+            graph: Graph::new(),
+        }
+    }
+
+    /// Adds a module, returning its index.
+    pub fn add_module(&mut self, complexity: f64, name: Option<&str>) -> usize {
+        self.graph
+            .add_node(DagModule {
+                complexity,
+                name: name.map(str::to_string),
+            })
+            .index()
+    }
+
+    /// Adds a data dependency `from → to` carrying `bytes`.
+    pub fn add_dependency(&mut self, from: usize, to: usize, bytes: f64) -> crate::Result<()> {
+        if !(bytes >= 0.0) || !bytes.is_finite() {
+            return Err(MappingError::BadConfig(format!(
+                "dependency bytes must be finite and non-negative, got {bytes}"
+            )));
+        }
+        self.graph
+            .add_edge(NodeId::from_index(from), NodeId::from_index(to), bytes)
+            .map_err(|e| MappingError::BadConfig(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// True when the workflow has no modules.
+    pub fn is_empty(&self) -> bool {
+        self.graph.node_count() == 0
+    }
+
+    /// Converts a linear [`elpc_pipeline::Pipeline`] into the equivalent
+    /// chain workflow.
+    pub fn from_pipeline(pipe: &elpc_pipeline::Pipeline) -> Self {
+        let mut wf = DagWorkflow::new();
+        for m in pipe.modules() {
+            wf.add_module(m.complexity, m.name.as_deref());
+        }
+        for j in 0..pipe.len() - 1 {
+            wf.add_dependency(j, j + 1, pipe.module(j).output_bytes)
+                .expect("pipeline sizes are valid");
+        }
+        wf
+    }
+
+    /// Total input bytes of module `i` (sum over incoming edges).
+    pub fn input_bytes(&self, i: usize) -> f64 {
+        self.graph
+            .edges()
+            .filter(|(_, e)| e.dst.index() == i)
+            .map(|(_, e)| e.payload)
+            .sum()
+    }
+
+    /// Compute work of module `i`: `c_i × Σ incoming bytes`.
+    pub fn compute_work(&self, i: usize) -> f64 {
+        self.graph
+            .node(NodeId::from_index(i))
+            .expect("valid module index")
+            .complexity
+            * self.input_bytes(i)
+    }
+
+    /// Kahn topological order; errors on cycles.
+    pub fn topo_order(&self) -> crate::Result<Vec<usize>> {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for (_, e) in self.graph.edges() {
+            indeg[e.dst.index()] += 1;
+        }
+        let mut ready: std::collections::VecDeque<usize> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop_front() {
+            order.push(i);
+            for nb in self.graph.neighbors(NodeId::from_index(i)) {
+                let d = &mut indeg[nb.node.index()];
+                *d -= 1;
+                if *d == 0 {
+                    ready.push_back(nb.node.index());
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(MappingError::BadConfig(
+                "workflow contains a dependency cycle".into(),
+            ));
+        }
+        Ok(order)
+    }
+
+    /// Successor edges of module `i` as `(successor, bytes)`.
+    fn successors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.graph
+            .neighbors(NodeId::from_index(i))
+            .map(move |nb| {
+                let e = self.graph.edge(nb.edge).expect("valid edge");
+                (nb.node.index(), e.payload)
+            })
+    }
+
+    /// Predecessor edges of module `i` as `(predecessor, bytes)`.
+    fn predecessors(&self, i: usize) -> Vec<(usize, f64)> {
+        self.graph
+            .edges()
+            .filter(|(_, e)| e.dst.index() == i)
+            .map(|(_, e)| (e.src.index(), e.payload))
+            .collect()
+    }
+}
+
+/// A computed DAG schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagSchedule {
+    /// Network node hosting each module.
+    pub assignment: Vec<NodeId>,
+    /// Start time (ms) per module.
+    pub start_ms: Vec<f64>,
+    /// Finish time (ms) per module.
+    pub finish_ms: Vec<f64>,
+    /// Overall makespan (ms).
+    pub makespan_ms: f64,
+}
+
+/// Maps a DAG workflow onto a network with HEFT-style list scheduling.
+///
+/// `pinned` fixes module→node placements (e.g. data sources and display
+/// sinks, the DAG analogue of §4.1's pinned endpoints).
+pub fn map_dag(
+    wf: &DagWorkflow,
+    net: &Network,
+    cost: &CostModel,
+    pinned: &[(usize, NodeId)],
+) -> crate::Result<DagSchedule> {
+    if wf.is_empty() {
+        return Err(MappingError::BadConfig("empty workflow".into()));
+    }
+    let order = wf.topo_order()?;
+    let n = wf.len();
+    let k = net.node_count();
+    let mut pin: Vec<Option<NodeId>> = vec![None; n];
+    for &(m, node) in pinned {
+        if m >= n {
+            return Err(MappingError::BadConfig(format!(
+                "pinned module {m} out of range ({n} modules)"
+            )));
+        }
+        net.graph()
+            .check_node(node)
+            .map_err(elpc_netsim::NetworkError::from)?;
+        pin[m] = Some(node);
+    }
+
+    // --- upward ranks under average costs ---
+    let avg_power = net.node_ids().map(|v| net.power(v)).sum::<f64>() / k as f64;
+    let mut bw_sum = 0.0;
+    let mut bw_cnt = 0usize;
+    for (_, e) in net.graph().edges() {
+        bw_sum += e.payload.bw_mbps;
+        bw_cnt += 1;
+    }
+    let avg_bw = if bw_cnt > 0 { bw_sum / bw_cnt as f64 } else { 1.0 };
+    let mut rank = vec![0.0_f64; n];
+    for &i in order.iter().rev() {
+        let own = wf.compute_work(i) / avg_power;
+        let tail = wf
+            .successors(i)
+            .map(|(s, bytes)| elpc_netsim::units::serialization_ms(bytes, avg_bw) + rank[s])
+            .fold(0.0, f64::max);
+        rank[i] = own + tail;
+    }
+    let mut priority: Vec<usize> = (0..n).collect();
+    priority.sort_by(|&a, &b| {
+        rank[b]
+            .partial_cmp(&rank[a])
+            .expect("ranks are finite")
+            // stable, deterministic tie-break; also keeps topological
+            // consistency for equal ranks on chains
+            .then_with(|| {
+                order
+                    .iter()
+                    .position(|&x| x == a)
+                    .cmp(&order.iter().position(|&x| x == b))
+            })
+    });
+
+    // --- EFT placement ---
+    let mut host: Vec<Option<NodeId>> = vec![None; n];
+    let mut finish = vec![f64::NAN; n];
+    let mut start = vec![f64::NAN; n];
+    let mut node_free = vec![0.0_f64; k];
+    for &i in &priority {
+        // all predecessors of i are already placed: rank(pred) > rank(i)
+        // strictly on weighted DAGs; equal-rank chains keep topo order
+        let preds = wf.predecessors(i);
+        debug_assert!(preds.iter().all(|&(p, _)| host[p].is_some()));
+        let work = wf.compute_work(i);
+        let candidates: Vec<NodeId> = match pin[i] {
+            Some(v) => vec![v],
+            None => net.node_ids().collect(),
+        };
+        let mut best: Option<(f64, f64, NodeId)> = None; // (eft, est, node)
+        for v in candidates {
+            let mut est = node_free[v.index()];
+            let mut routable = true;
+            for &(p, bytes) in &preds {
+                let hp = host[p].expect("predecessors placed first");
+                let t = if hp == v {
+                    0.0
+                } else {
+                    match elpc_mapping::routed::routed_transfer_ms(net, cost, hp, v, bytes) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            routable = false;
+                            break;
+                        }
+                    }
+                };
+                est = est.max(finish[p] + t);
+            }
+            if !routable {
+                continue;
+            }
+            let eft = est + work / net.power(v);
+            if best.map_or(true, |(b, _, _)| eft < b) {
+                best = Some((eft, est, v));
+            }
+        }
+        let Some((eft, est, v)) = best else {
+            return Err(MappingError::Infeasible(format!(
+                "module {i} cannot receive its inputs on any node"
+            )));
+        };
+        host[i] = Some(v);
+        start[i] = est;
+        finish[i] = eft;
+        node_free[v.index()] = eft;
+    }
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    Ok(DagSchedule {
+        assignment: host.into_iter().map(|h| h.expect("all placed")).collect(),
+        start_ms: start,
+        finish_ms: finish,
+        makespan_ms: makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elpc_mapping::{elpc_delay, Instance};
+    use elpc_pipeline::Pipeline;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    fn net4() -> Network {
+        let mut b = Network::builder();
+        let powers = [100.0, 400.0, 400.0, 100.0];
+        let ns: Vec<NodeId> = powers.iter().map(|&p| b.add_node(p).unwrap()).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_link(ns[i], ns[j], 100.0, 0.5).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// fork-join: 0 → {1, 2} → 3
+    fn diamond_wf() -> DagWorkflow {
+        let mut wf = DagWorkflow::new();
+        let s = wf.add_module(0.0, Some("source"));
+        let a = wf.add_module(2.0, Some("branch-a"));
+        let b = wf.add_module(2.0, Some("branch-b"));
+        let t = wf.add_module(0.5, Some("join"));
+        wf.add_dependency(s, a, 1e5).unwrap();
+        wf.add_dependency(s, b, 1e5).unwrap();
+        wf.add_dependency(a, t, 5e4).unwrap();
+        wf.add_dependency(b, t, 5e4).unwrap();
+        wf
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let wf = diamond_wf();
+        let order = wf.topo_order().unwrap();
+        let pos = |m: usize| order.iter().position(|&x| x == m).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut wf = DagWorkflow::new();
+        let a = wf.add_module(1.0, None);
+        let b = wf.add_module(1.0, None);
+        wf.add_dependency(a, b, 10.0).unwrap();
+        wf.add_dependency(b, a, 10.0).unwrap();
+        assert!(matches!(
+            wf.topo_order(),
+            Err(MappingError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn fork_branches_run_in_parallel_on_different_nodes() {
+        let wf = diamond_wf();
+        let net = net4();
+        let sched = map_dag(&wf, &net, &cost(), &[(0, NodeId(0)), (3, NodeId(3))]).unwrap();
+        assert_eq!(sched.assignment[0], NodeId(0));
+        assert_eq!(sched.assignment[3], NodeId(3));
+        // the two heavy branches land on the two fast nodes, in parallel
+        assert_ne!(sched.assignment[1], sched.assignment[2]);
+        let overlap = sched.start_ms[1].max(sched.start_ms[2])
+            < sched.finish_ms[1].min(sched.finish_ms[2]);
+        assert!(overlap, "branches should overlap in time: {sched:?}");
+        // makespan beats any serial execution of both branches on one node
+        let serial_work = (wf.compute_work(1) + wf.compute_work(2)) / 400.0;
+        assert!(sched.makespan_ms < serial_work + 1e4);
+    }
+
+    #[test]
+    fn chain_workflow_is_never_better_than_optimal_elpc() {
+        // on a chain, the DAG makespan is an Eq. 1 delay, so the HEFT
+        // heuristic cannot beat the optimal DP (it may tie or lose)
+        let net = net4();
+        let pipe = Pipeline::from_stages(2e5, &[(1.0, 1e5), (3.0, 2e4)], 0.5).unwrap();
+        let wf = DagWorkflow::from_pipeline(&pipe);
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(3)).unwrap();
+        let optimal = elpc_delay::solve(&inst, &cost()).unwrap();
+        let sched = map_dag(&wf, &net, &cost(), &[(0, NodeId(0)), (3, NodeId(3))]).unwrap();
+        assert!(
+            sched.makespan_ms + 1e-9 >= optimal.delay_ms,
+            "HEFT {} beat the optimal DP {}",
+            sched.makespan_ms,
+            optimal.delay_ms
+        );
+        // and it should be within a small factor on such easy instances
+        assert!(sched.makespan_ms <= optimal.delay_ms * 3.0);
+    }
+
+    #[test]
+    fn pinning_is_enforced_and_validated() {
+        let wf = diamond_wf();
+        let net = net4();
+        let sched = map_dag(&wf, &net, &cost(), &[(1, NodeId(3))]).unwrap();
+        assert_eq!(sched.assignment[1], NodeId(3));
+        assert!(map_dag(&wf, &net, &cost(), &[(9, NodeId(0))]).is_err());
+        assert!(map_dag(&wf, &net, &cost(), &[(0, NodeId(77))]).is_err());
+    }
+
+    #[test]
+    fn chain_conversion_preserves_work() {
+        let pipe = Pipeline::from_stages(1e5, &[(2.0, 5e4)], 1.0).unwrap();
+        let wf = DagWorkflow::from_pipeline(&pipe);
+        assert_eq!(wf.len(), 3);
+        for j in 0..3 {
+            assert!((wf.compute_work(j) - pipe.compute_work(j)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn start_finish_times_are_consistent() {
+        let wf = diamond_wf();
+        let net = net4();
+        let sched = map_dag(&wf, &net, &cost(), &[]).unwrap();
+        for i in 0..wf.len() {
+            assert!(sched.start_ms[i] <= sched.finish_ms[i]);
+        }
+        // a module never starts before its predecessors finish
+        assert!(sched.start_ms[3] >= sched.finish_ms[1].max(sched.finish_ms[2]) - 1e-9);
+        assert_eq!(sched.makespan_ms, sched.finish_ms[3]);
+    }
+
+    #[test]
+    fn empty_workflow_is_rejected() {
+        let wf = DagWorkflow::new();
+        let net = net4();
+        assert!(map_dag(&wf, &net, &cost(), &[]).is_err());
+    }
+
+    #[test]
+    fn negative_dependency_bytes_are_rejected() {
+        let mut wf = DagWorkflow::new();
+        let a = wf.add_module(1.0, None);
+        let b = wf.add_module(1.0, None);
+        assert!(wf.add_dependency(a, b, -5.0).is_err());
+        assert!(wf.add_dependency(a, b, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,571 @@
+//! ELPC maximum frame rate without node reuse (§3.1.2).
+//!
+//! The underlying problem — the widest path with *exactly* `n` nodes — is
+//! NP-complete (the paper's reduction from Hamiltonian Path; reproduced as
+//! a test in `exact.rs`). The paper's heuristic adapts the delay DP:
+//! a cell `T_j(v)` now holds the best *bottleneck* (Eq. 5/6), "at each step,
+//! we ensure that the current node has not been used previously in the
+//! path".
+//!
+//! Keeping only one label (partial path) per cell is what makes it a
+//! heuristic: if the single best partial path into `v` blocks the only
+//! continuation to the destination, a feasible or better solution is
+//! missed. The paper argues this is "extremely rare"; experiment E8
+//! measures it against the exact solver. [`RateConfig::k_labels`] keeps the
+//! K best distinct partial paths per cell instead of one (ablation A2) —
+//! `k_labels = 1` is the published algorithm.
+//!
+//! Eq. 5's transfer term is `m_{j-1}/b` here (the data module `j` actually
+//! receives); the paper prints `m_j`, inconsistent with its own base case
+//! Eq. 6 — DESIGN.md erratum 3.
+
+use crate::{AssignmentSolution, CostModel, Instance, Mapping, MappingError, RateSolution, Result};
+use elpc_netgraph::algo::dijkstra;
+use elpc_netgraph::NodeId;
+
+/// Configuration for the rate DP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateConfig {
+    /// Number of labels (distinct partial paths) kept per DP cell.
+    /// 1 reproduces the paper's algorithm.
+    pub k_labels: usize,
+}
+
+impl Default for RateConfig {
+    fn default() -> Self {
+        RateConfig { k_labels: 1 }
+    }
+}
+
+/// A partial mapping ending at some node: bottleneck so far, visited-node
+/// bitmask, and the predecessor (node, label index) for reconstruction.
+#[derive(Debug, Clone)]
+struct Label {
+    bottleneck: f64,
+    mask: Box<[u64]>,
+    parent: Option<(NodeId, u32)>,
+}
+
+impl Label {
+    fn mask_contains(&self, v: usize) -> bool {
+        self.mask[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    fn mask_with(&self, v: usize) -> Box<[u64]> {
+        let mut m = self.mask.clone();
+        m[v / 64] |= 1u64 << (v % 64);
+        m
+    }
+}
+
+/// Solves with the paper's single-label heuristic.
+pub fn solve(inst: &Instance<'_>, cost: &CostModel) -> Result<RateSolution> {
+    solve_with(inst, cost, RateConfig::default())
+}
+
+/// Solves with an explicit [`RateConfig`].
+pub fn solve_with(
+    inst: &Instance<'_>,
+    cost: &CostModel,
+    config: RateConfig,
+) -> Result<RateSolution> {
+    if config.k_labels == 0 {
+        return Err(MappingError::BadConfig(
+            "k_labels must be at least 1".into(),
+        ));
+    }
+    let net = inst.network;
+    let pipe = inst.pipeline;
+    let n = pipe.len();
+    let k = net.node_count();
+    if n > k {
+        return Err(MappingError::Infeasible(format!(
+            "{n} modules need {n} distinct nodes, network has {k}"
+        )));
+    }
+    if inst.src == inst.dst {
+        return Err(MappingError::Infeasible(
+            "source and destination coincide; a simple path of ≥ 2 nodes is impossible".into(),
+        ));
+    }
+    let words = k.div_ceil(64);
+
+    // column 0: module 0 on src, zero cost (the source only transfers)
+    let mut root_mask = vec![0u64; words].into_boxed_slice();
+    root_mask[inst.src.index() / 64] |= 1 << (inst.src.index() % 64);
+    let mut columns: Vec<Vec<Vec<Label>>> = Vec::with_capacity(n);
+    let mut col0 = vec![Vec::new(); k];
+    col0[inst.src.index()].push(Label {
+        bottleneck: 0.0,
+        mask: root_mask,
+        parent: None,
+    });
+    columns.push(col0);
+
+    for j in 1..n {
+        let in_bytes = pipe.input_bytes(j);
+        let work = pipe.compute_work(j);
+        let prev = &columns[j - 1];
+        let mut cur: Vec<Vec<Label>> = vec![Vec::new(); k];
+        for (eid, e) in net.graph().edges() {
+            let u = e.src.index();
+            if prev[u].is_empty() {
+                continue;
+            }
+            let v = e.dst.index();
+            // the destination may only host the final module
+            if e.dst == inst.dst && j != n - 1 {
+                continue;
+            }
+            let compute = work / net.power(e.dst);
+            let transfer = cost.edge_transfer_ms(net, eid, in_bytes);
+            for (idx, label) in prev[u].iter().enumerate() {
+                if label.mask_contains(v) {
+                    continue; // node reuse is disabled for streaming
+                }
+                let bottleneck = label.bottleneck.max(compute).max(transfer);
+                insert_label(
+                    &mut cur[v],
+                    Label {
+                        bottleneck,
+                        mask: label.mask_with(v),
+                        parent: Some((e.src, idx as u32)),
+                    },
+                    config.k_labels,
+                );
+            }
+        }
+        columns.push(cur);
+    }
+
+    let final_labels = &columns[n - 1][inst.dst.index()];
+    let Some((best_idx, best)) = final_labels
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.bottleneck.partial_cmp(&b.1.bottleneck).expect("no NaN"))
+    else {
+        return Err(MappingError::Infeasible(format!(
+            "the heuristic found no simple {n}-node path from {} to {} \
+             (either none exists or the single-label DP missed it)",
+            inst.src, inst.dst
+        )));
+    };
+    let bottleneck = best.bottleneck;
+
+    // reconstruct: walk parent pointers back through the columns
+    let mut assignment = vec![inst.dst; n];
+    let mut cursor = (inst.dst, best_idx as u32);
+    for j in (0..n).rev() {
+        assignment[j] = cursor.0;
+        let label = &columns[j][cursor.0.index()][cursor.1 as usize];
+        match label.parent {
+            Some(p) => cursor = p,
+            None => debug_assert_eq!(j, 0, "only the root label lacks a parent"),
+        }
+    }
+    debug_assert_eq!(assignment[0], inst.src);
+
+    let mapping = Mapping::from_assignment(&assignment)?;
+    debug_assert!(mapping.is_one_to_one(), "rate mappings never reuse nodes");
+    debug_assert!({
+        let check = cost.bottleneck_ms(inst, &mapping)?;
+        (check - bottleneck).abs() <= 1e-6 * bottleneck.max(1.0)
+    });
+    Ok(RateSolution {
+        mapping,
+        bottleneck_ms: bottleneck,
+    })
+}
+
+/// ELPC-rate on the network's metric closure (routed-overlay variant).
+///
+/// The counterpart of [`crate::elpc_delay::solve_routed`] for the streaming
+/// objective: hosts may be any *distinct* nodes (module hosts are still
+/// never reused), and each inter-host transfer is one pipeline stage whose
+/// time is the best routed transfer. This matches the semantics under
+/// which the Streamline baseline is evaluated
+/// ([`crate::routed::routed_bottleneck_ms`] with `require_distinct`).
+/// Like the strict DP it is a heuristic — the exact routed problem
+/// contains the NP-complete strict problem. `solve_routed` keeps the
+/// paper-style single label per cell; [`solve_routed_with`] widens it.
+pub fn solve_routed(inst: &Instance<'_>, cost: &CostModel) -> Result<AssignmentSolution> {
+    solve_routed_with(inst, cost, RateConfig::default())
+}
+
+/// [`solve_routed`] with an explicit label-set width.
+pub fn solve_routed_with(
+    inst: &Instance<'_>,
+    cost: &CostModel,
+    config: RateConfig,
+) -> Result<AssignmentSolution> {
+    if config.k_labels == 0 {
+        return Err(MappingError::BadConfig(
+            "k_labels must be at least 1".into(),
+        ));
+    }
+    let net = inst.network;
+    let pipe = inst.pipeline;
+    let n = pipe.len();
+    let k = net.node_count();
+    if n > k {
+        return Err(MappingError::Infeasible(format!(
+            "{n} modules need {n} distinct hosts, network has {k}"
+        )));
+    }
+    if inst.src == inst.dst {
+        return Err(MappingError::Infeasible(
+            "source and destination coincide".into(),
+        ));
+    }
+    let words = k.div_ceil(64);
+    let mut root_mask = vec![0u64; words].into_boxed_slice();
+    root_mask[inst.src.index() / 64] |= 1 << (inst.src.index() % 64);
+    let mut columns: Vec<Vec<Vec<Label>>> = Vec::with_capacity(n);
+    let mut col0 = vec![Vec::new(); k];
+    col0[inst.src.index()].push(Label {
+        bottleneck: 0.0,
+        mask: root_mask,
+        parent: None,
+    });
+    columns.push(col0);
+
+    for j in 1..n {
+        let in_bytes = pipe.input_bytes(j);
+        let work = pipe.compute_work(j);
+        let prev = &columns[j - 1];
+        let mut cur: Vec<Vec<Label>> = vec![Vec::new(); k];
+        for u in 0..k {
+            if prev[u].is_empty() {
+                continue;
+            }
+            let du = dijkstra(net.graph(), NodeId::from_index(u), |eid, _| {
+                cost.edge_transfer_ms(net, eid, in_bytes)
+            })
+            .dist;
+            for v in 0..k {
+                if v == u || du[v].is_infinite() {
+                    continue;
+                }
+                let vid = NodeId::from_index(v);
+                if vid == inst.dst && j != n - 1 {
+                    continue;
+                }
+                let compute = work / net.power(vid);
+                for (idx, label) in prev[u].iter().enumerate() {
+                    if label.mask_contains(v) {
+                        continue;
+                    }
+                    let bottleneck = label.bottleneck.max(compute).max(du[v]);
+                    insert_label(
+                        &mut cur[v],
+                        Label {
+                            bottleneck,
+                            mask: label.mask_with(v),
+                            parent: Some((NodeId::from_index(u), idx as u32)),
+                        },
+                        config.k_labels,
+                    );
+                }
+            }
+        }
+        columns.push(cur);
+    }
+
+    let final_labels = &columns[n - 1][inst.dst.index()];
+    let Some((best_idx, best)) = final_labels
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.bottleneck.partial_cmp(&b.1.bottleneck).expect("no NaN"))
+    else {
+        return Err(MappingError::Infeasible(format!(
+            "no {n}-host routed placement found from {} to {}",
+            inst.src, inst.dst
+        )));
+    };
+    let bottleneck = best.bottleneck;
+    let mut assignment = vec![inst.dst; n];
+    let mut cursor = (inst.dst, best_idx as u32);
+    for j in (0..n).rev() {
+        assignment[j] = cursor.0;
+        let label = &columns[j][cursor.0.index()][cursor.1 as usize];
+        match label.parent {
+            Some(p) => cursor = p,
+            None => debug_assert_eq!(j, 0),
+        }
+    }
+    debug_assert_eq!(assignment[0], inst.src);
+    debug_assert!({
+        let re = crate::routed::routed_bottleneck_ms(inst, cost, &assignment, true)?;
+        (re - bottleneck).abs() <= 1e-6 * bottleneck.max(1.0)
+    });
+    Ok(AssignmentSolution {
+        assignment,
+        objective_ms: bottleneck,
+    })
+}
+
+/// Inserts into a bounded, sorted (ascending bottleneck) label set,
+/// dropping exact duplicates (same bottleneck and same visited set).
+fn insert_label(labels: &mut Vec<Label>, label: Label, cap: usize) {
+    if labels
+        .iter()
+        .any(|l| l.bottleneck == label.bottleneck && l.mask == label.mask)
+    {
+        return;
+    }
+    let pos = labels.partition_point(|l| l.bottleneck <= label.bottleneck);
+    if pos >= cap {
+        return;
+    }
+    labels.insert(pos, label);
+    labels.truncate(cap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elpc_netsim::Network;
+    use elpc_pipeline::{Module, Pipeline};
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Two disjoint 2-hop routes 0→3: via 1 (fast node, slow link) and via
+    /// 2 (slow node, fast link).
+    fn diamond() -> Network {
+        let mut b = Network::builder();
+        let s = b.add_node(100.0).unwrap();
+        let fast_node = b.add_node(1000.0).unwrap();
+        let slow_node = b.add_node(10.0).unwrap();
+        let d = b.add_node(100.0).unwrap();
+        b.add_link(s, fast_node, 1.0, 0.1).unwrap(); // slow link
+        b.add_link(fast_node, d, 1.0, 0.1).unwrap();
+        b.add_link(s, slow_node, 100.0, 0.1).unwrap(); // fast link
+        b.add_link(slow_node, d, 100.0, 0.1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn pipe3(c: f64, m0: f64, m1: f64) -> Pipeline {
+        Pipeline::new(vec![
+            Module::new(0.0, m0),
+            Module::new(c, m1),
+            Module::new(c, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_the_route_with_smaller_bottleneck() {
+        let net = diamond();
+        // transfer-dominated workload: big data, light compute.
+        // via fast_node: links 1 Mbps → 1e6 B = 8000 ms bottleneck
+        // via slow_node: links 100 Mbps = 80 ms; compute 0.1*1e6/10 = 10000/
+        //   wait, slow node power 10: c=0.01 → 0.01*1e6/10 = 1000 ms. Choose
+        //   c small enough that the link dominates: c = 0.001 → 100 ms.
+        let p = pipe3(0.001, 1e6, 1e6);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        let sol = solve(&inst, &cost()).unwrap();
+        assert_eq!(sol.mapping.path()[1], NodeId(2), "fast links win");
+        // compute-dominated: heavy compute, tiny data → fast node wins
+        let p = pipe3(100.0, 1e3, 1e3);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        let sol = solve(&inst, &cost()).unwrap();
+        assert_eq!(sol.mapping.path()[1], NodeId(1), "fast node wins");
+    }
+
+    #[test]
+    fn solution_is_one_to_one_and_validates() {
+        let net = diamond();
+        let p = pipe3(1.0, 1e5, 1e4);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        let sol = solve(&inst, &cost()).unwrap();
+        sol.mapping.validate(&inst, true).unwrap();
+        assert_eq!(sol.mapping.q(), 3);
+    }
+
+    #[test]
+    fn bottleneck_matches_cost_model() {
+        let net = diamond();
+        let p = pipe3(2.0, 5e5, 2e5);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        let sol = solve(&inst, &cost()).unwrap();
+        let re = cost().bottleneck_ms(&inst, &sol.mapping).unwrap();
+        assert!((sol.bottleneck_ms - re).abs() < 1e-9);
+        assert!(sol.frame_rate_fps() > 0.0);
+    }
+
+    #[test]
+    fn more_modules_than_nodes_is_infeasible() {
+        let net = diamond();
+        let stages: Vec<(f64, f64)> = (0..4).map(|_| (1.0, 1e3)).collect();
+        let p = Pipeline::from_stages(1e4, &stages, 1.0).unwrap(); // 6 modules, 4 nodes
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        assert!(matches!(solve(&inst, &cost()), Err(MappingError::Infeasible(_))));
+    }
+
+    #[test]
+    fn coincident_endpoints_are_infeasible() {
+        let net = diamond();
+        let p = pipe3(1.0, 1e4, 1e3);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(0)).unwrap();
+        assert!(matches!(solve(&inst, &cost()), Err(MappingError::Infeasible(_))));
+    }
+
+    #[test]
+    fn pipeline_longer_than_longest_simple_path_is_infeasible() {
+        // 0-1-2 line, 3 nodes; 3-module pipeline fits, but src/dst adjacent
+        // (0→1) forces a 2-node path for a 3-module pipeline: infeasible.
+        let mut b = Network::builder();
+        let n0 = b.add_node(10.0).unwrap();
+        let n1 = b.add_node(10.0).unwrap();
+        let n2 = b.add_node(10.0).unwrap();
+        b.add_link(n0, n1, 10.0, 0.1).unwrap();
+        b.add_link(n1, n2, 10.0, 0.1).unwrap();
+        let net = b.build().unwrap();
+        let p = pipe3(1.0, 1e4, 1e3);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(solve(&inst, &cost()), Err(MappingError::Infeasible(_))));
+        // but 0 → 2 works: path 0-1-2
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(2)).unwrap();
+        let sol = solve(&inst, &cost()).unwrap();
+        assert_eq!(sol.mapping.path(), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn zero_k_labels_is_rejected() {
+        let net = diamond();
+        let p = pipe3(1.0, 1e4, 1e3);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        assert!(matches!(
+            solve_with(&inst, &cost(), RateConfig { k_labels: 0 }),
+            Err(MappingError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn k_labels_never_hurt_the_objective() {
+        let net = diamond();
+        for (c, m0, m1) in [(0.5, 1e5, 5e4), (3.0, 1e6, 1e5), (0.01, 1e6, 1e6)] {
+            let p = pipe3(c, m0, m1);
+            let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+            let k1 = solve_with(&inst, &cost(), RateConfig { k_labels: 1 }).unwrap();
+            let k4 = solve_with(&inst, &cost(), RateConfig { k_labels: 4 }).unwrap();
+            assert!(k4.bottleneck_ms <= k1.bottleneck_ms + 1e-9);
+        }
+    }
+
+    /// The documented failure mode of the single-label heuristic: the best
+    /// partial path into a cut node blocks the only continuation.
+    /// Topology ("theta" graph):
+    ///
+    /// ```text
+    ///        s ——fast—— a ——fast—— c ———— d
+    ///        └──slow——— b ——fast———┘
+    /// ```
+    ///
+    /// 4 modules must use s→{a|b}→c→d. The fast s-a edge beats s-b, so the
+    /// single label at column 1 sits on `a`… which is fine here; to force a
+    /// miss we make the a→c edge terrible, so the *optimal* route is s-b-c-d
+    /// but a greedy per-cell winner via `a` can coexist — multi-label search
+    /// must still find the optimum.
+    #[test]
+    fn k_labels_recover_the_optimum_when_single_label_is_misled() {
+        let mut bld = Network::builder();
+        let s = bld.add_node(100.0).unwrap();
+        let a = bld.add_node(100.0).unwrap();
+        let b = bld.add_node(100.0).unwrap();
+        let c = bld.add_node(100.0).unwrap();
+        let d = bld.add_node(100.0).unwrap();
+        bld.add_link(s, a, 1000.0, 0.1).unwrap(); // fast
+        bld.add_link(s, b, 10.0, 0.1).unwrap(); // slow
+        bld.add_link(a, c, 1.0, 0.1).unwrap(); // terrible
+        bld.add_link(b, c, 1000.0, 0.1).unwrap(); // fast
+        bld.add_link(c, d, 1000.0, 0.1).unwrap();
+        let net = bld.build().unwrap();
+        let stages = vec![(0.01, 1e5), (0.01, 1e5)];
+        let p = Pipeline::from_stages(1e5, &stages, 0.01).unwrap(); // 4 modules
+        let inst = Instance::new(&net, &p, s, d).unwrap();
+        let k1 = solve_with(&inst, &cost(), RateConfig { k_labels: 1 }).unwrap();
+        let k4 = solve_with(&inst, &cost(), RateConfig { k_labels: 4 }).unwrap();
+        // the optimum goes via b; single-label also finds it here because
+        // cell c at column 2 keeps the better bottleneck — the point is
+        // both must agree with the s-b-c-d bottleneck (the slow s-b link).
+        assert_eq!(k4.mapping.path(), &[s, b, c, d]);
+        assert!(k4.bottleneck_ms <= k1.bottleneck_ms);
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let net = diamond();
+        let p = pipe3(1.0, 1e5, 1e4);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        let a = solve(&inst, &cost()).unwrap();
+        let b = solve(&inst, &cost()).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.bottleneck_ms, b.bottleneck_ms);
+    }
+
+    #[test]
+    fn routed_variant_relaxes_the_strict_problem() {
+        let net = diamond();
+        let p = pipe3(1.0, 1e5, 1e4);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        let strict = solve(&inst, &cost()).unwrap();
+        let routed = solve_routed(&inst, &cost()).unwrap();
+        // routed hosts are a superset of strict adjacent paths
+        assert!(routed.objective_ms <= strict.bottleneck_ms + 1e-9);
+        // distinct hosts, pinned endpoints
+        let mut seen = std::collections::BTreeSet::new();
+        for &h in &routed.assignment {
+            assert!(seen.insert(h));
+        }
+        assert_eq!(routed.assignment[0], NodeId(0));
+        assert_eq!(*routed.assignment.last().unwrap(), NodeId(3));
+    }
+
+    #[test]
+    fn routed_variant_usually_dominates_streamline() {
+        use rand::{Rng, SeedableRng};
+        let mut wins = 0;
+        let mut comparisons = 0;
+        for seed in 0..15u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let k = rng.gen_range(4..9);
+            let links = rng.gen_range(k - 1..=k * (k - 1) / 2);
+            let topo = elpc_netgraph::gen::random_connected(k, links, &mut rng).unwrap();
+            let powers: Vec<f64> = (0..k).map(|_| rng.gen_range(10.0..1000.0)).collect();
+            let mut lr = rand_chacha::ChaCha8Rng::seed_from_u64(seed + 55);
+            let net = Network::from_topology(
+                &topo,
+                |i| elpc_netsim::Node::with_power(powers[i]),
+                |_, _| elpc_netsim::Link::new(lr.gen_range(1.0..1000.0), lr.gen_range(0.1..5.0)),
+            )
+            .unwrap();
+            let n = rng.gen_range(2..=k.min(5));
+            let p = elpc_pipeline::gen::PipelineSpec {
+                modules: n,
+                ..Default::default()
+            }
+            .generate(&mut rng)
+            .unwrap();
+            let inst = Instance::new(&net, &p, NodeId(0), NodeId((k - 1) as u32)).unwrap();
+            if let (Ok(r), Ok(s)) = (
+                solve_routed(&inst, &cost()),
+                crate::streamline::solve_max_rate(&inst, &cost()),
+            ) {
+                comparisons += 1;
+                if r.objective_ms <= s.objective_ms + 1e-9 {
+                    wins += 1;
+                }
+            }
+        }
+        assert!(comparisons >= 5, "too few comparisons ran");
+        // heuristic vs heuristic: dominance is not guaranteed, but the DP
+        // should win essentially always
+        assert!(
+            wins as f64 >= comparisons as f64 * 0.9,
+            "routed ELPC won only {wins}/{comparisons}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Mapping error type.
+
+use std::fmt;
+
+/// Errors produced by mapping construction, validation, and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// No feasible mapping exists for the instance (§4.3 discusses when
+    /// this happens: pipeline shorter than the shortest path, or — without
+    /// node reuse — longer than the longest simple path).
+    Infeasible(String),
+    /// A mapping failed structural validation against its instance.
+    InvalidMapping(String),
+    /// Underlying network-model error.
+    Network(elpc_netsim::NetworkError),
+    /// Underlying pipeline-model error.
+    Pipeline(elpc_pipeline::PipelineError),
+    /// A solver was configured with invalid parameters.
+    BadConfig(String),
+    /// An exhaustive solver ran out of its exploration budget before
+    /// proving optimality (the instance is too large for exact search).
+    BudgetExhausted {
+        /// The budget that was exhausted (expansions or paths).
+        budget: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::Infeasible(msg) => write!(f, "no feasible mapping: {msg}"),
+            MappingError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
+            MappingError::Network(e) => write!(f, "network error: {e}"),
+            MappingError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            MappingError::BadConfig(msg) => write!(f, "bad solver configuration: {msg}"),
+            MappingError::BudgetExhausted { budget } => write!(
+                f,
+                "exact search exhausted its exploration budget of {budget}; \
+                 the instance is too large for exhaustive solving"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MappingError::Network(e) => Some(e),
+            MappingError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<elpc_netsim::NetworkError> for MappingError {
+    fn from(e: elpc_netsim::NetworkError) -> Self {
+        MappingError::Network(e)
+    }
+}
+
+impl From<elpc_pipeline::PipelineError> for MappingError {
+    fn from(e: elpc_pipeline::PipelineError) -> Self {
+        MappingError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(MappingError::Infeasible("dst unreachable".into())
+            .to_string()
+            .contains("dst unreachable"));
+        assert!(MappingError::BadConfig("k_labels = 0".into())
+            .to_string()
+            .contains("k_labels"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        use std::error::Error;
+        let ne = elpc_netsim::NetworkError::Invalid("x".into());
+        let me: MappingError = ne.into();
+        assert!(me.source().is_some());
+        let pe = elpc_pipeline::PipelineError::TooShort(1);
+        let me: MappingError = pe.into();
+        assert!(me.source().is_some());
+    }
+}

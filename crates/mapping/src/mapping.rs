@@ -1,0 +1,352 @@
+//! The mapping representation: a network path plus a module grouping.
+
+use crate::{Instance, MappingError, Result};
+use elpc_netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A pipeline-to-network mapping: the paper's "decompose the pipeline into
+/// q groups of modules g1…gq and map them onto a selected path P of q nodes"
+/// (§2.3).
+///
+/// * `path[i]` is the node executing group `i`; consecutive path nodes must
+///   be network-adjacent.
+/// * `group_sizes[i] ≥ 1` modules run on `path[i]`; groups partition the
+///   module chain in order.
+/// * With node reuse the path may revisit nodes ("the selected path P
+///   contains a loop"); without reuse all path nodes are distinct and every
+///   group has exactly one module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    path: Vec<NodeId>,
+    group_sizes: Vec<usize>,
+}
+
+impl Mapping {
+    /// Builds a mapping from a path and per-position group sizes.
+    pub fn from_parts(path: Vec<NodeId>, group_sizes: Vec<usize>) -> Result<Self> {
+        if path.is_empty() {
+            return Err(MappingError::InvalidMapping("empty path".into()));
+        }
+        if path.len() != group_sizes.len() {
+            return Err(MappingError::InvalidMapping(format!(
+                "path has {} nodes but {} group sizes",
+                path.len(),
+                group_sizes.len()
+            )));
+        }
+        if let Some(i) = group_sizes.iter().position(|&s| s == 0) {
+            return Err(MappingError::InvalidMapping(format!(
+                "group {i} is empty (every path node must run at least one module)"
+            )));
+        }
+        if path.windows(2).any(|w| w[0] == w[1]) {
+            return Err(MappingError::InvalidMapping(
+                "consecutive path positions repeat a node; merge their groups instead".into(),
+            ));
+        }
+        Ok(Mapping { path, group_sizes })
+    }
+
+    /// Builds a mapping from a per-module node assignment by merging
+    /// consecutive runs on the same node.
+    pub fn from_assignment(assignment: &[NodeId]) -> Result<Self> {
+        if assignment.is_empty() {
+            return Err(MappingError::InvalidMapping("empty assignment".into()));
+        }
+        let mut path = Vec::new();
+        let mut sizes = Vec::new();
+        for &node in assignment {
+            match path.last() {
+                Some(&last) if last == node => *sizes.last_mut().expect("paired") += 1,
+                _ => {
+                    path.push(node);
+                    sizes.push(1);
+                }
+            }
+        }
+        Mapping::from_parts(path, sizes)
+    }
+
+    /// The selected network path (q nodes).
+    pub fn path(&self) -> &[NodeId] {
+        &self.path
+    }
+
+    /// Group sizes per path position.
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// Number of groups `q`.
+    pub fn q(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Total number of modules mapped.
+    pub fn n_modules(&self) -> usize {
+        self.group_sizes.iter().sum()
+    }
+
+    /// Expands to one node per module.
+    pub fn assignment(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.n_modules());
+        for (i, &node) in self.path.iter().enumerate() {
+            out.extend(std::iter::repeat(node).take(self.group_sizes[i]));
+        }
+        out
+    }
+
+    /// The node executing module `j` (0-based).
+    pub fn node_of_module(&self, j: usize) -> Option<NodeId> {
+        let mut start = 0;
+        for (i, &size) in self.group_sizes.iter().enumerate() {
+            if j < start + size {
+                return Some(self.path[i]);
+            }
+            start += size;
+        }
+        None
+    }
+
+    /// Iterates `(node, module index range)` per group.
+    pub fn groups(&self) -> impl Iterator<Item = (NodeId, Range<usize>)> + '_ {
+        let mut start = 0usize;
+        self.path
+            .iter()
+            .zip(&self.group_sizes)
+            .map(move |(&node, &size)| {
+                let r = start..start + size;
+                start += size;
+                (node, r)
+            })
+    }
+
+    /// True when no node appears twice anywhere in the path.
+    pub fn uses_distinct_nodes(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        self.path.iter().all(|&n| seen.insert(n))
+    }
+
+    /// True when the mapping is one-module-per-node (the no-reuse shape of
+    /// §3.1.2).
+    pub fn is_one_to_one(&self) -> bool {
+        self.uses_distinct_nodes() && self.group_sizes.iter().all(|&s| s == 1)
+    }
+
+    /// Validates against an instance: module count, pinned endpoints, and
+    /// network adjacency of consecutive path nodes. With `require_distinct`
+    /// also enforces the no-reuse shape.
+    pub fn validate(&self, inst: &Instance<'_>, require_distinct: bool) -> Result<()> {
+        if self.n_modules() != inst.n_modules() {
+            return Err(MappingError::InvalidMapping(format!(
+                "mapping covers {} modules, pipeline has {}",
+                self.n_modules(),
+                inst.n_modules()
+            )));
+        }
+        if self.path[0] != inst.src {
+            return Err(MappingError::InvalidMapping(format!(
+                "first group runs on {} but the data source is pinned to {}",
+                self.path[0], inst.src
+            )));
+        }
+        if *self.path.last().expect("non-empty") != inst.dst {
+            return Err(MappingError::InvalidMapping(format!(
+                "last group runs on {} but the end user is pinned to {}",
+                self.path.last().expect("non-empty"),
+                inst.dst
+            )));
+        }
+        for w in self.path.windows(2) {
+            if inst.network.graph().find_edge(w[0], w[1]).is_none() {
+                return Err(MappingError::InvalidMapping(format!(
+                    "path nodes {} and {} are not adjacent in the network",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if require_distinct && !self.is_one_to_one() {
+            return Err(MappingError::InvalidMapping(
+                "streaming mappings require one module per node with no reuse".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A per-module assignment with its objective value — the output shape of
+/// solvers that place modules without the adjacent-path restriction
+/// (Streamline's free placement, and the routed-overlay ELPC variants).
+/// Transfers between non-adjacent hosts are charged at routed cost
+/// (see [`crate::routed`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentSolution {
+    /// Node hosting each module, in pipeline order.
+    pub assignment: Vec<NodeId>,
+    /// Objective value in ms: end-to-end delay (delay mode) or bottleneck
+    /// stage time (rate mode).
+    pub objective_ms: f64,
+}
+
+impl AssignmentSolution {
+    /// Frames per second for rate-mode solutions.
+    pub fn frame_rate_fps(&self) -> f64 {
+        elpc_netsim::units::frame_rate_fps(self.objective_ms)
+    }
+}
+
+/// A minimum end-to-end delay solution (interactive objective, Eq. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelaySolution {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Total end-to-end delay in ms.
+    pub delay_ms: f64,
+}
+
+/// A maximum frame-rate solution (streaming objective, Eq. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSolution {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Bottleneck stage time in ms.
+    pub bottleneck_ms: f64,
+}
+
+impl RateSolution {
+    /// Frames per second (Eq. 2 reciprocal).
+    pub fn frame_rate_fps(&self) -> f64 {
+        elpc_netsim::units::frame_rate_fps(self.bottleneck_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elpc_netsim::Network;
+    use elpc_pipeline::Pipeline;
+
+    fn net4() -> Network {
+        // 0-1-2-3 line plus 0-2 chord
+        let mut b = Network::builder();
+        let ns: Vec<NodeId> = (0..4).map(|_| b.add_node(1.0).unwrap()).collect();
+        b.add_link(ns[0], ns[1], 10.0, 0.1).unwrap();
+        b.add_link(ns[1], ns[2], 10.0, 0.1).unwrap();
+        b.add_link(ns[2], ns[3], 10.0, 0.1).unwrap();
+        b.add_link(ns[0], ns[2], 10.0, 0.1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn pipe(n: usize) -> Pipeline {
+        let stages: Vec<(f64, f64)> = (0..n - 2).map(|_| (1.0, 50.0)).collect();
+        Pipeline::from_stages(100.0, &stages, 2.0).unwrap()
+    }
+
+    #[test]
+    fn from_assignment_merges_consecutive_runs() {
+        let m = Mapping::from_assignment(&[NodeId(0), NodeId(0), NodeId(2), NodeId(2), NodeId(3)])
+            .unwrap();
+        assert_eq!(m.path(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(m.group_sizes(), &[2, 2, 1]);
+        assert_eq!(m.q(), 3);
+        assert_eq!(m.n_modules(), 5);
+    }
+
+    #[test]
+    fn assignment_round_trips() {
+        let a = vec![NodeId(0), NodeId(1), NodeId(1), NodeId(2)];
+        let m = Mapping::from_assignment(&a).unwrap();
+        assert_eq!(m.assignment(), a);
+    }
+
+    #[test]
+    fn node_of_module_walks_groups() {
+        let m = Mapping::from_parts(vec![NodeId(5), NodeId(7)], vec![3, 2]).unwrap();
+        assert_eq!(m.node_of_module(0), Some(NodeId(5)));
+        assert_eq!(m.node_of_module(2), Some(NodeId(5)));
+        assert_eq!(m.node_of_module(3), Some(NodeId(7)));
+        assert_eq!(m.node_of_module(4), Some(NodeId(7)));
+        assert_eq!(m.node_of_module(5), None);
+    }
+
+    #[test]
+    fn groups_iterator_yields_ranges() {
+        let m = Mapping::from_parts(vec![NodeId(0), NodeId(1)], vec![2, 3]).unwrap();
+        let gs: Vec<(NodeId, Range<usize>)> = m.groups().collect();
+        assert_eq!(gs, vec![(NodeId(0), 0..2), (NodeId(1), 2..5)]);
+    }
+
+    #[test]
+    fn structural_rejections() {
+        assert!(Mapping::from_parts(vec![], vec![]).is_err());
+        assert!(Mapping::from_parts(vec![NodeId(0)], vec![]).is_err());
+        assert!(Mapping::from_parts(vec![NodeId(0)], vec![0]).is_err());
+        // consecutive duplicates must be merged, not repeated
+        assert!(Mapping::from_parts(vec![NodeId(0), NodeId(0)], vec![1, 1]).is_err());
+        assert!(Mapping::from_assignment(&[]).is_err());
+    }
+
+    #[test]
+    fn loops_are_allowed_but_detected() {
+        // non-contiguous reuse: 0 → 1 → 0 (§2.3 "the selected path P
+        // contains a loop")
+        let m = Mapping::from_parts(vec![NodeId(0), NodeId(1), NodeId(0)], vec![1, 1, 1]).unwrap();
+        assert!(!m.uses_distinct_nodes());
+        assert!(!m.is_one_to_one());
+    }
+
+    #[test]
+    fn validate_checks_endpoints_and_adjacency() {
+        let net = net4();
+        let p = pipe(4);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        // 0 → 2 → 3 with group sizes 2,1,1: valid (0-2 chord exists)
+        let good =
+            Mapping::from_parts(vec![NodeId(0), NodeId(2), NodeId(3)], vec![2, 1, 1]).unwrap();
+        good.validate(&inst, false).unwrap();
+        // 0 → 3 not adjacent
+        let bad = Mapping::from_parts(vec![NodeId(0), NodeId(3)], vec![2, 2]).unwrap();
+        assert!(bad.validate(&inst, false).is_err());
+        // wrong endpoint
+        let bad =
+            Mapping::from_parts(vec![NodeId(1), NodeId(2), NodeId(3)], vec![2, 1, 1]).unwrap();
+        assert!(bad.validate(&inst, false).is_err());
+        // wrong module count
+        let bad = Mapping::from_parts(vec![NodeId(0), NodeId(2), NodeId(3)], vec![1, 1, 1]).unwrap();
+        assert!(bad.validate(&inst, false).is_err());
+    }
+
+    #[test]
+    fn validate_distinct_enforces_one_to_one() {
+        let net = net4();
+        let p = pipe(4);
+        let inst = Instance::new(&net, &p, NodeId(0), NodeId(3)).unwrap();
+        let one_to_one = Mapping::from_parts(
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            vec![1, 1, 1, 1],
+        )
+        .unwrap();
+        one_to_one.validate(&inst, true).unwrap();
+        let grouped =
+            Mapping::from_parts(vec![NodeId(0), NodeId(2), NodeId(3)], vec![2, 1, 1]).unwrap();
+        assert!(grouped.validate(&inst, true).is_err());
+    }
+
+    #[test]
+    fn rate_solution_converts_to_fps() {
+        let m = Mapping::from_parts(vec![NodeId(0)], vec![2]).unwrap();
+        let s = RateSolution {
+            mapping: m,
+            bottleneck_ms: 40.0,
+        };
+        assert!((s.frame_rate_fps() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Mapping::from_parts(vec![NodeId(0), NodeId(2)], vec![1, 3]).unwrap();
+        let m2: Mapping = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, m2);
+    }
+}

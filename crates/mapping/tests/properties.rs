@@ -1,0 +1,175 @@
+//! Property-based tests for the mapping solvers.
+//!
+//! These encode the paper's central claims as machine-checked properties:
+//!
+//! * §3.1.1's optimality proof — the ELPC-delay DP equals exhaustive search;
+//! * Eq. 2 ≤ Eq. 1 — a bottleneck never exceeds the total delay;
+//! * the ELPC-rate heuristic never beats the exact optimum, and wider label
+//!   sets never hurt it;
+//! * baselines never beat the optimal DP on the delay objective.
+
+use elpc_mapping::{elpc_delay, elpc_rate, exact, greedy, CostModel, Instance, MappingError, NodeId};
+use elpc_netsim::{Link, Network, Node};
+use elpc_pipeline::gen::PipelineSpec;
+use elpc_pipeline::Pipeline;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random connected instance from a seed: 4..=9 nodes, feasible
+/// link budget, 2..=min(k,6) modules.
+fn build_instance(seed: u64) -> (Network, Pipeline) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = rng.gen_range(4usize..=9);
+    let max_links = k * (k - 1) / 2;
+    let links = rng.gen_range(k - 1..=max_links);
+    let topo = elpc_netgraph::gen::random_connected(k, links, &mut rng).unwrap();
+    let powers: Vec<f64> = (0..k).map(|_| rng.gen_range(5.0..2000.0)).collect();
+    let mut link_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+    let net = Network::from_topology(
+        &topo,
+        |i| Node::with_power(powers[i]),
+        |_, _| {
+            Link::new(
+                link_rng.gen_range(1.0..1000.0),
+                link_rng.gen_range(0.01..10.0),
+            )
+        },
+    )
+    .unwrap();
+    let n = rng.gen_range(2usize..=k.min(6));
+    let pipe = PipelineSpec {
+        modules: n,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+    .unwrap();
+    (net, pipe)
+}
+
+fn endpoints(net: &Network) -> (NodeId, NodeId) {
+    (NodeId(0), NodeId((net.node_count() - 1) as u32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §3.1.1: "the final solution is optimal for a given mapping problem".
+    #[test]
+    fn elpc_delay_is_optimal(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        match (elpc_delay::solve(&inst, &cm), exact::min_delay(&inst, &cm, exact::ExactLimits::default())) {
+            (Ok(dp), Ok(ex)) => {
+                prop_assert!((dp.delay_ms - ex.delay_ms).abs() <= 1e-6 * ex.delay_ms.max(1.0),
+                    "DP {} vs exact {}", dp.delay_ms, ex.delay_ms);
+            }
+            (Err(MappingError::Infeasible(_)), Err(MappingError::Infeasible(_))) => {}
+            (dp, ex) => prop_assert!(false, "disagreement: {dp:?} vs {ex:?}"),
+        }
+    }
+
+    /// The heuristic can never do better than the exact optimum, and its
+    /// solution re-evaluates consistently under the cost model.
+    #[test]
+    fn elpc_rate_never_beats_exact(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        let ex = exact::max_rate(&inst, &cm, exact::ExactLimits::default());
+        let heur = elpc_rate::solve(&inst, &cm);
+        match (&ex, &heur) {
+            (Ok(ex), Ok(h)) => {
+                prop_assert!(ex.bottleneck_ms <= h.bottleneck_ms + 1e-9);
+                let re = cm.bottleneck_ms(&inst, &h.mapping).unwrap();
+                prop_assert!((re - h.bottleneck_ms).abs() < 1e-6 * h.bottleneck_ms.max(1.0));
+            }
+            (Err(MappingError::Infeasible(_)), Err(MappingError::Infeasible(_))) => {}
+            // heuristic may miss a path exact finds; never the reverse
+            (Ok(_), Err(MappingError::Infeasible(_))) => {}
+            (ex, h) => prop_assert!(false, "unexpected: {ex:?} vs {h:?}"),
+        }
+    }
+
+    /// Widening the label set is monotone: K labels never worsen the result.
+    #[test]
+    fn k_labels_are_monotone(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        let k1 = elpc_rate::solve_with(&inst, &cm, elpc_rate::RateConfig { k_labels: 1 });
+        let k4 = elpc_rate::solve_with(&inst, &cm, elpc_rate::RateConfig { k_labels: 4 });
+        match (k1, k4) {
+            (Ok(a), Ok(b)) => prop_assert!(b.bottleneck_ms <= a.bottleneck_ms + 1e-9),
+            (Err(MappingError::Infeasible(_)), Err(MappingError::Infeasible(_))) => {}
+            // K=4 may find a path K=1 misses; never the reverse
+            (Err(MappingError::Infeasible(_)), Ok(_)) => {}
+            (a, b) => prop_assert!(false, "unexpected: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Eq. 2 ≤ Eq. 1: the slowest stage cannot exceed the sum of stages.
+    #[test]
+    fn bottleneck_never_exceeds_delay(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        if let Ok(sol) = elpc_delay::solve(&inst, &cm) {
+            let b = cm.bottleneck_ms(&inst, &sol.mapping).unwrap();
+            prop_assert!(b <= sol.delay_ms + 1e-9);
+        }
+        if let Ok(sol) = elpc_rate::solve(&inst, &cm) {
+            let d = cm.delay_ms(&inst, &sol.mapping).unwrap();
+            prop_assert!(sol.bottleneck_ms <= d + 1e-9);
+        }
+    }
+
+    /// The optimal DP dominates the greedy baseline on every instance
+    /// (Fig. 5's qualitative shape).
+    #[test]
+    fn greedy_never_beats_elpc_delay(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        if let (Ok(e), Ok(g)) = (elpc_delay::solve(&inst, &cm), greedy::solve_min_delay(&inst, &cm)) {
+            prop_assert!(e.delay_ms <= g.delay_ms + 1e-9,
+                "ELPC {} must dominate greedy {}", e.delay_ms, g.delay_ms);
+        }
+    }
+
+    /// Greedy rate solutions, when they exist, are valid one-to-one
+    /// mappings and never beat the exact optimum.
+    #[test]
+    fn greedy_rate_solutions_are_sound(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        if let Ok(g) = greedy::solve_max_rate(&inst, &cm) {
+            prop_assert!(g.mapping.is_one_to_one());
+            g.mapping.validate(&inst, true).unwrap();
+            if let Ok(ex) = exact::max_rate(&inst, &cm, exact::ExactLimits::default()) {
+                prop_assert!(ex.bottleneck_ms <= g.bottleneck_ms + 1e-9);
+            }
+        }
+    }
+
+    /// Removing the MLD term can only shrink delays (ablation A1 direction).
+    #[test]
+    fn dropping_mld_never_increases_optimal_delay(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let with = elpc_delay::solve(&inst, &CostModel { include_mld: true });
+        let without = elpc_delay::solve(&inst, &CostModel { include_mld: false });
+        if let (Ok(w), Ok(wo)) = (with, without) {
+            prop_assert!(wo.delay_ms <= w.delay_ms + 1e-9);
+        }
+    }
+}

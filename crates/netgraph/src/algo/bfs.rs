@@ -1,0 +1,169 @@
+//! Breadth-first search: hop distances, reachability, connectivity.
+//!
+//! Hop distances serve two roles in the reproduction:
+//! 1. Feasibility screening — a pipeline of `n` modules mapped without node
+//!    reuse needs a simple path of exactly `n` nodes, so
+//!    `hops(vs → vd) ≤ n - 1` is a necessary condition (§4.3 discusses the
+//!    infeasible extremes).
+//! 2. Pruning — the exact-hop path enumerator cuts branches whose remaining
+//!    budget is below the hop distance to the destination.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distance (minimum number of edges) from `src` to every node, following
+/// edges forward. Unreachable nodes get `None`.
+pub fn hop_distances<N, E>(g: &Graph<N, E>, src: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    if g.check_node(src).is_err() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Some(0);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for nb in g.neighbors(u) {
+            let slot = &mut dist[nb.node.index()];
+            if slot.is_none() {
+                *slot = Some(du + 1);
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance from every node *to* `dst`, following edges backward.
+///
+/// Built by one pass over the edge list to form reverse adjacency, then a
+/// plain BFS; used as the admissible pruning heuristic in
+/// [`super::for_each_simple_path_exact_nodes`].
+pub fn hop_distances_rev<N, E>(g: &Graph<N, E>, dst: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    if g.check_node(dst).is_err() {
+        return dist;
+    }
+    let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); g.node_count()];
+    for (_, e) in g.edges() {
+        rev[e.dst.index()].push(e.src);
+    }
+    let mut queue = VecDeque::new();
+    dist[dst.index()] = Some(0);
+    queue.push_back(dst);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &p in &rev[u.index()] {
+            let slot = &mut dist[p.index()];
+            if slot.is_none() {
+                *slot = Some(du + 1);
+                queue.push_back(p);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of nodes reachable from `src` (including `src` itself).
+pub fn reachable_count<N, E>(g: &Graph<N, E>, src: NodeId) -> usize {
+    hop_distances(g, src).iter().flatten().count()
+}
+
+/// True when every node is reachable from node 0.
+///
+/// For the symmetric (undirected) networks of the paper this is exactly
+/// graph connectivity; for directed graphs it is "rooted at node 0"
+/// reachability, which is what the topology generators guarantee.
+pub fn is_connected<N, E>(g: &Graph<N, E>) -> bool {
+    match g.node_count() {
+        0 => true,
+        _ => reachable_count(g, NodeId(0)) == g.node_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    /// A 5-node path graph 0-1-2-3-4 (undirected).
+    fn path5() -> Graph<(), ()> {
+        let mut g = Graph::new();
+        let ns: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        for w in ns.windows(2) {
+            g.add_undirected_edge(w[0], w[1], ()).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn hop_distances_on_a_path_graph_are_positions() {
+        let g = path5();
+        let d = hop_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn hop_distances_mark_unreachable_components() {
+        let mut g = path5();
+        let isolated = g.add_node(());
+        let d = hop_distances(&g, NodeId(0));
+        assert_eq!(d[isolated.index()], None);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn reverse_distances_equal_forward_on_symmetric_graphs() {
+        let g = path5();
+        let fwd = hop_distances(&g, NodeId(4));
+        let rev = hop_distances_rev(&g, NodeId(4));
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn reverse_distances_respect_direction() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        let to_c = hop_distances_rev(&g, c);
+        assert_eq!(to_c, vec![Some(2), Some(1), Some(0)]);
+        // nothing reaches `a` going forward, so distances *to* a are only a itself
+        let to_a = hop_distances_rev(&g, a);
+        assert_eq!(to_a, vec![Some(0), None, None]);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_are_connected() {
+        let g: Graph<(), ()> = Graph::new();
+        assert!(is_connected(&g));
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_node(());
+        assert!(is_connected(&g));
+        assert_eq!(reachable_count(&g, NodeId(0)), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_source_yields_all_none() {
+        let g = path5();
+        let d = hop_distances(&g, NodeId(99));
+        assert!(d.iter().all(Option::is_none));
+        assert_eq!(reachable_count(&g, NodeId(99)), 0);
+    }
+
+    #[test]
+    fn bfs_takes_shortcuts_over_longer_routes() {
+        // square with a diagonal: 0-1, 1-2, 2-3, 3-0, plus 0-2
+        let mut g: Graph<(), ()> = Graph::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_undirected_edge(ns[0], ns[1], ()).unwrap();
+        g.add_undirected_edge(ns[1], ns[2], ()).unwrap();
+        g.add_undirected_edge(ns[2], ns[3], ()).unwrap();
+        g.add_undirected_edge(ns[3], ns[0], ()).unwrap();
+        g.add_undirected_edge(ns[0], ns[2], ()).unwrap();
+        let d = hop_distances(&g, ns[0]);
+        assert_eq!(d[2], Some(1)); // via diagonal, not 2 hops
+    }
+}

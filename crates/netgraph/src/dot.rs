@@ -1,0 +1,155 @@
+//! Graphviz DOT export.
+//!
+//! Regenerates the Fig. 3 / Fig. 4 style network-plus-mapping illustrations:
+//! the experiment harness renders the chosen path and module groups by
+//! styling nodes and edges through the label closures.
+
+use crate::{Edge, EdgeId, Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph`/`graph` header.
+    pub name: String,
+    /// When true, symmetric edge pairs (created by `add_undirected_edge`)
+    /// are collapsed into single undirected edges and the output is a
+    /// `graph` instead of a `digraph`.
+    pub collapse_symmetric: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "G".to_string(),
+            collapse_symmetric: true,
+        }
+    }
+}
+
+/// Renders `g` to DOT. `node_attrs`/`edge_attrs` return raw attribute lists
+/// (e.g. `label="node 3", shape=box`); return an empty string for defaults.
+pub fn to_dot<N, E>(
+    g: &Graph<N, E>,
+    opts: &DotOptions,
+    mut node_attrs: impl FnMut(NodeId, &N) -> String,
+    mut edge_attrs: impl FnMut(EdgeId, &Edge<E>) -> String,
+) -> String {
+    let mut out = String::new();
+    let (kind, arrow) = if opts.collapse_symmetric {
+        ("graph", "--")
+    } else {
+        ("digraph", "->")
+    };
+    writeln!(out, "{kind} {} {{", sanitize(&opts.name)).unwrap();
+    for (id, n) in g.nodes() {
+        let attrs = node_attrs(id, n);
+        if attrs.is_empty() {
+            writeln!(out, "  {id};").unwrap();
+        } else {
+            writeln!(out, "  {id} [{attrs}];").unwrap();
+        }
+    }
+    for (id, e) in g.edges() {
+        if opts.collapse_symmetric {
+            // keep only the canonical direction of each symmetric pair
+            if e.src > e.dst && g.has_edge(e.dst, e.src) {
+                continue;
+            }
+        }
+        let attrs = edge_attrs(id, e);
+        if attrs.is_empty() {
+            writeln!(out, "  {} {arrow} {};", e.src, e.dst).unwrap();
+        } else {
+            writeln!(out, "  {} {arrow} {} [{attrs}];", e.src, e.dst).unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "G".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn sample() -> Graph<&'static str, f64> {
+        let mut g = Graph::new();
+        let a = g.add_node("src");
+        let b = g.add_node("dst");
+        g.add_undirected_edge(a, b, 100.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn collapsed_output_is_an_undirected_graph() {
+        let g = sample();
+        let dot = to_dot(&g, &DotOptions::default(), |_, _| String::new(), |_, _| {
+            String::new()
+        });
+        assert!(dot.starts_with("graph G {"));
+        assert_eq!(dot.matches("0 -- 1").count(), 1);
+        assert!(!dot.contains("1 -- 0"));
+    }
+
+    #[test]
+    fn directed_output_keeps_both_directions() {
+        let g = sample();
+        let opts = DotOptions {
+            collapse_symmetric: false,
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&g, &opts, |_, _| String::new(), |_, _| String::new());
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("1 -> 0"));
+    }
+
+    #[test]
+    fn attribute_closures_are_rendered() {
+        let g = sample();
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |id, n| format!("label=\"{n} ({id})\""),
+            |_, e| format!("label=\"{} Mbps\"", e.payload),
+        );
+        assert!(dot.contains("label=\"src (0)\""));
+        assert!(dot.contains("label=\"100 Mbps\""));
+    }
+
+    #[test]
+    fn graph_name_is_sanitized() {
+        let g = sample();
+        let opts = DotOptions {
+            name: "fig 3: min-delay".into(),
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&g, &opts, |_, _| String::new(), |_, _| String::new());
+        assert!(dot.starts_with("graph fig_3__min_delay {"));
+    }
+
+    #[test]
+    fn one_way_edges_survive_collapsing() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(b, a, ()).unwrap(); // reverse-direction only
+        let dot = to_dot(&g, &DotOptions::default(), |_, _| String::new(), |_, _| {
+            String::new()
+        });
+        assert!(dot.contains("1 -- 0"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by graph construction and algorithms.
+
+use crate::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced by graph construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfBounds {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes actually present.
+        len: usize,
+    },
+    /// An edge id referenced an edge that does not exist.
+    EdgeOutOfBounds {
+        /// The offending id.
+        edge: EdgeId,
+        /// Number of edges actually present.
+        len: usize,
+    },
+    /// A self-loop was rejected (network links connect distinct nodes).
+    SelfLoop(NodeId),
+    /// A generator was asked for an impossible topology.
+    InvalidTopology(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, len } => {
+                write!(f, "node {node} out of bounds (graph has {len} nodes)")
+            }
+            GraphError::EdgeOutOfBounds { edge, len } => {
+                write!(f, "edge {edge} out of bounds (graph has {len} edges)")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::InvalidTopology(msg) => write!(f, "invalid topology request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_human_readable() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId(9),
+            len: 3,
+        };
+        assert_eq!(e.to_string(), "node 9 out of bounds (graph has 3 nodes)");
+        let e = GraphError::SelfLoop(NodeId(2));
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::InvalidTopology("links < nodes - 1".into());
+        assert!(e.to_string().contains("links < nodes - 1"));
+        let e = GraphError::EdgeOutOfBounds {
+            edge: EdgeId(4),
+            len: 2,
+        };
+        assert!(e.to_string().contains("edge 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Strongly-typed index newtypes for graph nodes and edges.
+//!
+//! Indices are `u32` internally (per the perf guide: smaller indices shrink
+//! hot structures; a network with more than 4 billion nodes is out of scope)
+//! and convert to `usize` at use sites.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (vertex) within a [`crate::Graph`].
+///
+/// Node ids are dense: the `i`-th added node has id `i`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge within a [`crate::Graph`].
+///
+/// Edge ids are dense in insertion order. For edges created by
+/// [`crate::Graph::add_undirected_edge`], the reverse direction is always
+/// `EdgeId(id ^ 1)`-adjacent (ids differ by one).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index into node-indexed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32 range"))
+    }
+}
+
+impl EdgeId {
+    /// The edge id as a `usize` index into edge-indexed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        for i in [0usize, 1, 7, 1024, u32::MAX as usize] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_round_trips_through_index() {
+        for i in [0usize, 1, 9, 4096] {
+            assert_eq!(EdgeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32 range")]
+    fn node_id_from_oversized_index_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn display_is_bare_number_for_interop_with_paper_tables() {
+        assert_eq!(NodeId(5).to_string(), "5");
+        assert_eq!(EdgeId(12).to_string(), "12");
+    }
+
+    #[test]
+    fn debug_is_prefixed_for_log_readability() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(8)), "e8");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let n: NodeId = serde_json::from_str(&serde_json::to_string(&NodeId(42)).unwrap()).unwrap();
+        assert_eq!(n, NodeId(42));
+        let e: EdgeId = serde_json::from_str(&serde_json::to_string(&EdgeId(7)).unwrap()).unwrap();
+        assert_eq!(e, EdgeId(7));
+    }
+}

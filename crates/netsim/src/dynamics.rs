@@ -1,0 +1,326 @@
+//! Time-varying resource availability.
+//!
+//! §5 of the paper: "a single constant is not always sufficient to describe
+//! the node computing capability, which … could be time varying in a dynamic
+//! environment". This module provides that dynamic environment for the
+//! adaptive-remapping extension (`elpc-extensions::adaptive`): each node's
+//! power and each link's bandwidth is the static base value multiplied by an
+//! availability factor drawn from a [`LoadModel`].
+//!
+//! Models are deterministic functions of time (plus a per-element seed for
+//! the stochastic one), so a `DynamicNetwork` snapshot at time `t` is
+//! reproducible — a requirement for the experiment harness.
+
+use crate::{Link, Network, Result};
+use serde::{Deserialize, Serialize};
+
+/// A time-varying availability multiplier in `(0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadModel {
+    /// Constant availability (1.0 = the static network).
+    Constant(f64),
+    /// Diurnal-style sinusoid: availability oscillates between
+    /// `1 - amplitude` and `1`, with the given period and phase (ms).
+    Sinusoid {
+        /// Oscillation period in ms (> 0).
+        period_ms: f64,
+        /// Peak-to-trough amplitude in `[0, 1)`.
+        amplitude: f64,
+        /// Phase offset in ms.
+        phase_ms: f64,
+    },
+    /// Piecewise-constant random availability: time is divided into epochs
+    /// of `epoch_ms`; each epoch's availability is drawn uniformly from
+    /// `[floor, 1]` with a hash of `(seed, epoch)` — deterministic, and
+    /// stable under snapshot replay.
+    RandomEpochs {
+        /// Epoch length in ms (> 0).
+        epoch_ms: f64,
+        /// Lower bound on availability, in `(0, 1]`.
+        floor: f64,
+        /// Per-element seed.
+        seed: u64,
+    },
+}
+
+impl LoadModel {
+    /// Availability factor at absolute time `t_ms`, guaranteed in `(0, 1]`
+    /// for valid model parameters.
+    pub fn factor(&self, t_ms: f64) -> f64 {
+        match *self {
+            LoadModel::Constant(a) => a.clamp(f64::MIN_POSITIVE, 1.0),
+            LoadModel::Sinusoid {
+                period_ms,
+                amplitude,
+                phase_ms,
+            } => {
+                let amp = amplitude.clamp(0.0, 1.0 - 1e-9);
+                let w = std::f64::consts::TAU * (t_ms + phase_ms) / period_ms.max(1e-9);
+                // oscillates in [1 - amp, 1]
+                1.0 - amp * 0.5 * (1.0 - w.cos())
+            }
+            LoadModel::RandomEpochs {
+                epoch_ms,
+                floor,
+                seed,
+            } => {
+                let epoch = (t_ms / epoch_ms.max(1e-9)).floor() as i64 as u64;
+                let f = floor.clamp(f64::MIN_POSITIVE, 1.0);
+                f + (1.0 - f) * unit_hash(seed, epoch)
+            }
+        }
+    }
+
+    /// Validates model parameters.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |msg: String| Err(crate::NetworkError::Invalid(msg));
+        match *self {
+            LoadModel::Constant(a) if !(a > 0.0 && a <= 1.0) => {
+                bad(format!("constant availability must be in (0,1], got {a}"))
+            }
+            LoadModel::Sinusoid {
+                period_ms,
+                amplitude,
+                ..
+            } if !(period_ms > 0.0) || !(0.0..1.0).contains(&amplitude) => bad(format!(
+                "sinusoid needs period > 0 and amplitude in [0,1), got period={period_ms} amplitude={amplitude}"
+            )),
+            LoadModel::RandomEpochs {
+                epoch_ms, floor, ..
+            } if !(epoch_ms > 0.0) || !(floor > 0.0 && floor <= 1.0) => bad(format!(
+                "random epochs need epoch > 0 and floor in (0,1], got epoch={epoch_ms} floor={floor}"
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Deterministic hash of `(seed, epoch)` mapped to `[0, 1)` —
+/// SplitMix64-style finalizer, good enough for load jitter.
+fn unit_hash(seed: u64, epoch: u64) -> f64 {
+    let mut z = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A static base network plus per-node and per-link load models.
+///
+/// `snapshot_at(t)` produces the effective [`Network`] at time `t`:
+/// `power_i(t) = power_i · node_factor_i(t)` and
+/// `bw_ij(t) = bw_ij · link_factor_ij(t)` (MLD is treated as load-invariant,
+/// being a propagation property).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicNetwork {
+    base: Network,
+    node_models: Vec<LoadModel>,
+    /// Indexed by *undirected link ordinal* (edge id / 2).
+    link_models: Vec<LoadModel>,
+}
+
+impl DynamicNetwork {
+    /// Wraps `base` with all-constant (fully available) models.
+    pub fn steady(base: Network) -> Self {
+        let nodes = base.node_count();
+        let links = base.link_count();
+        DynamicNetwork {
+            base,
+            node_models: vec![LoadModel::Constant(1.0); nodes],
+            link_models: vec![LoadModel::Constant(1.0); links],
+        }
+    }
+
+    /// Wraps `base` with explicit models; lengths must match the node and
+    /// undirected-link counts.
+    pub fn new(
+        base: Network,
+        node_models: Vec<LoadModel>,
+        link_models: Vec<LoadModel>,
+    ) -> Result<Self> {
+        if node_models.len() != base.node_count() {
+            return Err(crate::NetworkError::Invalid(format!(
+                "{} node models for {} nodes",
+                node_models.len(),
+                base.node_count()
+            )));
+        }
+        if link_models.len() != base.link_count() {
+            return Err(crate::NetworkError::Invalid(format!(
+                "{} link models for {} links",
+                link_models.len(),
+                base.link_count()
+            )));
+        }
+        for m in node_models.iter().chain(link_models.iter()) {
+            m.validate()?;
+        }
+        Ok(DynamicNetwork {
+            base,
+            node_models,
+            link_models,
+        })
+    }
+
+    /// The static base network.
+    pub fn base(&self) -> &Network {
+        &self.base
+    }
+
+    /// The effective network at time `t_ms`.
+    pub fn snapshot_at(&self, t_ms: f64) -> Network {
+        let mut net = self.base.clone();
+        for (i, model) in self.node_models.iter().enumerate() {
+            let id = elpc_netgraph::NodeId::from_index(i);
+            let f = model.factor(t_ms);
+            net.node_mut(id).expect("model count matches").power *= f;
+        }
+        // directed edges 2k and 2k+1 belong to undirected link k
+        for (k, model) in self.link_models.iter().enumerate() {
+            let f = model.factor(t_ms);
+            let base_link = self
+                .base
+                .link(elpc_netgraph::EdgeId((2 * k) as u32))
+                .expect("model count matches")
+                .clone();
+            let scaled = Link::new(base_link.bw_mbps * f, base_link.mld_ms);
+            net.set_link_symmetric(elpc_netgraph::EdgeId((2 * k) as u32), scaled)
+                .expect("edge ids valid");
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elpc_netgraph::{EdgeId, NodeId};
+
+    fn base() -> Network {
+        let mut b = Network::builder();
+        let a = b.add_node(100.0).unwrap();
+        let c = b.add_node(200.0).unwrap();
+        b.add_link(a, c, 1000.0, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn constant_model_is_time_invariant() {
+        let m = LoadModel::Constant(0.7);
+        assert_eq!(m.factor(0.0), 0.7);
+        assert_eq!(m.factor(1e9), 0.7);
+    }
+
+    #[test]
+    fn sinusoid_oscillates_within_bounds_and_peaks_at_phase_zero() {
+        let m = LoadModel::Sinusoid {
+            period_ms: 1000.0,
+            amplitude: 0.4,
+            phase_ms: 0.0,
+        };
+        assert!((m.factor(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.factor(500.0) - 0.6).abs() < 1e-12); // trough
+        for t in 0..50 {
+            let f = m.factor(t as f64 * 37.0);
+            assert!((0.6 - 1e-12..=1.0 + 1e-12).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_epochs_are_deterministic_and_bounded() {
+        let m = LoadModel::RandomEpochs {
+            epoch_ms: 100.0,
+            floor: 0.5,
+            seed: 99,
+        };
+        assert_eq!(m.factor(10.0), m.factor(99.0)); // same epoch
+        assert_eq!(m.factor(10.0), m.factor(10.0)); // replayable
+        let mut distinct = std::collections::BTreeSet::new();
+        for e in 0..50 {
+            let f = m.factor(e as f64 * 100.0 + 1.0);
+            assert!((0.5..=1.0).contains(&f));
+            distinct.insert((f * 1e9) as u64);
+        }
+        assert!(distinct.len() > 10, "epochs should vary");
+    }
+
+    #[test]
+    fn model_validation_rejects_nonsense() {
+        assert!(LoadModel::Constant(0.0).validate().is_err());
+        assert!(LoadModel::Constant(1.5).validate().is_err());
+        assert!(LoadModel::Sinusoid {
+            period_ms: 0.0,
+            amplitude: 0.2,
+            phase_ms: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(LoadModel::Sinusoid {
+            period_ms: 10.0,
+            amplitude: 1.0,
+            phase_ms: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(LoadModel::RandomEpochs {
+            epoch_ms: 10.0,
+            floor: 0.0,
+            seed: 1
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn steady_snapshot_equals_base() {
+        let dyn_net = DynamicNetwork::steady(base());
+        let snap = dyn_net.snapshot_at(12345.0);
+        assert_eq!(snap.power(NodeId(0)), 100.0);
+        assert_eq!(snap.link(EdgeId(0)).unwrap().bw_mbps, 1000.0);
+    }
+
+    #[test]
+    fn snapshot_scales_power_and_bandwidth_but_not_mld() {
+        let dyn_net = DynamicNetwork::new(
+            base(),
+            vec![LoadModel::Constant(0.5), LoadModel::Constant(1.0)],
+            vec![LoadModel::Constant(0.25)],
+        )
+        .unwrap();
+        let snap = dyn_net.snapshot_at(0.0);
+        assert_eq!(snap.power(NodeId(0)), 50.0);
+        assert_eq!(snap.power(NodeId(1)), 200.0);
+        let l = snap.link(EdgeId(0)).unwrap();
+        assert_eq!(l.bw_mbps, 250.0);
+        assert_eq!(l.mld_ms, 1.0); // MLD untouched
+        // both directions scaled
+        assert_eq!(snap.link(EdgeId(1)).unwrap().bw_mbps, 250.0);
+    }
+
+    #[test]
+    fn mismatched_model_counts_are_rejected() {
+        assert!(DynamicNetwork::new(base(), vec![], vec![LoadModel::Constant(1.0)]).is_err());
+        assert!(DynamicNetwork::new(
+            base(),
+            vec![LoadModel::Constant(1.0); 2],
+            vec![]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn snapshots_preserve_base_across_calls() {
+        let dyn_net = DynamicNetwork::new(
+            base(),
+            vec![LoadModel::Constant(0.5); 2],
+            vec![LoadModel::Constant(0.5)],
+        )
+        .unwrap();
+        let _ = dyn_net.snapshot_at(0.0);
+        let _ = dyn_net.snapshot_at(100.0);
+        // base unchanged: scaling never compounds
+        assert_eq!(dyn_net.base().power(NodeId(0)), 100.0);
+        let snap = dyn_net.snapshot_at(200.0);
+        assert_eq!(snap.power(NodeId(0)), 50.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for network model construction and parsing.
+
+use elpc_netgraph::{GraphError, NodeId};
+use std::fmt;
+
+/// Errors from building, validating, or parsing a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// Underlying graph error (bad endpoint, self-loop, …).
+    Graph(GraphError),
+    /// A node parameter was out of range (e.g. non-positive power).
+    BadNodeParameter {
+        /// Offending node.
+        node: NodeId,
+        /// Explanation.
+        reason: String,
+    },
+    /// A link parameter was out of range (e.g. negative bandwidth).
+    BadLinkParameter {
+        /// Link endpoints as given.
+        endpoints: (NodeId, NodeId),
+        /// Explanation.
+        reason: String,
+    },
+    /// Text-format parse failure with 1-based line number.
+    Parse {
+        /// Line where the failure occurred.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The network failed a structural validation check.
+    Invalid(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Graph(e) => write!(f, "graph error: {e}"),
+            NetworkError::BadNodeParameter { node, reason } => {
+                write!(f, "bad parameter for node {node}: {reason}")
+            }
+            NetworkError::BadLinkParameter { endpoints, reason } => {
+                write!(
+                    f,
+                    "bad parameter for link {}-{}: {reason}",
+                    endpoints.0, endpoints.1
+                )
+            }
+            NetworkError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            NetworkError::Invalid(msg) => write!(f, "invalid network: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for NetworkError {
+    fn from(e: GraphError) -> Self {
+        NetworkError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_errors_convert_and_chain() {
+        let ge = GraphError::SelfLoop(NodeId(3));
+        let ne: NetworkError = ge.clone().into();
+        assert!(ne.to_string().contains("self-loop"));
+        use std::error::Error;
+        assert!(ne.source().is_some());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = NetworkError::Parse {
+            line: 12,
+            reason: "expected 4 fields".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 12: expected 4 fields");
+    }
+
+    #[test]
+    fn parameter_errors_name_the_culprit() {
+        let e = NetworkError::BadNodeParameter {
+            node: NodeId(5),
+            reason: "power must be positive".into(),
+        };
+        assert!(e.to_string().contains("node 5"));
+        let e = NetworkError::BadLinkParameter {
+            endpoints: (NodeId(1), NodeId(2)),
+            reason: "bandwidth must be positive".into(),
+        };
+        assert!(e.to_string().contains("link 1-2"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Plain-text network description format.
+//!
+//! §4.1 of the paper describes networks by node and link parameter tables
+//! (`NodeID, NodeIP, ProcessingPower`; `startNodeID, endNodeID, LinkID,
+//! LinkBWInMbps, LinkDelayInMilliseconds`). This module reads and writes an
+//! equivalent line-based format so experiment inputs can be versioned as
+//! text:
+//!
+//! ```text
+//! # comment
+//! node <NodeID> <ProcessingPower> [NodeIP]
+//! link <startNodeID> <endNodeID> <LinkBWInMbps> <LinkDelayInMilliseconds>
+//! ```
+//!
+//! `NodeID`s must be dense and in order (0, 1, 2, …), matching the graph's
+//! dense ids. `LinkID` is implicit (insertion order), as in the graph.
+
+use crate::{Network, NetworkError, Result};
+use elpc_netgraph::NodeId;
+use std::fmt::Write as _;
+
+/// Serializes a network to the text format.
+pub fn to_text(net: &Network) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# elpc network: {} nodes, {} links",
+        net.node_count(),
+        net.link_count()
+    )
+    .unwrap();
+    for (id, n) in net.graph().nodes() {
+        match &n.ip {
+            Some(ip) => writeln!(out, "node {} {} {}", id, n.power, ip).unwrap(),
+            None => writeln!(out, "node {} {}", id, n.power).unwrap(),
+        }
+    }
+    for (_, e) in net.graph().edges() {
+        // emit each undirected link once, in canonical (lo < hi) direction
+        if e.src < e.dst {
+            writeln!(
+                out,
+                "link {} {} {} {}",
+                e.src, e.dst, e.payload.bw_mbps, e.payload.mld_ms
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Parses the text format into a [`Network`].
+///
+/// Unknown directives, out-of-order node ids, and malformed numbers are
+/// reported with 1-based line numbers.
+pub fn from_text(text: &str) -> Result<Network> {
+    let mut b = Network::builder();
+    let mut next_node = 0u32;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().expect("non-empty line has a first token");
+        match directive {
+            "node" => {
+                let id: u32 = parse_field(parts.next(), "NodeID", lineno)?;
+                if id != next_node {
+                    return Err(NetworkError::Parse {
+                        line: lineno,
+                        reason: format!("expected NodeID {next_node}, got {id} (ids must be dense and ordered)"),
+                    });
+                }
+                let power: f64 = parse_field(parts.next(), "ProcessingPower", lineno)?;
+                let ip = parts.next().map(str::to_string);
+                if let Some(extra) = parts.next() {
+                    return Err(NetworkError::Parse {
+                        line: lineno,
+                        reason: format!("unexpected trailing field '{extra}'"),
+                    });
+                }
+                b.push_node(crate::Node {
+                    power,
+                    ip,
+                    name: None,
+                })?;
+                next_node += 1;
+            }
+            "link" => {
+                let a: u32 = parse_field(parts.next(), "startNodeID", lineno)?;
+                let c: u32 = parse_field(parts.next(), "endNodeID", lineno)?;
+                let bw: f64 = parse_field(parts.next(), "LinkBWInMbps", lineno)?;
+                let mld: f64 = parse_field(parts.next(), "LinkDelayInMilliseconds", lineno)?;
+                if let Some(extra) = parts.next() {
+                    return Err(NetworkError::Parse {
+                        line: lineno,
+                        reason: format!("unexpected trailing field '{extra}'"),
+                    });
+                }
+                b.add_link(NodeId(a), NodeId(c), bw, mld)?;
+            }
+            other => {
+                return Err(NetworkError::Parse {
+                    line: lineno,
+                    reason: format!("unknown directive '{other}' (expected 'node' or 'link')"),
+                });
+            }
+        }
+    }
+    b.build()
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    name: &str,
+    line: usize,
+) -> Result<T> {
+    let s = field.ok_or_else(|| NetworkError::Parse {
+        line,
+        reason: format!("missing field {name}"),
+    })?;
+    s.parse().map_err(|_| NetworkError::Parse {
+        line,
+        reason: format!("cannot parse {name} from '{s}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Network;
+
+    fn sample() -> Network {
+        let mut b = Network::builder();
+        let n0 = b
+            .push_node(crate::Node {
+                power: 5000.0,
+                ip: Some("10.0.0.1".into()),
+                name: None,
+            })
+            .unwrap();
+        let n1 = b.add_node(2500.0).unwrap();
+        let n2 = b.add_node(8000.0).unwrap();
+        b.add_link(n0, n1, 100.0, 0.5).unwrap();
+        b.add_link(n1, n2, 622.0, 2.0).unwrap();
+        b.add_link(n0, n2, 45.0, 10.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let net = sample();
+        let text = to_text(&net);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.node_count(), 3);
+        assert_eq!(back.link_count(), 3);
+        assert_eq!(back.power(NodeId(0)), 5000.0);
+        assert_eq!(back.node(NodeId(0)).unwrap().ip.as_deref(), Some("10.0.0.1"));
+        assert_eq!(back.link(elpc_netgraph::EdgeId(2)).unwrap().bw_mbps, 622.0);
+        assert_eq!(back.link(elpc_netgraph::EdgeId(4)).unwrap().mld_ms, 10.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\n# header\nnode 0 10\n\nnode 1 20\n# middle\nlink 0 1 100 1\n";
+        let net = from_text(text).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.link_count(), 1);
+    }
+
+    #[test]
+    fn out_of_order_node_ids_are_rejected() {
+        let err = from_text("node 1 10\n").unwrap_err();
+        assert!(matches!(err, NetworkError::Parse { line: 1, .. }));
+        let err = from_text("node 0 10\nnode 0 20\n").unwrap_err();
+        assert!(matches!(err, NetworkError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn malformed_numbers_report_the_line() {
+        let err = from_text("node 0 ten\n").unwrap_err();
+        match err {
+            NetworkError::Parse { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("ProcessingPower"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_directives_are_rejected() {
+        let err = from_text("router 0 10\n").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn trailing_fields_are_rejected() {
+        assert!(from_text("node 0 10 1.2.3.4 extra\n").is_err());
+        assert!(from_text("node 0 1\nnode 1 1\nlink 0 1 10 1 extra\n").is_err());
+    }
+
+    #[test]
+    fn links_referencing_unknown_nodes_fail() {
+        let err = from_text("node 0 1\nlink 0 5 10 1\n").unwrap_err();
+        assert!(matches!(err, NetworkError::Graph(_)));
+    }
+
+    #[test]
+    fn disconnected_files_fail_validation() {
+        let err = from_text("node 0 1\nnode 1 1\n").unwrap_err();
+        assert!(matches!(err, NetworkError::Invalid(_)));
+    }
+}

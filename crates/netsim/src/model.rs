@@ -1,0 +1,468 @@
+//! Node / link / network model (§2.2 of the paper).
+
+use crate::units::{compute_ms, serialization_ms};
+use crate::{NetworkError, Result};
+use elpc_netgraph::{algo, EdgeId, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A computing node: the paper's `NodeID` is the graph id; `ProcessingPower`
+/// is the normalized scalar `p` of §2.2 ("a complex notion that combines …
+/// processor frequency, bus speed, memory size, storage performance").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Normalized processing power `p` (complexity·bytes per ms). Must be
+    /// positive for a compute-capable node.
+    pub power: f64,
+    /// Optional `NodeIP` (the paper carries one per node; purely
+    /// informational here).
+    pub ip: Option<String>,
+    /// Optional human-readable name for reports and DOT output.
+    pub name: Option<String>,
+}
+
+impl Node {
+    /// A node with power `p` and no metadata.
+    pub fn with_power(power: f64) -> Self {
+        Node {
+            power,
+            ip: None,
+            name: None,
+        }
+    }
+}
+
+/// A communication link: the paper's `LinkBWInMbps` (bandwidth `b`) and
+/// `LinkDelayInMilliseconds` (minimum link delay `d`). `LinkID` is the graph
+/// edge id; `startNodeID`/`endNodeID` are the edge endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Bandwidth in Mbit/s.
+    pub bw_mbps: f64,
+    /// Minimum link delay (MLD) in milliseconds.
+    pub mld_ms: f64,
+}
+
+impl Link {
+    /// A link with the given bandwidth and MLD.
+    pub fn new(bw_mbps: f64, mld_ms: f64) -> Self {
+        Link { bw_mbps, mld_ms }
+    }
+
+    /// Full transport time `m/b + d` of §2.2, in ms, for `bytes` of data.
+    #[inline]
+    pub fn transfer_time_ms(&self, bytes: f64) -> f64 {
+        serialization_ms(bytes, self.bw_mbps) + self.mld_ms
+    }
+
+    /// Transport time without the MLD term — what Eq. 1/3/4 literally use
+    /// (see DESIGN.md erratum 1). Exposed so the cost model can toggle.
+    #[inline]
+    pub fn serialization_time_ms(&self, bytes: f64) -> f64 {
+        serialization_ms(bytes, self.bw_mbps)
+    }
+}
+
+/// The transport network `G = (V, E)`: a wrapper around
+/// [`elpc_netgraph::Graph`] with node powers and link parameters, plus the
+/// primitive cost queries every mapping algorithm uses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    graph: Graph<Node, Link>,
+    /// Number of undirected links (each stored as two directed edges).
+    links: usize,
+}
+
+impl Network {
+    /// Starts an empty builder.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// Materializes a network from a topology skeleton, asking the closures
+    /// for each node's and link's parameters.
+    pub fn from_topology(
+        topo: &elpc_netgraph::gen::Topology,
+        mut node_fn: impl FnMut(usize) -> Node,
+        mut link_fn: impl FnMut(u32, u32) -> Link,
+    ) -> Result<Network> {
+        let mut b = Network::builder();
+        for i in 0..topo.node_count() {
+            b.push_node(node_fn(i))?;
+        }
+        for &(x, y) in topo.links() {
+            b.add_link_payload(NodeId(x), NodeId(y), link_fn(x, y))?;
+        }
+        b.build()
+    }
+
+    /// The underlying graph (read-only).
+    pub fn graph(&self) -> &Graph<Node, Link> {
+        &self.graph
+    }
+
+    /// Number of computing nodes `k`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of undirected links `l` (the paper's "number of links").
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// Processing power of `node`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-bounds id — mapping algorithms only hold valid
+    /// ids by construction.
+    #[inline]
+    pub fn power(&self, node: NodeId) -> f64 {
+        self.graph.node(node).expect("valid node id").power
+    }
+
+    /// The node payload.
+    pub fn node(&self, node: NodeId) -> Result<&Node> {
+        Ok(self.graph.node(node)?)
+    }
+
+    /// The link payload of a directed edge.
+    pub fn link(&self, edge: EdgeId) -> Result<&Link> {
+        Ok(&self.graph.edge(edge)?.payload)
+    }
+
+    /// Compute time of a module (complexity `c`, input `bytes`) on `node`:
+    /// `c·m/p` (§2.2).
+    #[inline]
+    pub fn compute_time_ms(&self, node: NodeId, complexity: f64, bytes: f64) -> f64 {
+        compute_ms(complexity, bytes, self.power(node))
+    }
+
+    /// Transfer time of `bytes` over the directed edge `edge`, including MLD.
+    #[inline]
+    pub fn transfer_time_ms(&self, edge: EdgeId, bytes: f64) -> f64 {
+        self.graph
+            .edge(edge)
+            .expect("valid edge id")
+            .payload
+            .transfer_time_ms(bytes)
+    }
+
+    /// The fastest directed edge from `a` to `b` for a message of `bytes`
+    /// (relevant with parallel links), or `None` when not adjacent.
+    pub fn best_edge(&self, a: NodeId, b: NodeId, bytes: f64) -> Option<(EdgeId, f64)> {
+        self.graph
+            .neighbors(a)
+            .filter(|nb| nb.node == b)
+            .map(|nb| (nb.edge, self.transfer_time_ms(nb.edge, bytes)))
+            .min_by(|x, y| x.1.partial_cmp(&y.1).expect("times are not NaN"))
+    }
+
+    /// All out-neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = elpc_netgraph::Neighbor> + '_ {
+        self.graph.neighbors(node)
+    }
+
+    /// Iterates over node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
+        self.graph.node_ids()
+    }
+
+    /// True when every node can reach every other (required for mapping).
+    pub fn is_connected(&self) -> bool {
+        algo::is_connected(&self.graph)
+    }
+
+    /// Structural validation: positive powers, positive bandwidths,
+    /// non-negative MLDs, non-empty, connected.
+    pub fn validate(&self) -> Result<()> {
+        if self.graph.is_empty() {
+            return Err(NetworkError::Invalid("network has no nodes".into()));
+        }
+        for (id, n) in self.graph.nodes() {
+            if !(n.power > 0.0) || !n.power.is_finite() {
+                return Err(NetworkError::BadNodeParameter {
+                    node: id,
+                    reason: format!("power must be positive and finite, got {}", n.power),
+                });
+            }
+        }
+        for (_, e) in self.graph.edges() {
+            if !(e.payload.bw_mbps > 0.0) || !e.payload.bw_mbps.is_finite() {
+                return Err(NetworkError::BadLinkParameter {
+                    endpoints: (e.src, e.dst),
+                    reason: format!("bandwidth must be positive and finite, got {}", e.payload.bw_mbps),
+                });
+            }
+            if !(e.payload.mld_ms >= 0.0) || !e.payload.mld_ms.is_finite() {
+                return Err(NetworkError::BadLinkParameter {
+                    endpoints: (e.src, e.dst),
+                    reason: format!("MLD must be non-negative and finite, got {}", e.payload.mld_ms),
+                });
+            }
+        }
+        if !self.is_connected() {
+            return Err(NetworkError::Invalid("network is not connected".into()));
+        }
+        Ok(())
+    }
+
+    /// Mutable access to a link payload (both directions must be updated
+    /// separately; [`Network::set_link_symmetric`] does both).
+    pub fn link_mut(&mut self, edge: EdgeId) -> Result<&mut Link> {
+        Ok(self.graph.edge_payload_mut(edge)?)
+    }
+
+    /// Updates the payload of `edge` *and* its symmetric twin (the edge
+    /// created together with it by the undirected builder).
+    pub fn set_link_symmetric(&mut self, edge: EdgeId, link: Link) -> Result<()> {
+        let (src, dst) = {
+            let e = self.graph.edge(edge)?;
+            (e.src, e.dst)
+        };
+        *self.graph.edge_payload_mut(edge)? = link.clone();
+        // the twin is the consecutive id (see netgraph invariant); fall back
+        // to a scan when the network was hand-assembled asymmetrically
+        let twin_guess = EdgeId(edge.0 ^ 1);
+        if let Ok(t) = self.graph.edge(twin_guess) {
+            if t.src == dst && t.dst == src {
+                *self.graph.edge_payload_mut(twin_guess)? = link;
+                return Ok(());
+            }
+        }
+        if let Some(t) = self.graph.find_edge(dst, src) {
+            *self.graph.edge_payload_mut(t)? = link;
+        }
+        Ok(())
+    }
+
+    /// Mutable node payload access (used by the dynamics models).
+    pub fn node_mut(&mut self, node: NodeId) -> Result<&mut Node> {
+        Ok(self.graph.node_mut(node)?)
+    }
+}
+
+/// Incremental builder for [`Network`], with parameter validation at each
+/// step.
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    graph: Graph<Node, Link>,
+    links: usize,
+}
+
+impl NetworkBuilder {
+    /// Adds a node with power `p`.
+    pub fn add_node(&mut self, power: f64) -> Result<NodeId> {
+        self.push_node(Node::with_power(power))
+    }
+
+    /// Adds a fully-specified node.
+    pub fn push_node(&mut self, node: Node) -> Result<NodeId> {
+        if !(node.power > 0.0) || !node.power.is_finite() {
+            return Err(NetworkError::BadNodeParameter {
+                node: NodeId::from_index(self.graph.node_count()),
+                reason: format!("power must be positive and finite, got {}", node.power),
+            });
+        }
+        Ok(self.graph.add_node(node))
+    }
+
+    /// Adds an undirected link with bandwidth `bw_mbps` and delay `mld_ms`.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bw_mbps: f64,
+        mld_ms: f64,
+    ) -> Result<(EdgeId, EdgeId)> {
+        self.add_link_payload(a, b, Link::new(bw_mbps, mld_ms))
+    }
+
+    /// Adds an undirected link from a payload.
+    pub fn add_link_payload(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        link: Link,
+    ) -> Result<(EdgeId, EdgeId)> {
+        if !(link.bw_mbps > 0.0) || !link.bw_mbps.is_finite() {
+            return Err(NetworkError::BadLinkParameter {
+                endpoints: (a, b),
+                reason: format!("bandwidth must be positive and finite, got {}", link.bw_mbps),
+            });
+        }
+        if !(link.mld_ms >= 0.0) || !link.mld_ms.is_finite() {
+            return Err(NetworkError::BadLinkParameter {
+                endpoints: (a, b),
+                reason: format!("MLD must be non-negative and finite, got {}", link.mld_ms),
+            });
+        }
+        let ids = self.graph.add_undirected_edge(a, b, link)?;
+        self.links += 1;
+        Ok(ids)
+    }
+
+    /// Finalizes and validates the network.
+    pub fn build(self) -> Result<Network> {
+        let net = Network {
+            graph: self.graph,
+            links: self.links,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Finalizes without the connectivity check (used by tests that study
+    /// infeasible mappings on disconnected networks).
+    pub fn build_unchecked(self) -> Network {
+        Network {
+            graph: self.graph,
+            links: self.links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3-node chain: 0 -(100 Mbps, 1ms)- 1 -(10 Mbps, 5ms)- 2
+    fn chain() -> Network {
+        let mut b = Network::builder();
+        let n0 = b.add_node(1000.0).unwrap();
+        let n1 = b.add_node(500.0).unwrap();
+        let n2 = b.add_node(2000.0).unwrap();
+        b.add_link(n0, n1, 100.0, 1.0).unwrap();
+        b.add_link(n1, n2, 10.0, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_counts() {
+        let net = chain();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.link_count(), 2);
+        assert_eq!(net.graph().edge_count(), 4);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn transfer_time_includes_mld() {
+        let net = chain();
+        // edge 0: 100 Mbps, 1 ms MLD; 1 MB = 80 ms serialization
+        let t = net.transfer_time_ms(EdgeId(0), 1_000_000.0);
+        assert!((t - 81.0).abs() < 1e-9, "got {t}");
+        // zero-byte message still pays the MLD
+        assert!((net.transfer_time_ms(EdgeId(0), 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_time_uses_node_power() {
+        let net = chain();
+        // node 1: power 500 → complexity 2 on 1000 bytes = 4 ms
+        let t = net.compute_time_ms(NodeId(1), 2.0, 1000.0);
+        assert!((t - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_edge_picks_fastest_parallel_link() {
+        let mut b = Network::builder();
+        let a = b.add_node(1.0).unwrap();
+        let c = b.add_node(1.0).unwrap();
+        b.add_link(a, c, 10.0, 0.0).unwrap();
+        b.add_link(a, c, 1000.0, 0.0).unwrap(); // much faster
+        let net = b.build().unwrap();
+        let (_, t) = net.best_edge(a, c, 1_000_000.0).unwrap();
+        assert!((t - 8.0).abs() < 1e-9); // 1 MB over 1000 Mbps = 8 ms
+        assert_eq!(net.best_edge(c, NodeId(0), 1.0).map(|x| x.1 > 0.0), Some(true));
+        assert!(net.best_edge(a, NodeId(7), 1.0).is_none());
+    }
+
+    #[test]
+    fn builder_rejects_bad_parameters() {
+        let mut b = Network::builder();
+        assert!(b.add_node(0.0).is_err());
+        assert!(b.add_node(f64::NAN).is_err());
+        let a = b.add_node(1.0).unwrap();
+        let c = b.add_node(1.0).unwrap();
+        assert!(b.add_link(a, c, 0.0, 1.0).is_err());
+        assert!(b.add_link(a, c, -3.0, 1.0).is_err());
+        assert!(b.add_link(a, c, 10.0, -1.0).is_err());
+        assert!(b.add_link(a, c, 10.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn build_rejects_disconnected_networks() {
+        let mut b = Network::builder();
+        b.add_node(1.0).unwrap();
+        b.add_node(1.0).unwrap();
+        assert!(matches!(b.build(), Err(NetworkError::Invalid(_))));
+    }
+
+    #[test]
+    fn build_unchecked_allows_disconnected_for_feasibility_studies() {
+        let mut b = Network::builder();
+        b.add_node(1.0).unwrap();
+        b.add_node(1.0).unwrap();
+        let net = b.build_unchecked();
+        assert!(!net.is_connected());
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn empty_network_is_invalid() {
+        let b = Network::builder();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn set_link_symmetric_updates_both_directions() {
+        let mut net = chain();
+        net.set_link_symmetric(EdgeId(0), Link::new(50.0, 2.0)).unwrap();
+        assert_eq!(net.link(EdgeId(0)).unwrap().bw_mbps, 50.0);
+        assert_eq!(net.link(EdgeId(1)).unwrap().bw_mbps, 50.0);
+        // the other link is untouched
+        assert_eq!(net.link(EdgeId(2)).unwrap().bw_mbps, 10.0);
+    }
+
+    #[test]
+    fn from_topology_assigns_parameters_per_element() {
+        let topo = elpc_netgraph::gen::ring(4).unwrap();
+        let net = Network::from_topology(
+            &topo,
+            |i| Node::with_power(100.0 * (i + 1) as f64),
+            |a, b| Link::new((a + b + 1) as f64, 0.1),
+        )
+        .unwrap();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.link_count(), 4);
+        assert_eq!(net.power(NodeId(2)), 300.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = chain();
+        let json = serde_json::to_string(&net).unwrap();
+        let net2: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(net2.node_count(), 3);
+        assert_eq!(net2.link_count(), 2);
+        assert_eq!(net2.power(NodeId(0)), 1000.0);
+        assert!(net2.validate().is_ok());
+    }
+
+    #[test]
+    fn node_metadata_is_preserved() {
+        let mut b = Network::builder();
+        b.push_node(Node {
+            power: 10.0,
+            ip: Some("192.168.0.1".into()),
+            name: Some("source".into()),
+        })
+        .unwrap();
+        b.push_node(Node::with_power(5.0)).unwrap();
+        b.add_link(NodeId(0), NodeId(1), 10.0, 0.0).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.node(NodeId(0)).unwrap().ip.as_deref(), Some("192.168.0.1"));
+        assert_eq!(net.node(NodeId(0)).unwrap().name.as_deref(), Some("source"));
+        assert_eq!(net.node(NodeId(1)).unwrap().ip, None);
+    }
+}

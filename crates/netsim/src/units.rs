@@ -1,0 +1,111 @@
+//! Unit conversions shared by the whole stack.
+//!
+//! The paper mixes bytes (module data sizes), Mbit/s (link bandwidth) and
+//! milliseconds (delays, reported results). All conversions live here so no
+//! other module hand-rolls an `8/1000` factor.
+
+/// Bits per byte.
+pub const BITS_PER_BYTE: f64 = 8.0;
+
+/// Bits per megabit.
+pub const BITS_PER_MEGABIT: f64 = 1_000_000.0;
+
+/// Milliseconds per second.
+pub const MS_PER_S: f64 = 1_000.0;
+
+/// Serialization time (ms) for `bytes` over a `bw_mbps` link — the `m/b`
+/// term of §2.2, *without* the minimum link delay.
+///
+/// Returns `f64::INFINITY` for non-positive bandwidth (a down link).
+#[inline]
+pub fn serialization_ms(bytes: f64, bw_mbps: f64) -> f64 {
+    if bw_mbps <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes * BITS_PER_BYTE / (bw_mbps * BITS_PER_MEGABIT) * MS_PER_S
+}
+
+/// Inverse of [`serialization_ms`]: the bandwidth (Mbit/s) that moves
+/// `bytes` in `ms` milliseconds.
+#[inline]
+pub fn bandwidth_mbps(bytes: f64, ms: f64) -> f64 {
+    if ms <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes * BITS_PER_BYTE / BITS_PER_MEGABIT / (ms / MS_PER_S)
+}
+
+/// Compute time (ms) for a module of complexity `c` over `in_bytes` of input
+/// on a node of power `p` — the `c·m/p` term of §2.2.
+///
+/// Power is "complexity·bytes per millisecond"; non-positive power means the
+/// node cannot compute (infinite time).
+#[inline]
+pub fn compute_ms(complexity: f64, in_bytes: f64, power: f64) -> f64 {
+    if power <= 0.0 {
+        return f64::INFINITY;
+    }
+    complexity * in_bytes / power
+}
+
+/// Frames per second achieved when the pipeline bottleneck stage takes
+/// `bottleneck_ms` (Eq. 2's reciprocal, converted from ms).
+#[inline]
+pub fn frame_rate_fps(bottleneck_ms: f64) -> f64 {
+    if bottleneck_ms <= 0.0 {
+        return f64::INFINITY;
+    }
+    MS_PER_S / bottleneck_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_megabyte_over_100mbps_takes_80ms() {
+        // 1 MB = 8 Mbit; 8 Mbit / 100 Mbit/s = 0.08 s = 80 ms
+        let t = serialization_ms(1_000_000.0, 100.0);
+        assert!((t - 80.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn serialization_and_bandwidth_are_inverses() {
+        for (bytes, bw) in [(1500.0, 10.0), (1e6, 622.0), (5e7, 1000.0)] {
+            let ms = serialization_ms(bytes, bw);
+            let back = bandwidth_mbps(bytes, ms);
+            assert!((back - bw).abs() / bw < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_bandwidth_means_infinite_time() {
+        assert!(serialization_ms(100.0, 0.0).is_infinite());
+        assert!(serialization_ms(100.0, -5.0).is_infinite());
+    }
+
+    #[test]
+    fn compute_time_scales_linearly_in_complexity_and_size() {
+        let base = compute_ms(1.0, 1000.0, 10.0);
+        assert!((compute_ms(2.0, 1000.0, 10.0) - 2.0 * base).abs() < 1e-12);
+        assert!((compute_ms(1.0, 2000.0, 10.0) - 2.0 * base).abs() < 1e-12);
+        assert!((compute_ms(1.0, 1000.0, 20.0) - base / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powerless_node_takes_forever() {
+        assert!(compute_ms(1.0, 1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn frame_rate_is_reciprocal_of_bottleneck() {
+        assert!((frame_rate_fps(100.0) - 10.0).abs() < 1e-12);
+        assert!((frame_rate_fps(25.0) - 40.0).abs() < 1e-12);
+        assert!(frame_rate_fps(0.0).is_infinite());
+    }
+
+    #[test]
+    fn zero_bytes_transfer_in_zero_serialization_time() {
+        assert_eq!(serialization_ms(0.0, 100.0), 0.0);
+    }
+}

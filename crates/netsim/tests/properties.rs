@@ -1,0 +1,114 @@
+//! Property-based tests for the network model, measurement, and dynamics.
+
+use elpc_netsim::dynamics::LoadModel;
+use elpc_netsim::measure::{estimate_link, fit_link, ProbePlan, ProbeSample};
+use elpc_netsim::{format, Link, Network, Node};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfer time is monotone in bytes and anti-monotone in bandwidth.
+    #[test]
+    fn transfer_time_monotonicity(
+        bytes in 1.0_f64..1e9,
+        bw in 0.1_f64..1e4,
+        mld in 0.0_f64..100.0,
+    ) {
+        let link = Link::new(bw, mld);
+        let t = link.transfer_time_ms(bytes);
+        prop_assert!(t >= mld);
+        prop_assert!(link.transfer_time_ms(bytes * 2.0) > t);
+        let faster = Link::new(bw * 2.0, mld);
+        prop_assert!(faster.transfer_time_ms(bytes) < t);
+    }
+
+    /// Noiseless probes always recover link parameters exactly, for any
+    /// parameter combination.
+    #[test]
+    fn regression_is_exact_without_noise(
+        bw in 0.5_f64..5e3,
+        mld in 0.0_f64..500.0,
+        seed in any::<u64>(),
+    ) {
+        let link = Link::new(bw, mld);
+        let plan = ProbePlan { noise_frac: 0.0, ..ProbePlan::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let est = estimate_link(&link, &plan, &mut rng).unwrap();
+        prop_assert!((est.bw_mbps - bw).abs() / bw < 1e-9);
+        prop_assert!((est.mld_ms - mld).abs() < 1e-6);
+    }
+
+    /// The fitted line always passes through the sample centroid
+    /// (an OLS identity), whatever the samples.
+    #[test]
+    fn ols_passes_through_centroid(samples in prop::collection::vec((1.0_f64..1e7, 0.1_f64..1e5), 3..20)) {
+        let pts: Vec<ProbeSample> = samples
+            .iter()
+            .map(|&(bytes, time_ms)| ProbeSample { bytes, time_ms })
+            .collect();
+        if let Ok(est) = fit_link(&pts) {
+            let mean_x = pts.iter().map(|s| s.bytes).sum::<f64>() / pts.len() as f64;
+            let mean_y = pts.iter().map(|s| s.time_ms).sum::<f64>() / pts.len() as f64;
+            // slope in ms/byte from the returned bandwidth
+            let slope = 8.0 / 1e6 / (est.bw_mbps / 1e3);
+            let predicted = slope * mean_x + est.mld_ms;
+            prop_assert!((predicted - mean_y).abs() <= 1e-6 * mean_y.abs().max(1.0));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&est.r_squared));
+        }
+    }
+
+    /// All load models stay within (0, 1] at all times.
+    #[test]
+    fn load_models_stay_in_unit_interval(
+        t in 0.0_f64..1e8,
+        period in 1.0_f64..1e6,
+        amplitude in 0.0_f64..0.99,
+        floor in 0.01_f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        for model in [
+            LoadModel::Constant(floor),
+            LoadModel::Sinusoid { period_ms: period, amplitude, phase_ms: t / 3.0 },
+            LoadModel::RandomEpochs { epoch_ms: period, floor, seed },
+        ] {
+            let f = model.factor(t);
+            prop_assert!(f > 0.0 && f <= 1.0 + 1e-12, "{model:?} at {t} gave {f}");
+        }
+    }
+
+    /// The text format round-trips arbitrary valid networks.
+    #[test]
+    fn text_format_round_trips(
+        n in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let links = (n - 1 + (seed as usize % n)).min(n * (n - 1) / 2);
+        let topo = elpc_netgraph::gen::random_connected(n, links, &mut rng).unwrap();
+        use rand::Rng as _;
+        let powers: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1e4)).collect();
+        let mut lr = ChaCha8Rng::seed_from_u64(!seed);
+        let net = Network::from_topology(
+            &topo,
+            |i| Node { power: powers[i], ip: Some(format!("10.0.0.{i}")), name: None },
+            |_, _| Link::new(lr.gen_range(0.5..2e3), lr.gen_range(0.0..50.0)),
+        ).unwrap();
+        let text = format::to_text(&net);
+        let back = format::from_text(&text).unwrap();
+        prop_assert_eq!(net.node_count(), back.node_count());
+        prop_assert_eq!(net.link_count(), back.link_count());
+        for v in net.node_ids() {
+            prop_assert_eq!(net.power(v), back.power(v));
+            prop_assert_eq!(&net.node(v).unwrap().ip, &back.node(v).unwrap().ip);
+        }
+        for (id, e) in net.graph().edges() {
+            let b = back.graph().edge(id).unwrap();
+            prop_assert_eq!(e.src, b.src);
+            prop_assert_eq!(e.payload.bw_mbps, b.payload.bw_mbps);
+            prop_assert_eq!(e.payload.mld_ms, b.payload.mld_ms);
+        }
+    }
+}

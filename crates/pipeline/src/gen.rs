@@ -1,0 +1,202 @@
+//! Seeded random pipeline generation (§4.1).
+//!
+//! The paper generates simulation datasets "by randomly varying … the number
+//! of modules, module complexities, input data sizes, and output data sizes
+//! in a pipeline … within a suitably selected range of values". [`PipelineSpec`]
+//! captures those ranges; [`PipelineSpec::generate`] draws a valid
+//! [`Pipeline`] from them.
+
+use crate::{Module, Pipeline, PipelineError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Ranges from which pipeline parameters are drawn.
+///
+/// Data sizes evolve multiplicatively: each stage's output is its input
+/// times a factor drawn from `size_factor`. Factors below 1 model reducing
+/// stages (filtering, feature extraction); above 1, expanding stages
+/// (rendering raw geometry). This matches how real visualization pipelines
+/// shrink and grow data rather than drawing sizes independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Number of modules including source and sink (must be ≥ 2).
+    pub modules: usize,
+    /// Complexity range for intermediate and sink modules.
+    pub complexity: Range<f64>,
+    /// Source dataset size range in bytes.
+    pub source_bytes: Range<f64>,
+    /// Per-stage output/input size factor range.
+    pub size_factor: Range<f64>,
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        // Defaults give visualization-like pipelines: megabyte datasets,
+        // mostly reducing stages.
+        PipelineSpec {
+            modules: 5,
+            complexity: 0.5..5.0,
+            source_bytes: 1e5..1e7,
+            size_factor: 0.2..1.5,
+        }
+    }
+}
+
+impl PipelineSpec {
+    /// Draws a pipeline from the spec.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Result<Pipeline> {
+        self.validate()?;
+        let n = self.modules;
+        let mut modules = Vec::with_capacity(n);
+        let src_bytes = sample(rng, &self.source_bytes);
+        modules.push(Module::named("source", 0.0, src_bytes));
+        let mut bytes = src_bytes;
+        for j in 1..n {
+            let c = sample(rng, &self.complexity);
+            if j == n - 1 {
+                modules.push(Module::named("sink", c, 0.0));
+            } else {
+                bytes = (bytes * sample(rng, &self.size_factor)).max(1.0);
+                modules.push(Module::named(&format!("stage{j}"), c, bytes));
+            }
+        }
+        Pipeline::new(modules)
+    }
+
+    /// Checks that the ranges can produce a valid pipeline.
+    pub fn validate(&self) -> Result<()> {
+        if self.modules < 2 {
+            return Err(PipelineError::TooShort(self.modules));
+        }
+        let bad = |what: &str| {
+            Err(PipelineError::BadModule {
+                index: 0,
+                reason: format!("invalid spec: {what}"),
+            })
+        };
+        if self.complexity.start < 0.0 || self.complexity.end < self.complexity.start {
+            return bad("complexity range must be non-negative and ordered");
+        }
+        if self.source_bytes.start <= 0.0 || self.source_bytes.end < self.source_bytes.start {
+            return bad("source size range must be positive and ordered");
+        }
+        if self.size_factor.start <= 0.0 || self.size_factor.end < self.size_factor.start {
+            return bad("size factor range must be positive and ordered");
+        }
+        Ok(())
+    }
+}
+
+/// Uniform sample from a possibly-degenerate range.
+fn sample<R: Rng>(rng: &mut R, r: &Range<f64>) -> f64 {
+    if r.end > r.start {
+        rng.gen_range(r.start..r.end)
+    } else {
+        r.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generated_pipelines_are_valid_and_right_sized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for n in [2, 3, 5, 20, 100] {
+            let spec = PipelineSpec {
+                modules: n,
+                ..PipelineSpec::default()
+            };
+            let p = spec.generate(&mut rng).unwrap();
+            assert_eq!(p.len(), n);
+            assert_eq!(p.module(0).complexity, 0.0);
+            assert_eq!(p.module(n - 1).output_bytes, 0.0);
+        }
+    }
+
+    #[test]
+    fn sizes_evolve_multiplicatively_within_factor_bounds() {
+        let spec = PipelineSpec {
+            modules: 10,
+            size_factor: 0.5..0.9,
+            ..PipelineSpec::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = spec.generate(&mut rng).unwrap();
+        for j in 1..p.len() - 1 {
+            let input = p.input_bytes(j);
+            let output = p.module(j).output_bytes;
+            let factor = output / input;
+            assert!(
+                (0.5..0.9).contains(&factor) || output == 1.0,
+                "stage {j}: factor {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = PipelineSpec::default();
+        let a = spec.generate(&mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let b = spec.generate(&mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let c = spec.generate(&mut ChaCha8Rng::seed_from_u64(6)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_point_ranges_are_allowed() {
+        let spec = PipelineSpec {
+            modules: 4,
+            complexity: 2.0..2.0,
+            source_bytes: 1000.0..1000.0,
+            size_factor: 1.0..1.0,
+        };
+        let p = spec.generate(&mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        assert_eq!(p.module(1).complexity, 2.0);
+        assert_eq!(p.module(1).output_bytes, 1000.0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let bad = PipelineSpec {
+            modules: 1,
+            ..PipelineSpec::default()
+        };
+        assert!(bad.generate(&mut rng).is_err());
+        let bad = PipelineSpec {
+            complexity: -1.0..2.0,
+            ..PipelineSpec::default()
+        };
+        assert!(bad.generate(&mut rng).is_err());
+        let bad = PipelineSpec {
+            source_bytes: 0.0..0.0,
+            ..PipelineSpec::default()
+        };
+        assert!(bad.generate(&mut rng).is_err());
+        let bad = PipelineSpec {
+            size_factor: 0.9..0.1,
+            ..PipelineSpec::default()
+        };
+        assert!(bad.generate(&mut rng).is_err());
+    }
+
+    #[test]
+    fn output_sizes_never_hit_zero_mid_pipeline() {
+        // aggressive shrink factors bottom out at 1 byte, staying valid
+        let spec = PipelineSpec {
+            modules: 50,
+            size_factor: 0.01..0.02,
+            ..PipelineSpec::default()
+        };
+        let p = spec.generate(&mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        for j in 0..p.len() - 1 {
+            assert!(p.module(j).output_bytes >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # elpc-pipeline — linear computing pipelines (§2.1–2.2 of the paper)
+//!
+//! A computing pipeline is a chain of modules `M1 → M2 → … → Mn` between a
+//! data source (`M1`) and an end user (`Mn`). Module `Mj` applies a
+//! computation of complexity `c_j` to the `m_{j-1}` bytes received from its
+//! predecessor and emits `m_j` bytes to its successor.
+//!
+//! Boundary semantics follow §2.3 exactly: *"the first module M1 only
+//! transfers data from the source node and the last module Mn only performs
+//! certain computation without data transfer"* — so `M1` has zero
+//! complexity, and `Mn`'s output size is irrelevant.
+//!
+//! * [`Module`], [`Pipeline`] — the validated model, with the paper's
+//!   parameter vocabulary (`ModuleID`, `ModuleComplexity`,
+//!   `InputDataInBytes`, `OutputDataInBytes`).
+//! * [`gen`] — seeded random pipeline generation per §4.1 ("randomly varying
+//!   … the number of modules, module complexities, input data sizes, and
+//!   output data sizes").
+//! * [`scenarios`] — the two motivating applications of §1 as concrete
+//!   pipelines: remote visualization (TSI) and video-based monitoring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+mod model;
+pub mod scenarios;
+
+pub use model::{Module, Pipeline, PipelineError};
+
+/// Result alias for pipeline operations.
+pub type Result<T> = std::result::Result<T, PipelineError>;

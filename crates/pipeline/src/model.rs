@@ -1,0 +1,334 @@
+//! The validated pipeline model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One pipeline stage. §4.1 parameters: `ModuleID` is the position in the
+/// chain (0-based here, `M1` in the paper's 1-based notation is index 0);
+/// `ModuleComplexity` is `c`; `OutputDataInBytes` is `m`. A module's
+/// `InputDataInBytes` is its predecessor's output, so it is not stored
+/// twice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Computational complexity `c` — an "abstract quantity that does not
+    /// only depend on the computational complexity of the algorithm … but
+    /// also the implementation details" (§4.1). Units: compute work per
+    /// input byte; a node of power `p` runs the module in `c·m_in/p` ms.
+    pub complexity: f64,
+    /// Output data size `m` in bytes, sent to the successor module.
+    pub output_bytes: f64,
+    /// Optional stage name for reports ("isosurface extraction", …).
+    pub name: Option<String>,
+}
+
+impl Module {
+    /// An unnamed module.
+    pub fn new(complexity: f64, output_bytes: f64) -> Self {
+        Module {
+            complexity,
+            output_bytes,
+            name: None,
+        }
+    }
+
+    /// A named module.
+    pub fn named(name: &str, complexity: f64, output_bytes: f64) -> Self {
+        Module {
+            complexity,
+            output_bytes,
+            name: Some(name.to_string()),
+        }
+    }
+}
+
+/// Errors from pipeline construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Fewer than two modules (a pipeline needs at least source + sink;
+    /// "a computing pipeline with only two end modules reduces to a
+    /// traditional client/server paradigm", §2.1).
+    TooShort(usize),
+    /// A module parameter is out of range.
+    BadModule {
+        /// 0-based module index.
+        index: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::TooShort(n) => {
+                write!(f, "pipeline needs at least 2 modules, got {n}")
+            }
+            PipelineError::BadModule { index, reason } => {
+                write!(f, "bad module at index {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A validated linear pipeline `M1 → … → Mn`.
+///
+/// Invariants (checked at construction):
+/// * at least 2 modules;
+/// * the source module has `complexity == 0` (it only transfers data);
+/// * every complexity is finite and non-negative;
+/// * every output size except the sink's is finite and positive (each
+///   intermediate module must hand *something* to its successor);
+/// * the sink's output size is forced to 0 (no successor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    modules: Vec<Module>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from modules, validating the §2.3 boundary
+    /// conventions. The sink's `output_bytes` is normalized to 0.
+    pub fn new(mut modules: Vec<Module>) -> crate::Result<Self> {
+        if modules.len() < 2 {
+            return Err(PipelineError::TooShort(modules.len()));
+        }
+        let last = modules.len() - 1;
+        for (i, m) in modules.iter().enumerate() {
+            if !m.complexity.is_finite() || m.complexity < 0.0 {
+                return Err(PipelineError::BadModule {
+                    index: i,
+                    reason: format!(
+                        "complexity must be finite and non-negative, got {}",
+                        m.complexity
+                    ),
+                });
+            }
+            if i == 0 && m.complexity != 0.0 {
+                return Err(PipelineError::BadModule {
+                    index: 0,
+                    reason: format!(
+                        "the source module only transfers data (complexity must be 0, got {})",
+                        m.complexity
+                    ),
+                });
+            }
+            if i < last && (!m.output_bytes.is_finite() || m.output_bytes <= 0.0) {
+                return Err(PipelineError::BadModule {
+                    index: i,
+                    reason: format!(
+                        "output size must be finite and positive, got {}",
+                        m.output_bytes
+                    ),
+                });
+            }
+        }
+        modules[last].output_bytes = 0.0;
+        Ok(Pipeline { modules })
+    }
+
+    /// Convenience constructor: a source emitting `source_bytes`, then
+    /// `(complexity, output_bytes)` stages, then a sink of complexity
+    /// `sink_complexity`.
+    pub fn from_stages(
+        source_bytes: f64,
+        stages: &[(f64, f64)],
+        sink_complexity: f64,
+    ) -> crate::Result<Self> {
+        let mut modules = Vec::with_capacity(stages.len() + 2);
+        modules.push(Module::named("source", 0.0, source_bytes));
+        for (i, &(c, m)) in stages.iter().enumerate() {
+            modules.push(Module::named(&format!("stage{}", i + 1), c, m));
+        }
+        modules.push(Module::named("sink", sink_complexity, 0.0));
+        Pipeline::new(modules)
+    }
+
+    /// Number of modules `n` (including source and sink).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Pipelines are never empty (≥ 2 modules by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The modules in order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The module at 0-based index `j`.
+    ///
+    /// # Panics
+    /// Panics when out of range; mapping code iterates `0..len()`.
+    #[inline]
+    pub fn module(&self, j: usize) -> &Module {
+        &self.modules[j]
+    }
+
+    /// Input size (bytes) of module `j`: the predecessor's output, or 0.0
+    /// for the source (it reads local data — §2.3).
+    #[inline]
+    pub fn input_bytes(&self, j: usize) -> f64 {
+        if j == 0 {
+            0.0
+        } else {
+            self.modules[j - 1].output_bytes
+        }
+    }
+
+    /// Compute work of module `j`: the paper's `c_j · m_{j-1}` term —
+    /// divide by a node's power to get its runtime in ms.
+    #[inline]
+    pub fn compute_work(&self, j: usize) -> f64 {
+        self.modules[j].complexity * self.input_bytes(j)
+    }
+
+    /// Total compute work of all modules — an instance-size statistic used
+    /// in reports.
+    pub fn total_work(&self) -> f64 {
+        (0..self.len()).map(|j| self.compute_work(j)).sum()
+    }
+
+    /// Largest inter-module transfer size (bytes) — a lower-bound driver
+    /// for the frame-rate bottleneck.
+    pub fn max_transfer_bytes(&self) -> f64 {
+        self.modules[..self.len() - 1]
+            .iter()
+            .map(|m| m.output_bytes)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_stage() -> Pipeline {
+        Pipeline::new(vec![
+            Module::named("source", 0.0, 1000.0),
+            Module::named("filter", 2.0, 500.0),
+            Module::named("sink", 1.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = three_stage();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.module(1).name.as_deref(), Some("filter"));
+        assert_eq!(p.input_bytes(0), 0.0);
+        assert_eq!(p.input_bytes(1), 1000.0);
+        assert_eq!(p.input_bytes(2), 500.0);
+    }
+
+    #[test]
+    fn compute_work_follows_c_times_m_in() {
+        let p = three_stage();
+        assert_eq!(p.compute_work(0), 0.0); // source never computes
+        assert_eq!(p.compute_work(1), 2000.0);
+        assert_eq!(p.compute_work(2), 500.0);
+        assert_eq!(p.total_work(), 2500.0);
+    }
+
+    #[test]
+    fn sink_output_is_normalized_to_zero() {
+        let p = Pipeline::new(vec![
+            Module::new(0.0, 10.0),
+            Module::new(1.0, 99.0), // sink with spurious output size
+        ])
+        .unwrap();
+        assert_eq!(p.module(1).output_bytes, 0.0);
+    }
+
+    #[test]
+    fn too_short_pipelines_are_rejected() {
+        assert_eq!(Pipeline::new(vec![]), Err(PipelineError::TooShort(0)));
+        assert_eq!(
+            Pipeline::new(vec![Module::new(0.0, 1.0)]),
+            Err(PipelineError::TooShort(1))
+        );
+    }
+
+    #[test]
+    fn source_must_not_compute() {
+        let err = Pipeline::new(vec![Module::new(1.0, 10.0), Module::new(1.0, 0.0)]).unwrap_err();
+        assert!(matches!(err, PipelineError::BadModule { index: 0, .. }));
+    }
+
+    #[test]
+    fn negative_or_nonfinite_parameters_are_rejected() {
+        let err = Pipeline::new(vec![
+            Module::new(0.0, 10.0),
+            Module::new(-1.0, 10.0),
+            Module::new(1.0, 0.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::BadModule { index: 1, .. }));
+        let err = Pipeline::new(vec![
+            Module::new(0.0, f64::NAN),
+            Module::new(1.0, 0.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::BadModule { index: 0, .. }));
+        // intermediate module with zero output starves its successor
+        let err = Pipeline::new(vec![
+            Module::new(0.0, 10.0),
+            Module::new(1.0, 0.0),
+            Module::new(1.0, 0.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::BadModule { index: 1, .. }));
+    }
+
+    #[test]
+    fn from_stages_builds_the_expected_shape() {
+        let p = Pipeline::from_stages(1e6, &[(2.0, 5e5), (4.0, 1e5)], 0.5).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.module(0).output_bytes, 1e6);
+        assert_eq!(p.module(1).complexity, 2.0);
+        assert_eq!(p.module(3).complexity, 0.5);
+        assert_eq!(p.module(3).output_bytes, 0.0);
+    }
+
+    #[test]
+    fn max_transfer_ignores_the_sink() {
+        let p = three_stage();
+        assert_eq!(p.max_transfer_bytes(), 1000.0);
+    }
+
+    #[test]
+    fn two_module_pipeline_is_client_server() {
+        // §2.1: "a computing pipeline with only two end modules reduces to
+        // a traditional client/server based computing paradigm"
+        let p = Pipeline::new(vec![Module::new(0.0, 1e6), Module::new(3.0, 0.0)]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.compute_work(1), 3e6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = three_stage();
+        let json = serde_json::to_string(&p).unwrap();
+        let p2: Pipeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        assert_eq!(
+            PipelineError::TooShort(1).to_string(),
+            "pipeline needs at least 2 modules, got 1"
+        );
+        assert!(PipelineError::BadModule {
+            index: 3,
+            reason: "x".into()
+        }
+        .to_string()
+        .contains("index 3"));
+    }
+}

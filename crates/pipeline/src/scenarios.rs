@@ -1,0 +1,151 @@
+//! The paper's two motivating application pipelines (§1), plus the §2.1
+//! client/server degenerate case, as ready-made [`Pipeline`] values.
+//!
+//! Parameter values are representative magnitudes chosen to exercise the
+//! same qualitative behaviour the paper describes (large raw data shrinking
+//! through filtering/extraction, then small presentation payloads); they
+//! are *not* measurements of any specific system.
+
+use crate::{Module, Pipeline};
+
+/// Interactive remote visualization (Terascale Supernova Initiative style,
+/// §1 item 1 and §2.1): "data filtering, isosurface extraction, geometry
+/// rendering, image compositing, and final display".
+///
+/// `dataset_bytes` is the raw simulation slice retrieved from the remote
+/// repository (defaults in [`remote_visualization_default`] use 50 MB).
+pub fn remote_visualization(dataset_bytes: f64) -> Pipeline {
+    let d = dataset_bytes;
+    Pipeline::new(vec![
+        // the source only transfers the raw dataset
+        Module::named("data source", 0.0, d),
+        // filtering drops ~60% of the raw data, light per-byte work
+        Module::named("data filtering", 0.8, d * 0.4),
+        // isosurface extraction is the heavy stage; geometry is ~10% of raw
+        Module::named("isosurface extraction", 6.0, d * 0.1),
+        // rendering rasterizes geometry into a framebuffer (~2 MB image)
+        Module::named("geometry rendering", 4.0, 2.0e6),
+        // compositing merges partial images, output ~ same size
+        Module::named("image compositing", 1.5, 2.0e6),
+        // final display decodes and presents; no further transfer
+        Module::named("final display", 0.5, 0.0),
+    ])
+    .expect("scenario parameters are valid by construction")
+}
+
+/// [`remote_visualization`] with a 50 MB dataset.
+pub fn remote_visualization_default() -> Pipeline {
+    remote_visualization(5.0e7)
+}
+
+/// Streaming video-based monitoring (§1 item 2): "feature extraction and
+/// detection, facial reconstruction, pattern recognition, data mining, and
+/// identity matching on images that are continuously captured".
+///
+/// `frame_bytes` is the captured camera frame size (defaults use ~1.8 MB,
+/// a 1280×720 RGB frame, in [`video_surveillance_default`]).
+pub fn video_surveillance(frame_bytes: f64) -> Pipeline {
+    let f = frame_bytes;
+    Pipeline::new(vec![
+        Module::named("camera capture", 0.0, f),
+        // feature extraction reduces a frame to region descriptors
+        Module::named("feature extraction", 3.0, f * 0.15),
+        // facial reconstruction builds face models from descriptors
+        Module::named("facial reconstruction", 8.0, f * 0.05),
+        // pattern recognition scores candidate faces
+        Module::named("pattern recognition", 5.0, 2.0e4),
+        // data mining correlates against recent history
+        Module::named("data mining", 2.5, 1.0e4),
+        // identity matching hits the watchlist; alert-sized output
+        Module::named("identity matching", 1.0, 0.0),
+    ])
+    .expect("scenario parameters are valid by construction")
+}
+
+/// [`video_surveillance`] with a 1280×720 RGB frame.
+pub fn video_surveillance_default() -> Pipeline {
+    video_surveillance(1280.0 * 720.0 * 3.0)
+}
+
+/// The §2.1 degenerate case: two end modules — "a traditional client/server
+/// based computing paradigm". The server ships `payload_bytes`; the client
+/// runs a computation of complexity `client_complexity` on it.
+pub fn client_server(payload_bytes: f64, client_complexity: f64) -> Pipeline {
+    Pipeline::new(vec![
+        Module::named("server", 0.0, payload_bytes),
+        Module::named("client", client_complexity, 0.0),
+    ])
+    .expect("scenario parameters are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_visualization_has_the_papers_five_processing_stages() {
+        let p = remote_visualization_default();
+        assert_eq!(p.len(), 6); // source + 5 stages of §1
+        let names: Vec<&str> = p
+            .modules()
+            .iter()
+            .map(|m| m.name.as_deref().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "data source",
+                "data filtering",
+                "isosurface extraction",
+                "geometry rendering",
+                "image compositing",
+                "final display"
+            ]
+        );
+    }
+
+    #[test]
+    fn visualization_data_shrinks_through_filtering_and_extraction() {
+        let p = remote_visualization(1e8);
+        // monotone shrink until the rendering stage
+        assert!(p.module(1).output_bytes < p.module(0).output_bytes);
+        assert!(p.module(2).output_bytes < p.module(1).output_bytes);
+        // extraction is the most expensive per-byte stage
+        let max_c = p
+            .modules()
+            .iter()
+            .map(|m| m.complexity)
+            .fold(0.0, f64::max);
+        assert_eq!(p.module(2).complexity, max_c);
+    }
+
+    #[test]
+    fn surveillance_pipeline_matches_the_papers_stage_list() {
+        let p = video_surveillance_default();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.module(0).complexity, 0.0);
+        assert_eq!(p.module(5).name.as_deref(), Some("identity matching"));
+        // every stage output fits in the camera frame (reducing pipeline)
+        let frame = p.module(0).output_bytes;
+        for m in p.modules() {
+            assert!(m.output_bytes <= frame);
+        }
+    }
+
+    #[test]
+    fn scenario_pipelines_scale_with_their_input_parameter() {
+        let small = remote_visualization(1e6);
+        let large = remote_visualization(1e8);
+        assert!(large.total_work() > small.total_work());
+        let small = video_surveillance(1e5);
+        let large = video_surveillance(1e7);
+        assert!(large.total_work() > small.total_work());
+    }
+
+    #[test]
+    fn client_server_is_a_two_module_pipeline() {
+        let p = client_server(1e6, 2.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.compute_work(1), 2e6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the pipeline model and generator.
+
+use elpc_pipeline::gen::PipelineSpec;
+use elpc_pipeline::{Module, Pipeline};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated pipeline satisfies the §2.3 boundary conventions.
+    #[test]
+    fn generated_pipelines_respect_boundary_semantics(
+        n in 2usize..60,
+        seed in any::<u64>(),
+    ) {
+        let spec = PipelineSpec { modules: n, ..Default::default() };
+        let p = spec.generate(&mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(p.len(), n);
+        prop_assert_eq!(p.module(0).complexity, 0.0);     // source never computes
+        prop_assert_eq!(p.module(n - 1).output_bytes, 0.0); // sink never transfers
+        prop_assert_eq!(p.compute_work(0), 0.0);
+        for j in 0..n - 1 {
+            prop_assert!(p.module(j).output_bytes > 0.0);
+        }
+        // input of module j is output of module j-1
+        for j in 1..n {
+            prop_assert_eq!(p.input_bytes(j), p.module(j - 1).output_bytes);
+        }
+    }
+
+    /// Total work equals the sum of stage works and is finite.
+    #[test]
+    fn total_work_is_sum_of_stage_works(n in 2usize..40, seed in any::<u64>()) {
+        let spec = PipelineSpec { modules: n, ..Default::default() };
+        let p = spec.generate(&mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let sum: f64 = (0..n).map(|j| p.compute_work(j)).sum();
+        prop_assert!((p.total_work() - sum).abs() <= 1e-9 * sum.max(1.0));
+        prop_assert!(p.total_work().is_finite());
+    }
+
+    /// Serde round-trips preserve equality for any generated pipeline.
+    #[test]
+    fn serde_round_trip(n in 2usize..30, seed in any::<u64>()) {
+        let spec = PipelineSpec { modules: n, ..Default::default() };
+        let p = spec.generate(&mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let p2: Pipeline = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        prop_assert_eq!(p, p2);
+    }
+
+    /// Construction rejects any negative complexity wherever it appears.
+    #[test]
+    fn negative_complexity_is_always_rejected(
+        pos in 1usize..6,
+        c in -1e6_f64..-1e-9,
+    ) {
+        let mut modules = vec![Module::new(0.0, 100.0)];
+        for _ in 0..5 {
+            modules.push(Module::new(1.0, 100.0));
+        }
+        modules.push(Module::new(1.0, 0.0));
+        modules[pos].complexity = c;
+        prop_assert!(Pipeline::new(modules).is_err());
+    }
+
+    /// `from_stages` length and parameter wiring is exact.
+    #[test]
+    fn from_stages_wiring(
+        src_bytes in 1.0_f64..1e9,
+        stages in prop::collection::vec((0.0_f64..100.0, 1.0_f64..1e8), 0..10),
+        sink_c in 0.0_f64..100.0,
+    ) {
+        let p = Pipeline::from_stages(src_bytes, &stages, sink_c).unwrap();
+        prop_assert_eq!(p.len(), stages.len() + 2);
+        prop_assert_eq!(p.module(0).output_bytes, src_bytes);
+        for (i, &(c, m)) in stages.iter().enumerate() {
+            prop_assert_eq!(p.module(i + 1).complexity, c);
+            prop_assert_eq!(p.module(i + 1).output_bytes, m);
+        }
+        prop_assert_eq!(p.module(p.len() - 1).complexity, sink_c);
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic discrete-event engine: a time-ordered event queue and
+//! FIFO resources.
+//!
+//! Determinism: events at equal times fire in schedule order (a
+//! monotonically increasing sequence number breaks ties), so a simulation
+//! is a pure function of its inputs — a requirement for the experiment
+//! harness and for test reproducibility.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A scheduled event: fires at `time`, carrying a payload.
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed for min-heap behavior on (time, seq)
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or earlier than the current time (events
+    /// cannot fire in the past).
+    pub fn schedule(&mut self, time: f64, payload: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A FIFO single-server resource: serves one token at a time in arrival
+/// order, accumulating busy time for utilization reports.
+#[derive(Debug, Clone)]
+pub struct FifoResource<T> {
+    queue: VecDeque<T>,
+    in_service: Option<T>,
+    busy_ms: f64,
+}
+
+impl<T> Default for FifoResource<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FifoResource<T> {
+    /// An idle resource.
+    pub fn new() -> Self {
+        FifoResource {
+            queue: VecDeque::new(),
+            in_service: None,
+            busy_ms: 0.0,
+        }
+    }
+
+    /// A token arrives. Returns `Some(token)` when the resource was idle
+    /// and service should start immediately; otherwise the token queues.
+    #[must_use]
+    pub fn arrive(&mut self, token: T) -> Option<&T> {
+        if self.in_service.is_none() {
+            self.in_service = Some(token);
+            self.in_service.as_ref()
+        } else {
+            self.queue.push_back(token);
+            None
+        }
+    }
+
+    /// The current service completes (`service_ms` is accounted as busy
+    /// time). Returns the finished token and, if another token was
+    /// waiting, a reference to the next one now entering service.
+    pub fn complete(&mut self, service_ms: f64) -> (T, Option<&T>) {
+        let done = self
+            .in_service
+            .take()
+            .expect("complete() requires a token in service");
+        self.busy_ms += service_ms;
+        if let Some(next) = self.queue.pop_front() {
+            self.in_service = Some(next);
+        }
+        (done, self.in_service.as_ref())
+    }
+
+    /// The token currently in service, if any.
+    pub fn current(&self) -> Option<&T> {
+        self.in_service.as_ref()
+    }
+
+    /// Queue length excluding the token in service.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Accumulated busy time in ms.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_in_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, 1);
+        q.schedule(2.0, 2);
+        q.schedule(2.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(4.0, ());
+        q.schedule(7.0, ());
+        q.pop();
+        assert_eq!(q.now(), 4.0);
+        q.pop();
+        assert_eq!(q.now(), 7.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn events_scheduled_at_now_are_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "first");
+        q.pop();
+        q.schedule(5.0, "second"); // zero-delay follow-up
+        assert_eq!(q.pop().unwrap(), (5.0, "second"));
+    }
+
+    #[test]
+    fn fifo_resource_serves_in_arrival_order() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.arrive(1), Some(&1)); // idle → starts at once
+        assert_eq!(r.arrive(2), None); // queued
+        assert_eq!(r.arrive(3), None);
+        assert_eq!(r.backlog(), 2);
+        let (done, next) = r.complete(10.0);
+        assert_eq!(done, 1);
+        assert_eq!(next, Some(&2));
+        let (done, next) = r.complete(5.0);
+        assert_eq!(done, 2);
+        assert_eq!(next, Some(&3));
+        let (done, next) = r.complete(1.0);
+        assert_eq!(done, 3);
+        assert_eq!(next, None);
+        assert_eq!(r.busy_ms(), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a token in service")]
+    fn completing_an_idle_resource_panics() {
+        let mut r: FifoResource<u8> = FifoResource::new();
+        r.complete(1.0);
+    }
+
+    #[test]
+    fn queue_len_tracks_pending_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

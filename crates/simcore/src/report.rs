@@ -1,0 +1,172 @@
+//! Simulation results and derived metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// The measured outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    injections_ms: Vec<f64>,
+    completions_ms: Vec<f64>,
+    resource_busy_ms: Vec<(String, f64)>,
+    stage_labels: Vec<String>,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        injections_ms: Vec<f64>,
+        completions_ms: Vec<f64>,
+        resource_busy_ms: Vec<(String, f64)>,
+        stage_labels: Vec<String>,
+    ) -> Self {
+        SimReport {
+            injections_ms,
+            completions_ms,
+            resource_busy_ms,
+            stage_labels,
+        }
+    }
+
+    /// Number of frames that flowed through the pipeline.
+    pub fn frames(&self) -> usize {
+        self.completions_ms.len()
+    }
+
+    /// Injection times (ms) per frame.
+    pub fn injections_ms(&self) -> &[f64] {
+        &self.injections_ms
+    }
+
+    /// Completion times (ms) per frame, in frame order.
+    pub fn completions_ms(&self) -> &[f64] {
+        &self.completions_ms
+    }
+
+    /// Busy time per resource, `(name, ms)`.
+    pub fn resource_busy_ms(&self) -> &[(String, f64)] {
+        &self.resource_busy_ms
+    }
+
+    /// Human-readable stage descriptions, in chain order.
+    pub fn stage_labels(&self) -> &[String] {
+        &self.stage_labels
+    }
+
+    /// End-to-end latency of frame `f` (completion − injection), the
+    /// measured counterpart of Eq. 1 for frame 0 of a single-frame run.
+    pub fn end_to_end_delay_ms(&self, f: usize) -> Option<f64> {
+        Some(self.completions_ms.get(f)? - self.injections_ms.get(f)?)
+    }
+
+    /// The last inter-departure gap (ms). In a deterministic saturated
+    /// pipeline this converges to the Eq. 2 bottleneck once every stage has
+    /// filled (after `q` frames). `None` with fewer than 2 frames.
+    pub fn steady_interdeparture_ms(&self) -> Option<f64> {
+        let n = self.completions_ms.len();
+        if n < 2 {
+            return None;
+        }
+        Some(self.completions_ms[n - 1] - self.completions_ms[n - 2])
+    }
+
+    /// Steady-state frame rate (fps) — `1000 / steady gap`, the measured
+    /// counterpart of the paper's "maximum frame rate".
+    pub fn steady_rate_fps(&self) -> Option<f64> {
+        let gap = self.steady_interdeparture_ms()?;
+        Some(elpc_netsim::units::frame_rate_fps(gap))
+    }
+
+    /// Mean throughput over the whole run: `(frames − 1) / (last − first
+    /// completion)`, in fps. Less sharp than [`SimReport::steady_rate_fps`]
+    /// because it averages over the pipeline fill transient.
+    pub fn mean_rate_fps(&self) -> Option<f64> {
+        let n = self.completions_ms.len();
+        if n < 2 {
+            return None;
+        }
+        let span = self.completions_ms[n - 1] - self.completions_ms[0];
+        if span <= 0.0 {
+            return None;
+        }
+        Some((n - 1) as f64 * elpc_netsim::units::MS_PER_S / span)
+    }
+
+    /// Total simulated time (last completion).
+    pub fn makespan_ms(&self) -> f64 {
+        self.completions_ms
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// Utilization of each resource over the makespan, `(name, fraction)`.
+    pub fn utilizations(&self) -> Vec<(String, f64)> {
+        let makespan = self.makespan_ms();
+        self.resource_busy_ms
+            .iter()
+            .map(|(name, busy)| {
+                let u = if makespan > 0.0 { busy / makespan } else { 0.0 };
+                (name.clone(), u)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport::new(
+            vec![0.0, 10.0, 20.0],
+            vec![100.0, 150.0, 200.0],
+            vec![("node 0".into(), 60.0), ("edge 0".into(), 190.0)],
+            vec!["compute".into(), "transfer".into()],
+        )
+    }
+
+    #[test]
+    fn delay_is_completion_minus_injection() {
+        let r = report();
+        assert_eq!(r.end_to_end_delay_ms(0), Some(100.0));
+        assert_eq!(r.end_to_end_delay_ms(1), Some(140.0));
+        assert_eq!(r.end_to_end_delay_ms(9), None);
+    }
+
+    #[test]
+    fn steady_gap_uses_the_last_pair() {
+        let r = report();
+        assert_eq!(r.steady_interdeparture_ms(), Some(50.0));
+        assert_eq!(r.steady_rate_fps(), Some(20.0));
+    }
+
+    #[test]
+    fn mean_rate_spans_all_completions() {
+        let r = report();
+        // 2 gaps over 100 ms → 20 fps
+        assert!((r.mean_rate_fps().unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_frame_has_no_rate() {
+        let r = SimReport::new(vec![0.0], vec![42.0], vec![], vec![]);
+        assert_eq!(r.steady_interdeparture_ms(), None);
+        assert_eq!(r.steady_rate_fps(), None);
+        assert_eq!(r.mean_rate_fps(), None);
+        assert_eq!(r.makespan_ms(), 42.0);
+    }
+
+    #[test]
+    fn utilizations_are_fractions_of_makespan() {
+        let r = report();
+        let u = r.utilizations();
+        assert_eq!(u[0].1, 0.3);
+        assert_eq!(u[1].1, 0.95);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report();
+        let r2: SimReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(r, r2);
+    }
+}

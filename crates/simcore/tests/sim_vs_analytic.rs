@@ -1,0 +1,106 @@
+//! Property tests: the discrete-event execution agrees with the analytic
+//! cost model on randomly generated instances (experiment V1's invariant).
+
+use elpc_mapping::{elpc_delay, elpc_rate, CostModel, Instance, NodeId};
+use elpc_netsim::{Link, Network, Node};
+use elpc_pipeline::gen::PipelineSpec;
+use elpc_pipeline::Pipeline;
+use elpc_simcore::{simulate, Workload};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn build_instance(seed: u64) -> (Network, Pipeline) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = rng.gen_range(4usize..=10);
+    let links = rng.gen_range(k - 1..=k * (k - 1) / 2);
+    let topo = elpc_netgraph::gen::random_connected(k, links, &mut rng).unwrap();
+    let powers: Vec<f64> = (0..k).map(|_| rng.gen_range(10.0..1000.0)).collect();
+    let mut lr = ChaCha8Rng::seed_from_u64(seed ^ 0xF00D);
+    let net = Network::from_topology(
+        &topo,
+        |i| Node::with_power(powers[i]),
+        |_, _| Link::new(lr.gen_range(1.0..1000.0), lr.gen_range(0.01..5.0)),
+    )
+    .unwrap();
+    let n = rng.gen_range(2usize..=k.min(7));
+    let pipe = PipelineSpec {
+        modules: n,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+    .unwrap();
+    (net, pipe)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// A single simulated dataset experiences exactly the Eq. 1 delay.
+    #[test]
+    fn simulated_single_frame_equals_analytic_delay(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((net.node_count() - 1) as u32)).unwrap();
+        let cm = CostModel::default();
+        if let Ok(sol) = elpc_delay::solve(&inst, &cm) {
+            let report = simulate(&inst, &cm, &sol.mapping, Workload::single()).unwrap();
+            let sim = report.end_to_end_delay_ms(0).unwrap();
+            prop_assert!((sim - sol.delay_ms).abs() <= 1e-6 * sol.delay_ms.max(1.0),
+                "sim {sim} vs analytic {}", sol.delay_ms);
+        }
+    }
+
+    /// A saturated simulated stream departs at exactly the Eq. 2 rate.
+    #[test]
+    fn simulated_stream_rate_equals_analytic_bottleneck(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((net.node_count() - 1) as u32)).unwrap();
+        let cm = CostModel::default();
+        if let Ok(sol) = elpc_rate::solve(&inst, &cm) {
+            let frames = 4 * pipe.len().max(4);
+            let report = simulate(&inst, &cm, &sol.mapping, Workload::stream(frames)).unwrap();
+            let gap = report.steady_interdeparture_ms().unwrap();
+            prop_assert!((gap - sol.bottleneck_ms).abs() <= 1e-6 * sol.bottleneck_ms.max(1.0),
+                "gap {gap} vs bottleneck {}", sol.bottleneck_ms);
+        }
+    }
+
+    /// Under-capacity pacing: departures track injections one-to-one and
+    /// latency stays flat (no queueing anywhere).
+    #[test]
+    fn paced_below_capacity_keeps_latency_flat(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((net.node_count() - 1) as u32)).unwrap();
+        let cm = CostModel::default();
+        if let Ok(sol) = elpc_rate::solve(&inst, &cm) {
+            let pace = sol.bottleneck_ms * 1.5;
+            let report = simulate(&inst, &cm, &sol.mapping, Workload::paced(12, pace)).unwrap();
+            let d0 = report.end_to_end_delay_ms(0).unwrap();
+            for f in 1..12 {
+                let df = report.end_to_end_delay_ms(f).unwrap();
+                prop_assert!((df - d0).abs() <= 1e-6 * d0.max(1.0),
+                    "frame {f} latency {df} drifted from {d0}");
+            }
+        }
+    }
+
+    /// Overloaded pacing can only stretch latency, never shrink it, and
+    /// the measured steady rate never exceeds the analytic maximum.
+    #[test]
+    fn saturation_bounds_the_measured_rate(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((net.node_count() - 1) as u32)).unwrap();
+        let cm = CostModel::default();
+        if let Ok(sol) = elpc_rate::solve(&inst, &cm) {
+            let report = simulate(&inst, &cm, &sol.mapping, Workload::stream(30)).unwrap();
+            let fps = report.steady_rate_fps().unwrap();
+            let max_fps = sol.frame_rate_fps();
+            prop_assert!(fps <= max_fps * (1.0 + 1e-6),
+                "measured {fps} exceeds analytic max {max_fps}");
+            // last frame waited at least as long as the first
+            let d0 = report.end_to_end_delay_ms(0).unwrap();
+            let dl = report.end_to_end_delay_ms(29).unwrap();
+            prop_assert!(dl + 1e-9 >= d0);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Three-algorithm comparison on one instance — the row shape of Fig. 2.
+//!
+//! Evaluation semantics (see `elpc_mapping::routed` for the rationale):
+//! Streamline places modules freely, so its transfers are charged at routed
+//! (best multi-hop) cost; to compare like with like, the ELPC columns use
+//! the routed-overlay DP variants (`solve_routed`), which are the same
+//! algorithms run on the network's metric closure. The strict Eq. 1/2
+//! values of the published DPs are recorded alongside
+//! (`delay_elpc_strict` / `rate_elpc_strict`); Greedy walks real edges, so
+//! its strict and routed values coincide.
+
+use crate::ProblemInstance;
+use elpc_mapping::{elpc_delay, elpc_rate, greedy, streamline, CostModel, MappingError};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one algorithm on one objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Solved with the given objective value (ms).
+    Solved {
+        /// Objective in ms (delay, or bottleneck for rate mode).
+        ms: f64,
+    },
+    /// No feasible mapping found (counted per §4.3).
+    Infeasible,
+    /// Solver failed for another reason (reported, never silently dropped).
+    Error(String),
+}
+
+impl Outcome {
+    fn from_result(r: Result<f64, MappingError>) -> Self {
+        match r {
+            Ok(ms) => Outcome::Solved { ms },
+            Err(MappingError::Infeasible(_)) => Outcome::Infeasible,
+            Err(e) => Outcome::Error(e.to_string()),
+        }
+    }
+
+    /// The objective value when solved.
+    pub fn ms(&self) -> Option<f64> {
+        match self {
+            Outcome::Solved { ms } => Some(*ms),
+            _ => None,
+        }
+    }
+
+    /// Frame rate (fps) when solved, interpreting the value as a bottleneck.
+    pub fn fps(&self) -> Option<f64> {
+        self.ms().map(elpc_netsim::units::frame_rate_fps)
+    }
+}
+
+/// A full Fig. 2 row: both objectives × three algorithms.
+///
+/// The `delay_elpc` / `rate_elpc` columns are the routed-overlay ELPC
+/// variants so that all three algorithms are compared under the *same*
+/// transport semantics (Streamline places freely and is charged routed
+/// transfers). The strict Eq. 1/2 ELPC values — the algorithms exactly as
+/// published — are recorded alongside.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Instance label.
+    pub label: String,
+    /// `(modules, nodes, links)`.
+    pub dims: (usize, usize, usize),
+    /// ELPC minimum end-to-end delay (ms), routed-overlay semantics.
+    pub delay_elpc: Outcome,
+    /// ELPC delay under the strict adjacent-path model (the paper's DP).
+    pub delay_elpc_strict: Outcome,
+    /// Streamline delay (routed evaluation).
+    pub delay_streamline: Outcome,
+    /// Greedy delay (its walks are strict and routed-equivalent).
+    pub delay_greedy: Outcome,
+    /// ELPC bottleneck (ms), no node reuse, routed-overlay semantics.
+    pub rate_elpc: Outcome,
+    /// ELPC bottleneck under the strict adjacent-path model.
+    pub rate_elpc_strict: Outcome,
+    /// Streamline bottleneck (routed evaluation).
+    pub rate_streamline: Outcome,
+    /// Greedy bottleneck.
+    pub rate_greedy: Outcome,
+}
+
+impl CaseResult {
+    /// True when ELPC's delay is no worse than both baselines (where all
+    /// solved) — the Fig. 5 dominance claim for this instance.
+    pub fn elpc_delay_dominates(&self) -> bool {
+        let Some(e) = self.delay_elpc.ms() else {
+            return false;
+        };
+        // routed evaluation can only flatter the baselines, so allow a
+        // measurement-epsilon tolerance
+        self.delay_streamline.ms().map_or(true, |s| e <= s + 1e-9)
+            && self.delay_greedy.ms().map_or(true, |g| e <= g + 1e-9)
+    }
+
+    /// True when ELPC's frame rate is no worse than both baselines
+    /// (where all solved) — the Fig. 6 dominance claim.
+    pub fn elpc_rate_dominates(&self) -> bool {
+        let Some(e) = self.rate_elpc.ms() else {
+            return false;
+        };
+        self.rate_streamline.ms().map_or(true, |s| e <= s + 1e-9)
+            && self.rate_greedy.ms().map_or(true, |g| e <= g + 1e-9)
+    }
+}
+
+/// ELPC rate under routed semantics, as a small portfolio: the routed DP
+/// with a modestly widened label set (ablation A2 showed K-best labels
+/// recover most single-label misses), falling back to the strict DP's
+/// mapping re-evaluated under routed transport. Both members are ELPC
+/// variants; the portfolio only papers over heuristic label misses.
+fn best_rate_routed(
+    view: &elpc_mapping::Instance<'_>,
+    cost: &CostModel,
+) -> Result<f64, MappingError> {
+    // wider label sets are cheap on small networks and recover nearly all
+    // single-label misses; large networks keep a modest width
+    let k_labels = if view.network.node_count() <= 100 { 16 } else { 12 };
+    let config = elpc_rate::RateConfig { k_labels };
+
+    // portfolio members: (routed objective, assignment)
+    let mut candidates: Vec<(f64, Vec<elpc_mapping::NodeId>)> = Vec::new();
+    if let Ok(r) = elpc_rate::solve_routed_with(view, cost, config) {
+        candidates.push((r.objective_ms, r.assignment));
+    }
+    if let Ok(s) = elpc_rate::solve_with(view, cost, config) {
+        let a = s.mapping.assignment();
+        if let Ok(b) = elpc_mapping::routed::routed_bottleneck_ms(view, cost, &a, true) {
+            candidates.push((b, a));
+        }
+    }
+    let Some((_, mut best)) = candidates
+        .into_iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("objectives are not NaN"))
+    else {
+        return Err(MappingError::Infeasible(
+            "no ELPC rate variant found a feasible placement".into(),
+        ));
+    };
+    // local-search polish absorbs residual label-pruning misses
+    let sweeps = 4;
+    elpc_mapping::routed::polish_rate_assignment(view, cost, &mut best, sweeps)
+}
+
+/// Runs all six solver×objective combinations on one instance.
+pub fn run_case(inst: &ProblemInstance, cost: &CostModel) -> CaseResult {
+    let view = inst.as_instance();
+    CaseResult {
+        label: inst.label.clone(),
+        dims: inst.dims(),
+        delay_elpc: Outcome::from_result(
+            elpc_delay::solve_routed(&view, cost).map(|s| s.objective_ms),
+        ),
+        delay_elpc_strict: Outcome::from_result(
+            elpc_delay::solve(&view, cost).map(|s| s.delay_ms),
+        ),
+        delay_streamline: Outcome::from_result(
+            streamline::solve_min_delay(&view, cost).map(|s| s.objective_ms),
+        ),
+        delay_greedy: Outcome::from_result(greedy::solve_min_delay(&view, cost).map(|s| s.delay_ms)),
+        rate_elpc: Outcome::from_result(best_rate_routed(&view, cost)),
+        rate_elpc_strict: Outcome::from_result(
+            elpc_rate::solve(&view, cost).map(|s| s.bottleneck_ms),
+        ),
+        rate_streamline: Outcome::from_result(
+            streamline::solve_max_rate(&view, cost).map(|s| s.objective_ms),
+        ),
+        rate_greedy: Outcome::from_result(
+            greedy::solve_max_rate(&view, cost).map(|s| s.bottleneck_ms),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::paper_cases;
+
+    #[test]
+    fn small_cases_produce_complete_rows() {
+        let cost = CostModel::default();
+        for case in &paper_cases()[..4] {
+            let inst = case.generate().unwrap();
+            let row = run_case(&inst, &cost);
+            assert_eq!(row.dims, (case.modules, case.nodes, case.links));
+            // ELPC delay always solves on feasible suite instances
+            assert!(row.delay_elpc.ms().is_some(), "case {}: {:?}", case.number, row.delay_elpc);
+            // no solver may crash
+            for o in [
+                &row.delay_streamline,
+                &row.delay_greedy,
+                &row.rate_elpc,
+                &row.rate_streamline,
+                &row.rate_greedy,
+            ] {
+                assert!(!matches!(o, Outcome::Error(_)), "unexpected error: {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn elpc_dominates_greedy_on_the_suite_prefix() {
+        let cost = CostModel::default();
+        for case in &paper_cases()[..4] {
+            let inst = case.generate().unwrap();
+            let row = run_case(&inst, &cost);
+            if let (Some(e), Some(g)) = (row.delay_elpc.ms(), row.delay_greedy.ms()) {
+                assert!(e <= g + 1e-9, "case {}: ELPC {e} > greedy {g}", case.number);
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = Outcome::Solved { ms: 100.0 };
+        assert_eq!(o.ms(), Some(100.0));
+        assert_eq!(o.fps(), Some(10.0));
+        assert_eq!(Outcome::Infeasible.ms(), None);
+        assert_eq!(Outcome::Error("x".into()).fps(), None);
+    }
+
+    #[test]
+    fn rows_serialize_for_the_harness() {
+        let cost = CostModel::default();
+        let inst = paper_cases()[0].generate().unwrap();
+        let row = run_case(&inst, &cost);
+        let json = serde_json::to_string(&row).unwrap();
+        let back: CaseResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(row, back);
+    }
+}

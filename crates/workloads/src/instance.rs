@@ -1,0 +1,278 @@
+//! Seeded random problem instances (§4.1).
+
+use elpc_mapping::{Instance, MappingError, NodeId};
+use elpc_netsim::{Link, Network, Node};
+use elpc_pipeline::gen::PipelineSpec;
+use elpc_pipeline::Pipeline;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Which topology family to draw the network from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Uniform random connected graph with an exact link budget — the
+    /// paper's primary shape ("randomly varying … the number of links").
+    RandomConnected,
+    /// Waxman geometric graph (internet-like); the link budget is advisory
+    /// (Waxman draws its own edge count).
+    Waxman {
+        /// Waxman α (link density).
+        alpha: f64,
+        /// Waxman β (distance decay).
+        beta: f64,
+    },
+    /// Ring with random chords (long thin topologies that stress the
+    /// no-reuse mapping).
+    RingWithChords,
+}
+
+/// Generation ranges for one problem instance, mirroring the §4.1 attribute
+/// list: module count/complexities/data sizes, node count/powers, link
+/// count/bandwidths/MLDs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Number of pipeline modules `m` (≥ 2, including source and sink).
+    pub modules: usize,
+    /// Number of network nodes `n`.
+    pub nodes: usize,
+    /// Number of undirected links `l`.
+    pub links: usize,
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Node processing power range (complexity·bytes per ms).
+    pub power: Range<f64>,
+    /// Link bandwidth range (Mbit/s).
+    pub bw_mbps: Range<f64>,
+    /// Link minimum delay range (ms).
+    pub mld_ms: Range<f64>,
+    /// Pipeline parameter ranges.
+    pub pipeline: PipelineSpec,
+}
+
+impl InstanceSpec {
+    /// A spec with the suite's default parameter ranges: workstation-to-
+    /// cluster node powers, WAN-like 1–1000 Mbit/s links with 0.1–10 ms
+    /// MLDs, megabyte-scale datasets.
+    ///
+    /// The size-factor range is centered near 1.0 so that per-stage data
+    /// sizes neither vanish nor explode along long pipelines; total
+    /// pipeline work then grows with the module count, which is what gives
+    /// Fig. 5 its "delay generally increases with problem size" trend.
+    pub fn sized(modules: usize, nodes: usize, links: usize) -> Self {
+        InstanceSpec {
+            modules,
+            nodes,
+            links,
+            topology: TopologyKind::RandomConnected,
+            power: 50.0..5000.0,
+            bw_mbps: 1.0..1000.0,
+            mld_ms: 0.1..10.0,
+            pipeline: PipelineSpec {
+                modules,
+                complexity: 0.2..4.0,
+                source_bytes: 8e5..2.5e6,
+                // near-zero drift in log space: long pipelines keep
+                // megabyte-scale stage data, so total work grows ~linearly
+                // with the module count (the Fig. 5 trend)
+                size_factor: 0.7..1.35,
+            },
+        }
+    }
+
+    /// Draws a full problem instance from the spec with a deterministic
+    /// seed. Endpoint selection follows §4.1 ("the system knows where the
+    /// raw data is stored and where an end user is located"): the source is
+    /// node 0; the destination is the farthest node whose hop distance
+    /// still permits a feasible delay mapping (`hops ≤ m − 1`), making the
+    /// instance non-trivial without being structurally impossible.
+    pub fn generate(&self, seed: u64) -> crate::Result<ProblemInstance> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let topo = match self.topology {
+            TopologyKind::RandomConnected => {
+                elpc_netgraph::gen::random_connected(self.nodes, self.links, &mut rng)
+                    .map_err(elpc_netsim::NetworkError::from)?
+            }
+            TopologyKind::Waxman { alpha, beta } => {
+                elpc_netgraph::gen::waxman(self.nodes, alpha, beta, &mut rng)
+                    .map_err(elpc_netsim::NetworkError::from)?
+            }
+            TopologyKind::RingWithChords => {
+                let chords = self.links.saturating_sub(self.nodes);
+                elpc_netgraph::gen::ring_with_chords(self.nodes, chords, &mut rng)
+                    .map_err(elpc_netsim::NetworkError::from)?
+            }
+        };
+        let powers: Vec<f64> = (0..self.nodes)
+            .map(|_| sample(&mut rng, &self.power))
+            .collect();
+        let mut link_rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15));
+        let network = Network::from_topology(
+            &topo,
+            |i| Node::with_power(powers[i]),
+            |_, _| {
+                Link::new(
+                    sample(&mut link_rng, &self.bw_mbps),
+                    sample(&mut link_rng, &self.mld_ms),
+                )
+            },
+        )?;
+        let pipeline = self.pipeline.generate(&mut rng)?;
+
+        let src = NodeId(0);
+        let hops = elpc_netgraph::algo::hop_distances(network.graph(), src);
+        let budget = (self.modules - 1) as u32;
+        let dst = network
+            .node_ids()
+            .filter(|v| *v != src)
+            .filter_map(|v| hops[v.index()].map(|d| (d, v)))
+            .filter(|(d, _)| *d <= budget)
+            .max_by_key(|(d, v)| (*d, std::cmp::Reverse(v.0)))
+            .map(|(_, v)| v)
+            .ok_or_else(|| {
+                MappingError::Infeasible(
+                    "no destination is reachable within the module budget".into(),
+                )
+            })?;
+
+        Ok(ProblemInstance {
+            network,
+            pipeline,
+            src,
+            dst,
+            label: format!(
+                "m{} n{} l{} seed{seed}",
+                self.modules, self.nodes, self.links
+            ),
+        })
+    }
+}
+
+fn sample<R: Rng>(rng: &mut R, r: &Range<f64>) -> f64 {
+    if r.end > r.start {
+        rng.gen_range(r.start..r.end)
+    } else {
+        r.start
+    }
+}
+
+/// An owned problem instance: network + pipeline + pinned endpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProblemInstance {
+    /// The transport network.
+    pub network: Network,
+    /// The computing pipeline.
+    pub pipeline: Pipeline,
+    /// Source node (module 0 / raw data location).
+    pub src: NodeId,
+    /// Destination node (last module / end user).
+    pub dst: NodeId,
+    /// Human-readable label for tables.
+    pub label: String,
+}
+
+impl ProblemInstance {
+    /// Borrowed view for the solvers.
+    pub fn as_instance(&self) -> Instance<'_> {
+        Instance::new(&self.network, &self.pipeline, self.src, self.dst)
+            .expect("owned instances have valid endpoints")
+    }
+
+    /// `(modules, nodes, links)` — the row header of Fig. 2.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (
+            self.pipeline.len(),
+            self.network.node_count(),
+            self.network.link_count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = InstanceSpec::sized(6, 12, 24);
+        let a = spec.generate(7).unwrap();
+        let b = spec.generate(7).unwrap();
+        assert_eq!(a.network.node_count(), b.network.node_count());
+        assert_eq!(a.pipeline, b.pipeline);
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+        let c = spec.generate(8).unwrap();
+        assert!(a.pipeline != c.pipeline || a.dst != c.dst || {
+            // networks differ structurally almost surely; compare powers
+            let pa = a.network.power(NodeId(0));
+            let pc = c.network.power(NodeId(0));
+            pa != pc
+        });
+    }
+
+    #[test]
+    fn dims_match_the_spec() {
+        let spec = InstanceSpec::sized(8, 15, 40);
+        let inst = spec.generate(3).unwrap();
+        assert_eq!(inst.dims(), (8, 15, 40));
+        assert!(inst.network.validate().is_ok());
+    }
+
+    #[test]
+    fn endpoints_admit_a_delay_mapping() {
+        for seed in 0..20 {
+            let spec = InstanceSpec::sized(5, 10, 20);
+            let inst = spec.generate(seed).unwrap();
+            let view = inst.as_instance();
+            assert!(view.hop_feasible(true), "seed {seed} infeasible for delay");
+        }
+    }
+
+    #[test]
+    fn destination_prefers_distance() {
+        // with a huge module budget the farthest node is chosen
+        let spec = InstanceSpec::sized(64, 30, 45);
+        let inst = spec.generate(11).unwrap();
+        let hops = elpc_netgraph::algo::hop_distances(inst.network.graph(), inst.src);
+        let chosen = hops[inst.dst.index()].unwrap();
+        let max = inst
+            .network
+            .node_ids()
+            .filter_map(|v| hops[v.index()])
+            .max()
+            .unwrap();
+        assert_eq!(chosen, max);
+    }
+
+    #[test]
+    fn waxman_and_ring_topologies_generate() {
+        let mut spec = InstanceSpec::sized(5, 20, 40);
+        spec.topology = TopologyKind::Waxman {
+            alpha: 0.4,
+            beta: 0.4,
+        };
+        let inst = spec.generate(1).unwrap();
+        assert!(inst.network.validate().is_ok());
+        let mut spec = InstanceSpec::sized(5, 20, 30);
+        spec.topology = TopologyKind::RingWithChords;
+        let inst = spec.generate(1).unwrap();
+        assert_eq!(inst.network.link_count(), 30);
+    }
+
+    #[test]
+    fn labels_carry_dimensions() {
+        let spec = InstanceSpec::sized(5, 9, 14);
+        let inst = spec.generate(42).unwrap();
+        assert!(inst.label.contains("m5"));
+        assert!(inst.label.contains("n9"));
+        assert!(inst.label.contains("l14"));
+        assert!(inst.label.contains("seed42"));
+    }
+
+    #[test]
+    fn impossible_link_budgets_error() {
+        let spec = InstanceSpec::sized(5, 10, 3);
+        assert!(spec.generate(0).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # elpc-workloads — experiment instances and runners
+//!
+//! Everything §4.1 of the paper describes generating, plus the machinery to
+//! run the three algorithms over it:
+//!
+//! * [`InstanceSpec`] / [`ProblemInstance`] — seeded random (pipeline,
+//!   network, endpoints) instances with the paper's parameter ranges;
+//! * [`cases`] — the 20-case suite behind Fig. 2/5/6 (the published table's
+//!   exact random draws are unrecoverable from the scanned PDF, so the
+//!   suite is a seeded geometric progression anchored at the paper's worked
+//!   5-module/6-node small case — DESIGN.md §4);
+//! * [`compare`] — runs ELPC, Streamline, and Greedy on one instance for
+//!   both objectives, producing the row shape of Fig. 2;
+//! * [`sweep`] — a crossbeam-based parallel map that keeps experiment
+//!   wall-time reasonable on large suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod compare;
+mod instance;
+pub mod sweep;
+
+pub use instance::{InstanceSpec, ProblemInstance, TopologyKind};
+
+/// Result alias shared with the mapping crate.
+pub type Result<T> = std::result::Result<T, elpc_mapping::MappingError>;

@@ -1,0 +1,98 @@
+//! Parallel experiment sweeps.
+//!
+//! Large suites (hundreds of heuristic-gap instances, scaling curves) are
+//! embarrassingly parallel across instances. [`run_parallel`] is a
+//! deterministic-order parallel map built on crossbeam's scoped threads:
+//! work is pulled from an atomic counter, results land in their input slot,
+//! so the output order never depends on scheduling.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on `threads` worker threads, preserving input
+/// order in the output. `threads == 0` means "number of CPUs".
+///
+/// `f` must be `Sync` (it is shared by the workers) and is called exactly
+/// once per item.
+pub fn run_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let threads = threads.min(items.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot is filled exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_parallel(&items, 8, |_, &x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn passes_indices() {
+        let items = vec!["a", "b", "c"];
+        let out = run_parallel(&items, 2, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cpus() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = run_parallel(&items, 0, |_, &x| x + 1);
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[15], 16);
+    }
+
+    #[test]
+    fn single_item_single_thread() {
+        let out = run_parallel(&[42], 4, |_, &x: &i32| x);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = vec![];
+        let out = run_parallel(&items, 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_match_sequential_reference() {
+        let items: Vec<u64> = (0..257).collect();
+        let par = run_parallel(&items, 7, |i, &x| x * x + i as u64);
+        let seq: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * x + i as u64).collect();
+        assert_eq!(par, seq);
+    }
+}

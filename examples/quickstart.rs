@@ -1,0 +1,86 @@
+//! Quickstart: build a small network and pipeline, solve both objectives,
+//! and verify the answers by discrete-event execution.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use elpc::mapping::{elpc_delay, elpc_rate};
+use elpc::prelude::*;
+use elpc::simcore::{simulate, Workload};
+
+fn main() {
+    // --- the network: a small WAN with heterogeneous nodes and links ----
+    //
+    //      [0 src] --622 Mbps--> [1 cluster] --1000 Mbps--> [3 dst]
+    //          \                                            /
+    //           `------------ 45 Mbps ---- [2 archive] ----'
+    let mut b = Network::builder();
+    let src = b.add_node(2_000.0).unwrap(); // a storage server
+    let cluster = b.add_node(50_000.0).unwrap(); // a compute cluster
+    let archive = b.add_node(1_000.0).unwrap(); // a slow archive host
+    let dst = b.add_node(5_000.0).unwrap(); // the user's workstation
+    b.add_link(src, cluster, 622.0, 1.0).unwrap();
+    b.add_link(cluster, dst, 1000.0, 0.5).unwrap();
+    b.add_link(src, archive, 45.0, 10.0).unwrap();
+    b.add_link(archive, dst, 45.0, 10.0).unwrap();
+    b.add_link(cluster, archive, 155.0, 3.0).unwrap();
+    let network = b.build().unwrap();
+
+    // --- the pipeline: source → filter → render → display --------------
+    let pipeline = Pipeline::from_stages(
+        2e7,                        // the source holds a 20 MB dataset
+        &[(3.0, 4e6), (6.0, 1e6)], // filter shrinks it; render is heavy
+        0.5,                        // the display stage is light
+    )
+    .unwrap();
+
+    let inst = Instance::new(&network, &pipeline, src, dst).unwrap();
+    let cost = CostModel::default();
+
+    // --- interactive objective: minimum end-to-end delay ---------------
+    let delay = elpc_delay::solve(&inst, &cost).unwrap();
+    println!("minimum end-to-end delay: {:.1} ms", delay.delay_ms);
+    println!("  path (node per group): {:?}", delay.mapping.path());
+    println!("  modules per group:     {:?}", delay.mapping.group_sizes());
+    for stage in cost.stage_times(&inst, &delay.mapping).unwrap() {
+        match stage {
+            elpc::mapping::Stage::Compute { node, modules, ms, .. } => {
+                println!("  compute modules {modules:?} on node {node}: {ms:.1} ms")
+            }
+            elpc::mapping::Stage::Transfer { bytes, ms, .. } => {
+                println!("  transfer {bytes:.0} B: {ms:.1} ms")
+            }
+        }
+    }
+
+    // --- streaming objective: maximum frame rate ------------------------
+    let rate = elpc_rate::solve(&inst, &cost).unwrap();
+    println!(
+        "\nmaximum frame rate: {:.2} fps (bottleneck {:.1} ms)",
+        rate.frame_rate_fps(),
+        rate.bottleneck_ms
+    );
+    println!("  path: {:?}", rate.mapping.path());
+
+    // --- check both answers against the discrete-event simulator --------
+    let report = simulate(&inst, &cost, &delay.mapping, Workload::single()).unwrap();
+    println!(
+        "\nsimulated single-dataset delay: {:.1} ms (analytic {:.1} ms)",
+        report.end_to_end_delay_ms(0).unwrap(),
+        delay.delay_ms
+    );
+
+    let report = simulate(&inst, &cost, &rate.mapping, Workload::stream(60)).unwrap();
+    println!(
+        "simulated steady frame rate:    {:.2} fps (analytic {:.2} fps)",
+        report.steady_rate_fps().unwrap(),
+        rate.frame_rate_fps()
+    );
+    println!("\nbusiest resources:");
+    let mut utils = report.utilizations();
+    utils.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, u) in utils.iter().take(3) {
+        println!("  {name}: {:.0}% busy", u * 100.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! # elpc — Efficient Linear Pipeline Configuration
+//!
+//! A from-scratch Rust reproduction of **"Optimizing Network Performance of
+//! Computing Pipelines in Distributed Environments"** (Qishi Wu, Yi Gu,
+//! Mengxia Zhu, Nageswara S.V. Rao — IEEE IPDPS 2008).
+//!
+//! The paper maps the modules of a linear computing pipeline onto nodes of
+//! an arbitrary heterogeneous network to either **minimize end-to-end
+//! delay** (interactive applications; solved optimally in polynomial time
+//! by dynamic programming) or **maximize frame rate** (streaming
+//! applications; NP-complete without node reuse, solved heuristically).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use elpc::prelude::*;
+//!
+//! // a 3-node network: source — relay — display
+//! let mut b = Network::builder();
+//! let src = b.add_node(5_000.0).unwrap();   // ProcessingPower
+//! let relay = b.add_node(20_000.0).unwrap();
+//! let dst = b.add_node(2_000.0).unwrap();
+//! b.add_link(src, relay, 622.0, 1.0).unwrap(); // Mbps, MLD ms
+//! b.add_link(relay, dst, 100.0, 5.0).unwrap();
+//! let network = b.build().unwrap();
+//!
+//! // a 3-module pipeline: source → filter → display
+//! let pipeline = Pipeline::from_stages(
+//!     5e6,           // source dataset bytes
+//!     &[(2.0, 1e6)], // (complexity, output bytes) per stage
+//!     0.5,           // display complexity
+//! ).unwrap();
+//!
+//! let inst = Instance::new(&network, &pipeline, src, dst).unwrap();
+//! let cost = CostModel::default();
+//!
+//! // interactive: optimal minimum end-to-end delay (node reuse allowed)
+//! let delay = elpc::mapping::elpc_delay::solve(&inst, &cost).unwrap();
+//! assert!(delay.delay_ms > 0.0);
+//!
+//! // streaming: maximum frame rate (no node reuse)
+//! let rate = elpc::mapping::elpc_rate::solve(&inst, &cost).unwrap();
+//! assert!(rate.frame_rate_fps() > 0.0);
+//!
+//! // execute the chosen mapping in the discrete-event simulator
+//! let report = elpc::simcore::simulate(
+//!     &inst, &cost, &delay.mapping, elpc::simcore::Workload::single(),
+//! ).unwrap();
+//! assert!((report.end_to_end_delay_ms(0).unwrap() - delay.delay_ms).abs() < 1e-6);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`netgraph`] | graph substrate: adjacency graph, path algorithms, topology generators, DOT export |
+//! | [`netsim`] | network resource model: nodes, links, probe-based measurement, time dynamics |
+//! | [`pipeline`] | linear pipeline model, generators, the paper's motivating scenarios |
+//! | [`mapping`] | the paper's algorithms: ELPC delay/rate DPs, exact solvers, Streamline, Greedy |
+//! | [`simcore`] | discrete-event executor validating the analytic model |
+//! | [`workloads`] | experiment instances: the 20-case suite, comparison runner, parallel sweeps |
+//! | [`extensions`] | §5 future work: frame rate with reuse, DAG workflows, adaptive remapping |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use elpc_extensions as extensions;
+pub use elpc_mapping as mapping;
+pub use elpc_netgraph as netgraph;
+pub use elpc_netsim as netsim;
+pub use elpc_pipeline as pipeline;
+pub use elpc_simcore as simcore;
+pub use elpc_workloads as workloads;
+
+/// The types most programs need, in one import.
+pub mod prelude {
+    pub use elpc_mapping::{
+        CostModel, DelaySolution, Instance, Mapping, MappingError, RateSolution,
+    };
+    pub use elpc_netgraph::{EdgeId, NodeId};
+    pub use elpc_netsim::{Link, Network, Node};
+    pub use elpc_pipeline::{Module, Pipeline};
+}

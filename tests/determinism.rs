@@ -1,0 +1,87 @@
+//! Reproducibility guarantees: every component of the experiment stack is
+//! a pure function of its seeds — a hard requirement for a credible
+//! reproduction (same seed ⇒ same table, on any machine).
+
+use elpc::mapping::{elpc_delay, elpc_rate, streamline, CostModel};
+use elpc::simcore::{simulate, Workload};
+use elpc::workloads::{cases, compare, sweep, InstanceSpec};
+
+fn cost() -> CostModel {
+    CostModel::default()
+}
+
+#[test]
+fn instances_are_bitwise_reproducible() {
+    let spec = InstanceSpec::sized(8, 16, 40);
+    let a = spec.generate(123).unwrap();
+    let b = spec.generate(123).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.network).unwrap(),
+        serde_json::to_string(&b.network).unwrap()
+    );
+    assert_eq!(a.pipeline, b.pipeline);
+}
+
+#[test]
+fn solvers_are_deterministic() {
+    let owned = InstanceSpec::sized(7, 14, 30).generate(55).unwrap();
+    let inst = owned.as_instance();
+    let d1 = elpc_delay::solve(&inst, &cost()).unwrap();
+    let d2 = elpc_delay::solve(&inst, &cost()).unwrap();
+    assert_eq!(d1.mapping, d2.mapping);
+    assert_eq!(d1.delay_ms.to_bits(), d2.delay_ms.to_bits());
+    if let (Ok(r1), Ok(r2)) = (elpc_rate::solve(&inst, &cost()), elpc_rate::solve(&inst, &cost())) {
+        assert_eq!(r1.mapping, r2.mapping);
+    }
+    let s1 = streamline::solve_min_delay(&inst, &cost()).unwrap();
+    let s2 = streamline::solve_min_delay(&inst, &cost()).unwrap();
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let owned = InstanceSpec::sized(6, 12, 25).generate(7).unwrap();
+    let inst = owned.as_instance();
+    let sol = elpc_delay::solve(&inst, &cost()).unwrap();
+    let r1 = simulate(&inst, &cost(), &sol.mapping, Workload::stream(20)).unwrap();
+    let r2 = simulate(&inst, &cost(), &sol.mapping, Workload::stream(20)).unwrap();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn parallel_sweep_equals_sequential_run() {
+    // thread count must never change results (no data races, no
+    // order-dependence)
+    let specs = &cases::paper_cases()[..3];
+    let seq: Vec<compare::CaseResult> = specs
+        .iter()
+        .map(|s| compare::run_case(&s.generate().unwrap(), &cost()))
+        .collect();
+    let par = sweep::run_parallel(specs, 3, |_, s| {
+        compare::run_case(&s.generate().unwrap(), &cost())
+    });
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn suite_case_one_matches_published_seed_values() {
+    // pin the published-seed values of the smallest suite case: if the
+    // generator drifts, the recorded EXPERIMENTS.md numbers silently rot.
+    // (Update both together when intentionally changing the generator.)
+    let inst = cases::paper_cases()[0].generate().unwrap();
+    let view = inst.as_instance();
+    let d = elpc_delay::solve(&view, &cost()).unwrap();
+    assert!(
+        (d.delay_ms - 4243.6).abs() < 0.1,
+        "case 1 delay drifted: {:.1} (EXPERIMENTS.md records 4243.6)",
+        d.delay_ms
+    );
+    // note: the Fig. 2 table's 0.65 fps is the routed-overlay portfolio;
+    // the strict single-label DP pinned here lands on 0.43 fps
+    let r = elpc_rate::solve(&view, &cost()).unwrap();
+    assert!(
+        (r.frame_rate_fps() - 0.43).abs() < 0.01,
+        "case 1 strict rate drifted: {:.2} (pinned 0.43)",
+        r.frame_rate_fps()
+    );
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration: the full workflow a downstream user runs —
+//! generate/describe a network, build a pipeline, solve both objectives
+//! with every algorithm, execute the result in the simulator, and
+//! round-trip everything through serialization.
+
+use elpc::mapping::{elpc_delay, elpc_rate, exact, greedy, streamline, CostModel, Stage};
+use elpc::netsim::format;
+use elpc::prelude::*;
+use elpc::simcore::{simulate, Workload};
+use elpc::workloads::cases;
+
+fn cost() -> CostModel {
+    CostModel::default()
+}
+
+/// A hand-written network in the paper's text format, exercised end to end.
+const WAN_TEXT: &str = "\
+# three sites and a relay
+node 0 4000 10.0.1.1
+node 1 20000 10.0.2.1
+node 2 9000 10.0.3.1
+node 3 2500 10.0.4.1
+link 0 1 622 2.0
+link 1 2 1000 1.0
+link 2 3 100 5.0
+link 0 2 155 8.0
+link 1 3 45 12.0
+";
+
+#[test]
+fn parse_solve_simulate_roundtrip() {
+    let network = format::from_text(WAN_TEXT).expect("the fixture parses");
+    assert_eq!(network.node_count(), 4);
+    assert_eq!(network.link_count(), 5);
+
+    let pipeline = Pipeline::from_stages(3e6, &[(2.5, 8e5), (4.0, 2e5)], 0.8).unwrap();
+    let inst = Instance::new(&network, &pipeline, NodeId(0), NodeId(3)).unwrap();
+
+    // delay: DP vs exhaustive vs greedy
+    let dp = elpc_delay::solve(&inst, &cost()).unwrap();
+    let ex = exact::min_delay(&inst, &cost(), exact::ExactLimits::default()).unwrap();
+    assert!((dp.delay_ms - ex.delay_ms).abs() < 1e-6 * ex.delay_ms);
+    let g = greedy::solve_min_delay(&inst, &cost()).unwrap();
+    assert!(dp.delay_ms <= g.delay_ms + 1e-9);
+
+    // rate: heuristic vs exhaustive
+    let rate = elpc_rate::solve(&inst, &cost()).unwrap();
+    let ex_rate = exact::max_rate(&inst, &cost(), exact::ExactLimits::default()).unwrap();
+    assert!(ex_rate.bottleneck_ms <= rate.bottleneck_ms + 1e-9);
+
+    // streamline produces a pinned, evaluable placement
+    let sl = streamline::solve_min_delay(&inst, &cost()).unwrap();
+    assert_eq!(sl.assignment[0], NodeId(0));
+    assert_eq!(*sl.assignment.last().unwrap(), NodeId(3));
+
+    // simulate both optima and check the analytic agreement
+    let rep = simulate(&inst, &cost(), &dp.mapping, Workload::single()).unwrap();
+    assert!((rep.end_to_end_delay_ms(0).unwrap() - dp.delay_ms).abs() < 1e-6);
+    let rep = simulate(&inst, &cost(), &rate.mapping, Workload::stream(30)).unwrap();
+    assert!(
+        (rep.steady_interdeparture_ms().unwrap() - rate.bottleneck_ms).abs() < 1e-6
+    );
+
+    // round-trip the network description
+    let text = format::to_text(&network);
+    let back = format::from_text(&text).unwrap();
+    assert_eq!(back.node_count(), network.node_count());
+    assert_eq!(back.link_count(), network.link_count());
+
+    // and the solutions through JSON
+    let json = serde_json::to_string(&dp).unwrap();
+    let dp2: elpc::mapping::DelaySolution = serde_json::from_str(&json).unwrap();
+    assert_eq!(dp.mapping, dp2.mapping);
+}
+
+#[test]
+fn suite_prefix_runs_all_algorithms_consistently() {
+    for case in &cases::paper_cases()[..4] {
+        let owned = case.generate().unwrap();
+        let inst = owned.as_instance();
+        let dp = elpc_delay::solve(&inst, &cost()).unwrap();
+        // every solver's solution re-evaluates to its reported objective
+        let re = cost().delay_ms(&inst, &dp.mapping).unwrap();
+        assert!((re - dp.delay_ms).abs() < 1e-6 * dp.delay_ms.max(1.0));
+        if let Ok(rate) = elpc_rate::solve(&inst, &cost()) {
+            let re = cost().bottleneck_ms(&inst, &rate.mapping).unwrap();
+            assert!((re - rate.bottleneck_ms).abs() < 1e-6 * rate.bottleneck_ms.max(1.0));
+            // streaming throughput: simulate a short stream
+            let frames = 3 * owned.pipeline.len();
+            let rep = simulate(&inst, &cost(), &rate.mapping, Workload::stream(frames)).unwrap();
+            let gap = rep.steady_interdeparture_ms().unwrap();
+            assert!((gap - rate.bottleneck_ms).abs() < 1e-6 * rate.bottleneck_ms.max(1.0));
+        }
+    }
+}
+
+#[test]
+fn stage_breakdown_reconciles_with_objectives() {
+    let owned = cases::small_case().unwrap();
+    let inst = owned.as_instance();
+    let dp = elpc_delay::solve(&inst, &cost()).unwrap();
+    let stages = cost().stage_times(&inst, &dp.mapping).unwrap();
+    let sum: f64 = stages.iter().map(Stage::ms).sum();
+    let max = stages.iter().map(Stage::ms).fold(0.0, f64::max);
+    assert!((sum - dp.delay_ms).abs() < 1e-6 * dp.delay_ms);
+    assert!(max <= sum);
+    assert!(
+        stages.len() == 2 * dp.mapping.q() - 1,
+        "compute and transfer stages must alternate"
+    );
+}
+
+#[test]
+fn scenario_pipelines_map_onto_scenario_networks() {
+    // the §1 scenarios must be solvable on a reasonable WAN out of the box
+    let network = format::from_text(WAN_TEXT).unwrap();
+    for pipe in [
+        elpc::pipeline::scenarios::remote_visualization(1e7),
+        elpc::pipeline::scenarios::video_surveillance(1e6),
+    ] {
+        let inst = Instance::new(&network, &pipe, NodeId(0), NodeId(3)).unwrap();
+        let dp = elpc_delay::solve(&inst, &cost()).unwrap();
+        assert!(dp.delay_ms.is_finite() && dp.delay_ms > 0.0);
+        // with 6 modules on 4 nodes, streaming needs reuse: the strict
+        // solver must refuse and the extension must succeed
+        assert!(elpc_rate::solve(&inst, &cost()).is_err());
+        let grouped = elpc::extensions::reuse_rate::solve(&inst, &cost()).unwrap();
+        assert!(grouped.bottleneck_ms.is_finite());
+        let rep = simulate(
+            &inst,
+            &cost(),
+            &grouped.mapping,
+            Workload::stream(3 * pipe.len()),
+        )
+        .unwrap();
+        let gap = rep.steady_interdeparture_ms().unwrap();
+        assert!((gap - grouped.bottleneck_ms).abs() < 1e-6 * grouped.bottleneck_ms);
+    }
+}
+
+#[test]
+fn measurement_feeds_mapping() {
+    // estimate links from probes, build the network from estimates, map
+    use elpc::netsim::measure::{estimate_link, ProbePlan};
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let plan = ProbePlan {
+        repeats: 20,
+        noise_frac: 0.03,
+        ..ProbePlan::default()
+    };
+    let truth = [
+        Link::new(622.0, 2.0),
+        Link::new(1000.0, 1.0),
+        Link::new(100.0, 5.0),
+    ];
+    let mut b = Network::builder();
+    let n0 = b.add_node(4000.0).unwrap();
+    let n1 = b.add_node(20000.0).unwrap();
+    let n2 = b.add_node(9000.0).unwrap();
+    let n3 = b.add_node(2500.0).unwrap();
+    let est0 = estimate_link(&truth[0], &plan, &mut rng).unwrap().to_link();
+    let est1 = estimate_link(&truth[1], &plan, &mut rng).unwrap().to_link();
+    let est2 = estimate_link(&truth[2], &plan, &mut rng).unwrap().to_link();
+    b.add_link_payload(n0, n1, est0).unwrap();
+    b.add_link_payload(n1, n2, est1).unwrap();
+    b.add_link_payload(n2, n3, est2).unwrap();
+    let net = b.build().unwrap();
+    let pipe = Pipeline::from_stages(2e6, &[(1.5, 5e5), (3.0, 1e5)], 0.5).unwrap();
+    let inst = Instance::new(&net, &pipe, n0, n3).unwrap();
+    let sol = elpc_delay::solve(&inst, &cost()).unwrap();
+    assert!(sol.delay_ms.is_finite());
+    // estimates are near truth, so the mapped delay should be near the
+    // ground-truth mapped delay
+    let mut b2 = Network::builder();
+    let m0 = b2.add_node(4000.0).unwrap();
+    let m1 = b2.add_node(20000.0).unwrap();
+    let m2 = b2.add_node(9000.0).unwrap();
+    let m3 = b2.add_node(2500.0).unwrap();
+    b2.add_link_payload(m0, m1, truth[0].clone()).unwrap();
+    b2.add_link_payload(m1, m2, truth[1].clone()).unwrap();
+    b2.add_link_payload(m2, m3, truth[2].clone()).unwrap();
+    let net_true = b2.build().unwrap();
+    let inst_true = Instance::new(&net_true, &pipe, m0, m3).unwrap();
+    let sol_true = elpc_delay::solve(&inst_true, &cost()).unwrap();
+    let rel = (sol.delay_ms - sol_true.delay_ms).abs() / sol_true.delay_ms;
+    assert!(rel < 0.15, "estimated-network delay off by {:.0}%", rel * 100.0);
+}

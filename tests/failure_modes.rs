@@ -1,0 +1,190 @@
+//! Failure-injection and edge-case integration tests: how the stack
+//! behaves when inputs are degenerate, hostile, or at structural
+//! boundaries. A production library's error paths deserve the same
+//! coverage as its happy paths.
+
+use elpc::mapping::{elpc_delay, elpc_rate, CostModel, Instance, Mapping, MappingError};
+use elpc::prelude::*;
+use elpc::simcore::{simulate, Workload};
+
+fn cost() -> CostModel {
+    CostModel::default()
+}
+
+/// Minimal 2-node network.
+fn pair() -> Network {
+    let mut b = Network::builder();
+    let a = b.add_node(100.0).unwrap();
+    let c = b.add_node(100.0).unwrap();
+    b.add_link(a, c, 100.0, 1.0).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn smallest_possible_instance_works() {
+    // 2 modules, 2 nodes — the client/server degenerate case of §2.1
+    let net = pair();
+    let pipe = elpc::pipeline::scenarios::client_server(1e6, 2.0);
+    let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(1)).unwrap();
+    let d = elpc_delay::solve(&inst, &cost()).unwrap();
+    // transfer 1 MB over 100 Mbps (80 ms) + 1 MLD + compute 2e6/100
+    assert!((d.delay_ms - (81.0 + 20000.0)).abs() < 1e-9);
+    let r = elpc_rate::solve(&inst, &cost()).unwrap();
+    assert_eq!(r.mapping.q(), 2);
+}
+
+#[test]
+fn extreme_parameter_magnitudes_do_not_overflow() {
+    let mut b = Network::builder();
+    let a = b.add_node(1e-6).unwrap(); // nearly powerless
+    let c = b.add_node(1e12).unwrap(); // absurdly strong
+    b.add_link(a, c, 1e-3, 1e6).unwrap(); // dial-up with huge latency
+    let net = b.build().unwrap();
+    let pipe = Pipeline::from_stages(1e12, &[(1e3, 1e12)], 1e3).unwrap();
+    let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(1)).unwrap();
+    let d = elpc_delay::solve(&inst, &cost()).unwrap();
+    assert!(d.delay_ms.is_finite());
+    assert!(d.delay_ms > 0.0);
+    let stages = cost().stage_times(&inst, &d.mapping).unwrap();
+    assert!(stages.iter().all(|s| s.ms().is_finite()));
+}
+
+#[test]
+fn single_node_network_handles_colocated_endpoints() {
+    let mut b = Network::builder();
+    b.add_node(50.0).unwrap();
+    let net = b.build().unwrap();
+    let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4)], 1.0).unwrap();
+    let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(0)).unwrap();
+    // delay: everything runs locally
+    let d = elpc_delay::solve(&inst, &cost()).unwrap();
+    assert_eq!(d.mapping.q(), 1);
+    // rate without reuse: impossible (3 modules, 1 node)
+    assert!(matches!(
+        elpc_rate::solve(&inst, &cost()),
+        Err(MappingError::Infeasible(_))
+    ));
+    // rate WITH reuse: fine, single group
+    let g = elpc::extensions::reuse_rate::solve(&inst, &cost()).unwrap();
+    assert_eq!(g.mapping.q(), 1);
+}
+
+#[test]
+fn simulator_rejects_foreign_mappings() {
+    // a mapping built for one instance must not evaluate under another
+    let net = pair();
+    let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4)], 1.0).unwrap();
+    let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(1)).unwrap();
+    let foreign = Mapping::from_parts(vec![NodeId(1), NodeId(0)], vec![2, 1]).unwrap();
+    // wrong direction endpoints
+    assert!(simulate(&inst, &cost(), &foreign, Workload::single()).is_err());
+    // wrong module count
+    let short = Mapping::from_parts(vec![NodeId(0), NodeId(1)], vec![1, 1]).unwrap();
+    assert!(cost().delay_ms(&inst, &short).is_err());
+}
+
+#[test]
+fn long_pipeline_on_tiny_network_bounces() {
+    // 10 modules over 2 nodes: the walk must bounce 0↔1 or group heavily;
+    // the DP still finds the optimum and the simulator agrees
+    let net = pair();
+    let stages: Vec<(f64, f64)> = (0..8).map(|i| (0.5 + i as f64 * 0.1, 1e4)).collect();
+    let pipe = Pipeline::from_stages(1e5, &stages, 1.0).unwrap();
+    let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(1)).unwrap();
+    let d = elpc_delay::solve(&inst, &cost()).unwrap();
+    let rep = simulate(&inst, &cost(), &d.mapping, Workload::single()).unwrap();
+    assert!((rep.end_to_end_delay_ms(0).unwrap() - d.delay_ms).abs() < 1e-6);
+    // with only 2 nodes everything lands in at most 2 groups… unless
+    // bouncing pays; either way the mapping validates
+    d.mapping.validate(&inst, false).unwrap();
+}
+
+#[test]
+fn streaming_under_overload_grows_queues_not_errors() {
+    let net = pair();
+    let pipe = Pipeline::from_stages(1e6, &[], 5.0).unwrap(); // heavy sink
+    let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(1)).unwrap();
+    let r = elpc_rate::solve(&inst, &cost()).unwrap();
+    // inject 50 frames at 4x the sustainable rate
+    let pace = r.bottleneck_ms / 4.0;
+    let rep = simulate(&inst, &cost(), &r.mapping, Workload::paced(50, pace)).unwrap();
+    // throughput clamps to the bottleneck
+    let gap = rep.steady_interdeparture_ms().unwrap();
+    assert!((gap - r.bottleneck_ms).abs() < 1e-6);
+    // latency grows monotonically with frame index (queue build-up)
+    let d5 = rep.end_to_end_delay_ms(5).unwrap();
+    let d45 = rep.end_to_end_delay_ms(45).unwrap();
+    assert!(d45 > d5 * 2.0, "expected queueing growth: {d5} → {d45}");
+}
+
+#[test]
+fn zero_mld_and_zero_complexity_pipelines_are_legal() {
+    let mut b = Network::builder();
+    let a = b.add_node(10.0).unwrap();
+    let c = b.add_node(10.0).unwrap();
+    b.add_link(a, c, 100.0, 0.0).unwrap(); // zero MLD is allowed
+    let net = b.build().unwrap();
+    // all-zero complexities: a pure data-movement pipeline
+    let pipe = Pipeline::new(vec![
+        elpc::pipeline::Module::new(0.0, 1e6),
+        elpc::pipeline::Module::new(0.0, 1e6),
+        elpc::pipeline::Module::new(0.0, 0.0),
+    ])
+    .unwrap();
+    let inst = Instance::new(&net, &pipe, a, c).unwrap();
+    let d = elpc_delay::solve(&inst, &cost()).unwrap();
+    // only one transfer can be avoided by grouping; delay is pure transport
+    assert!(d.delay_ms > 0.0);
+    let r = elpc_rate::solve(&inst, &cost());
+    // 3 modules, 2 nodes: no-reuse infeasible
+    assert!(r.is_err());
+}
+
+#[test]
+fn mapping_error_messages_are_actionable() {
+    let net = pair();
+    let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4); 3], 1.0).unwrap(); // 5 modules
+    let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(1)).unwrap();
+    let err = elpc_rate::solve(&inst, &cost()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("5") && msg.contains("2"),
+        "message should cite the counts: {msg}"
+    );
+}
+
+#[test]
+fn dynamics_snapshots_keep_mappings_structurally_valid() {
+    use elpc::netsim::dynamics::{DynamicNetwork, LoadModel};
+    let net = pair();
+    let dyn_net = DynamicNetwork::new(
+        net,
+        vec![
+            LoadModel::RandomEpochs {
+                epoch_ms: 100.0,
+                floor: 0.3,
+                seed: 1,
+            };
+            2
+        ],
+        vec![LoadModel::Sinusoid {
+            period_ms: 500.0,
+            amplitude: 0.5,
+            phase_ms: 0.0,
+        }],
+    )
+    .unwrap();
+    let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4)], 1.0).unwrap();
+    // a mapping solved at t=0 stays *valid* (topology is static) at any t,
+    // even though its cost drifts
+    let snap0 = dyn_net.snapshot_at(0.0);
+    let inst0 = Instance::new(&snap0, &pipe, NodeId(0), NodeId(1)).unwrap();
+    let m = elpc_delay::solve(&inst0, &cost()).unwrap().mapping;
+    for t in [50.0, 250.0, 999.0, 12345.0] {
+        let snap = dyn_net.snapshot_at(t);
+        let inst = Instance::new(&snap, &pipe, NodeId(0), NodeId(1)).unwrap();
+        m.validate(&inst, false).unwrap();
+        let d = cost().delay_ms(&inst, &m).unwrap();
+        assert!(d.is_finite() && d > 0.0);
+    }
+}
