@@ -1,0 +1,70 @@
+//! The SolveContext payoff bench: cold solves (fresh context per solve —
+//! the pre-refactor behavior, every solver recomputing the routed metric
+//! closure) vs shared-context solves (one closure per instance) for every
+//! registered algorithm on a 50-node topology, plus the full roster both
+//! ways. The `BENCH_context_reuse.json` artifact tracks the speedup across
+//! commits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elpc_mapping::{registry, CostModel, SolveContext};
+use elpc_workloads::InstanceSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_context_reuse(c: &mut Criterion) {
+    let cost = CostModel::default();
+    // 50-node topology, pipeline long enough that the routed DPs touch
+    // many distinct payload sizes
+    let inst_owned = InstanceSpec::sized(16, 50, 220).generate(0xC0DE).unwrap();
+    let inst = inst_owned.as_instance();
+    // exact solvers are exponential; bench the polynomial roster
+    let roster: Vec<_> = registry()
+        .iter()
+        .copied()
+        .filter(|s| !s.name().starts_with("exact"))
+        .collect();
+
+    let mut group = c.benchmark_group("context_reuse");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for entry in &roster {
+        group.bench_with_input(BenchmarkId::new("cold", entry.name()), entry, |b, entry| {
+            b.iter(|| {
+                let ctx = SolveContext::new(inst, cost);
+                black_box(entry.solve(&ctx))
+            })
+        });
+        let warm = SolveContext::new(inst, cost);
+        let _ = entry.solve(&warm); // populate the closure
+        group.bench_with_input(
+            BenchmarkId::new("shared", entry.name()),
+            entry,
+            |b, entry| b.iter(|| black_box(entry.solve(&warm))),
+        );
+    }
+
+    // the comparison-harness shape: the whole roster on one instance
+    group.bench_function("roster_cold_context_per_solver", |b| {
+        b.iter(|| {
+            for entry in &roster {
+                let ctx = SolveContext::new(inst, cost);
+                black_box(entry.solve(&ctx).ok());
+            }
+        })
+    });
+    group.bench_function("roster_one_shared_context", |b| {
+        b.iter(|| {
+            let ctx = SolveContext::new(inst, cost);
+            for entry in &roster {
+                black_box(entry.solve(&ctx).ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_context_reuse);
+criterion_main!(benches);

@@ -3,14 +3,26 @@
 //!
 //! The published observation (§4.3) is that all three algorithms run in
 //! milliseconds-to-seconds; these benches regenerate that comparison with
-//! statistical rigor. Criterion parameters are tuned down so the full
-//! bench suite completes in minutes.
+//! statistical rigor. Algorithms are pulled from the `elpc_mapping` solver
+//! registry; every measured iteration builds a *cold* `SolveContext` so
+//! the cross-algorithm runtimes stay comparable (a warm shared context
+//! would serve Streamline's Dijkstra work from cache while the strict DPs
+//! do full work — the warm numbers live in the `context_reuse` bench).
+//! Criterion parameters are tuned down so the full bench suite completes
+//! in minutes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use elpc_mapping::{elpc_delay, elpc_rate, greedy, streamline, CostModel};
+use elpc_mapping::{solver, CostModel, SolveContext};
 use elpc_workloads::cases::paper_cases;
 use std::hint::black_box;
 use std::time::Duration;
+
+const SOLVERS: [&str; 4] = [
+    "elpc_delay",
+    "elpc_rate",
+    "streamline_delay",
+    "greedy_delay",
+];
 
 fn bench_fig2(c: &mut Criterion) {
     let cost = CostModel::default();
@@ -25,27 +37,17 @@ fn bench_fig2(c: &mut Criterion) {
         let case = &cases[idx];
         let inst_owned = case.generate().expect("suite cases generate");
         let label = format!("m{}_n{}_l{}", case.modules, case.nodes, case.links);
+        let inst = inst_owned.as_instance();
 
-        group.bench_with_input(BenchmarkId::new("elpc_delay", &label), &inst_owned, |b, io| {
-            let inst = io.as_instance();
-            b.iter(|| black_box(elpc_delay::solve(&inst, &cost)))
-        });
-        group.bench_with_input(BenchmarkId::new("elpc_rate", &label), &inst_owned, |b, io| {
-            let inst = io.as_instance();
-            b.iter(|| black_box(elpc_rate::solve(&inst, &cost)))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("streamline_delay", &label),
-            &inst_owned,
-            |b, io| {
-                let inst = io.as_instance();
-                b.iter(|| black_box(streamline::solve_min_delay(&inst, &cost)))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("greedy_delay", &label), &inst_owned, |b, io| {
-            let inst = io.as_instance();
-            b.iter(|| black_box(greedy::solve_min_delay(&inst, &cost)))
-        });
+        for name in SOLVERS {
+            let entry = solver(name).expect("registered");
+            group.bench_with_input(BenchmarkId::new(name, &label), &inst, |b, inst| {
+                b.iter(|| {
+                    let ctx = SolveContext::new(*inst, cost);
+                    black_box(entry.solve(&ctx))
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -4,10 +4,13 @@
 //!
 //! The gap *quality* numbers come from `elpc-experiments --bin
 //! ablation_gap`; this bench measures what the extra labels cost in time.
+//! The label-width sweep necessarily calls `solve_with` directly (the
+//! registry entries carry fixed configurations); the exact enumerator and
+//! the production rate portfolio are benched through the registry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elpc_mapping::elpc_rate::{solve_with, RateConfig};
-use elpc_mapping::{exact, CostModel};
+use elpc_mapping::{solver, CostModel, SolveContext};
 use elpc_workloads::InstanceSpec;
 use std::hint::black_box;
 use std::time::Duration;
@@ -32,9 +35,15 @@ fn bench_gap(c: &mut Criterion) {
             b.iter(|| black_box(solve_with(&inst, &cost, RateConfig { k_labels: k })))
         });
     }
+    let exact_rate = solver("exact_rate").expect("registered");
     group.bench_function("exact_rate_small", |b| {
-        let inst = small.as_instance();
-        b.iter(|| black_box(exact::max_rate(&inst, &cost, exact::ExactLimits::default())))
+        let ctx = SolveContext::new(small.as_instance(), cost);
+        b.iter(|| black_box(exact_rate.solve(&ctx)))
+    });
+    let portfolio = solver("elpc_rate_routed").expect("registered");
+    group.bench_function("rate_portfolio_medium", |b| {
+        let ctx = SolveContext::new(medium.as_instance(), cost);
+        b.iter(|| black_box(portfolio.solve(&ctx)))
     });
     group.finish();
 }

@@ -1,22 +1,24 @@
 //! Criterion benches for the §4.3 scaling claim (experiment E7): solver
 //! runtime as a function of problem size, verifying the published
 //! complexity classes (`O(n·|E|)` ELPC-delay, `O(m·n²)` Streamline,
-//! `O(m·n)` Greedy).
+//! `O(m·n)` Greedy). Algorithms come from the solver registry; each
+//! measured iteration builds a *cold* `SolveContext` so Streamline's
+//! per-stage Dijkstra work — the thing the complexity class describes —
+//! is actually inside the measurement. (Warm shared-context timings live
+//! in the `context_reuse` bench.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use elpc_mapping::{elpc_delay, greedy, streamline, CostModel};
+use elpc_mapping::{solver, CostModel, SolveContext};
 use elpc_workloads::InstanceSpec;
 use std::hint::black_box;
 use std::time::Duration;
 
+const SOLVERS: [&str; 3] = ["elpc_delay", "streamline_delay", "greedy_delay"];
+
 fn bench_scaling(c: &mut Criterion) {
     let cost = CostModel::default();
-    let sweep: Vec<(usize, usize, usize)> = vec![
-        (10, 25, 80),
-        (20, 50, 250),
-        (40, 100, 800),
-        (80, 200, 3000),
-    ];
+    let sweep: Vec<(usize, usize, usize)> =
+        vec![(10, 25, 80), (20, 50, 250), (40, 100, 800), (80, 200, 3000)];
     let mut group = c.benchmark_group("scaling");
     group
         .sample_size(10)
@@ -29,22 +31,16 @@ fn bench_scaling(c: &mut Criterion) {
         // n·|E| is the DP's work unit; report throughput in those terms
         group.throughput(Throughput::Elements((m * l * 2) as u64));
         let label = format!("m{m}_n{n}_l{l}");
-        group.bench_with_input(BenchmarkId::new("elpc_delay", &label), &inst_owned, |b, io| {
-            let inst = io.as_instance();
-            b.iter(|| black_box(elpc_delay::solve(&inst, &cost)))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("streamline_delay", &label),
-            &inst_owned,
-            |b, io| {
-                let inst = io.as_instance();
-                b.iter(|| black_box(streamline::solve_min_delay(&inst, &cost)))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("greedy_delay", &label), &inst_owned, |b, io| {
-            let inst = io.as_instance();
-            b.iter(|| black_box(greedy::solve_min_delay(&inst, &cost)))
-        });
+        let inst = inst_owned.as_instance();
+        for name in SOLVERS {
+            let entry = solver(name).expect("registered");
+            group.bench_with_input(BenchmarkId::new(name, &label), &inst, |b, inst| {
+                b.iter(|| {
+                    let ctx = SolveContext::new(*inst, cost);
+                    black_box(entry.solve(&ctx))
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -4,7 +4,8 @@
 //! only `m/b` (DESIGN.md erratum 1). This ablation quantifies what the
 //! term is worth: both optimal objectives over the 20-case suite with
 //! `include_mld` on vs off, plus how often the *chosen mapping itself*
-//! changes.
+//! changes. Solvers come from the registry; each cost-model variant gets
+//! its own `SolveContext` (the closure is keyed by the cost model).
 //!
 //! ```text
 //! cargo run --release -p elpc-experiments --bin ablation_mld
@@ -13,21 +14,25 @@
 //! Artifact: `results/ablation_mld.csv`.
 
 use elpc_experiments::{results_dir, save_csv};
-use elpc_mapping::{elpc_delay, elpc_rate, CostModel};
+use elpc_mapping::{solver, CostModel, Solution, SolveContext};
 use elpc_workloads::{cases, sweep};
 
 fn main() {
     let with = CostModel { include_mld: true };
     let without = CostModel { include_mld: false };
     let specs = cases::paper_cases();
+    let delay = solver("elpc_delay").expect("registered");
+    let rate = solver("elpc_rate").expect("registered");
 
     let rows = sweep::run_parallel(&specs, 0, |_, spec| {
         let inst_owned = spec.generate().expect("suite cases generate");
         let inst = inst_owned.as_instance();
-        let d_with = elpc_delay::solve(&inst, &with).ok();
-        let d_without = elpc_delay::solve(&inst, &without).ok();
-        let r_with = elpc_rate::solve(&inst, &with).ok();
-        let r_without = elpc_rate::solve(&inst, &without).ok();
+        let ctx_with = SolveContext::new(inst, with);
+        let ctx_without = SolveContext::new(inst, without);
+        let d_with = delay.solve(&ctx_with).ok();
+        let d_without = delay.solve(&ctx_without).ok();
+        let r_with = rate.solve(&ctx_with).ok();
+        let r_without = rate.solve(&ctx_without).ok();
         (spec.number, d_with, d_without, r_with, r_without)
     });
 
@@ -53,17 +58,17 @@ fn main() {
         "rate_without_mld_ms".into(),
         "rate_mapping_changed".into(),
     ]];
+    let changed = |a: &Option<Solution>, b: &Option<Solution>| -> (f64, f64, bool) {
+        match (a, b) {
+            (Some(x), Some(y)) => (x.objective_ms, y.objective_ms, x.assignment != y.assignment),
+            _ => (f64::NAN, f64::NAN, false),
+        }
+    };
     let mut delay_changed = 0usize;
     let mut rate_changed = 0usize;
     for (case, d_with, d_without, r_with, r_without) in rows {
-        let (dw, dwo, d_re) = match (&d_with, &d_without) {
-            (Some(a), Some(b)) => (a.delay_ms, b.delay_ms, a.mapping != b.mapping),
-            _ => (f64::NAN, f64::NAN, false),
-        };
-        let (rw, rwo, r_re) = match (&r_with, &r_without) {
-            (Some(a), Some(b)) => (a.bottleneck_ms, b.bottleneck_ms, a.mapping != b.mapping),
-            _ => (f64::NAN, f64::NAN, false),
-        };
+        let (dw, dwo, d_re) = changed(&d_with, &d_without);
+        let (rw, rwo, r_re) = changed(&r_with, &r_without);
         delay_changed += usize::from(d_re);
         rate_changed += usize::from(r_re);
         println!(

@@ -10,7 +10,7 @@
 //! Artifacts: `results/fig3_min_delay.dot`, `results/fig4_max_rate.dot`.
 
 use elpc_experiments::results_dir;
-use elpc_mapping::{elpc_delay, elpc_rate, CostModel, Mapping, NodeId, Stage};
+use elpc_mapping::{solver, CostModel, Mapping, NodeId, SolveContext, Stage};
 use elpc_netgraph::dot::{to_dot, DotOptions};
 use elpc_workloads::cases::small_case;
 
@@ -18,6 +18,7 @@ fn main() {
     let inst_owned = small_case().expect("the small case generates");
     let inst = inst_owned.as_instance();
     let cost = CostModel::default();
+    let ctx = SolveContext::new(inst, cost);
 
     println!("=== the Fig. 3/4 worked instance ===");
     println!(
@@ -33,23 +34,28 @@ fn main() {
     println!();
 
     // ---- Fig. 3: minimum end-to-end delay with node reuse --------------
-    let delay = elpc_delay::solve(&inst, &cost).expect("the small case is delay-feasible");
+    let delay = solver("elpc_delay")
+        .expect("registered")
+        .solve(&ctx)
+        .expect("the small case is delay-feasible");
+    let delay_mapping = delay.mapping.as_ref().expect("strict DP yields a mapping");
     println!("--- Fig. 3: minimum end-to-end delay (node reuse) ---");
-    println!("total delay: {:.1} ms", delay.delay_ms);
-    print_mapping(&inst, &cost, &delay.mapping);
-    write_dot(&inst_owned, &delay.mapping, "fig3_min_delay", "Fig3");
+    println!("total delay: {:.1} ms", delay.objective_ms);
+    print_mapping(&inst, &cost, delay_mapping);
+    write_dot(&inst_owned, delay_mapping, "fig3_min_delay", "Fig3");
 
     // ---- Fig. 4: maximum frame rate without node reuse ------------------
-    match elpc_rate::solve(&inst, &cost) {
+    match solver("elpc_rate").expect("registered").solve(&ctx) {
         Ok(rate) => {
+            let rate_mapping = rate.mapping.as_ref().expect("strict DP yields a mapping");
             println!("\n--- Fig. 4: maximum frame rate (no node reuse) ---");
             println!(
                 "frame rate: {:.2} fps (bottleneck {:.1} ms)",
                 rate.frame_rate_fps(),
-                rate.bottleneck_ms
+                rate.objective_ms
             );
-            print_mapping(&inst, &cost, &rate.mapping);
-            let b = cost.bottleneck_stage(&inst, &rate.mapping).unwrap();
+            print_mapping(&inst, &cost, rate_mapping);
+            let b = cost.bottleneck_stage(&inst, rate_mapping).unwrap();
             match b {
                 Stage::Compute { node, modules, ms, .. } => println!(
                     "bottleneck: computing modules {modules:?} on node {node} ({ms:.1} ms)"
@@ -62,7 +68,7 @@ fn main() {
                     "bottleneck: transferring {bytes:.0} B after position {from_position} ({ms:.1} ms)"
                 ),
             }
-            write_dot(&inst_owned, &rate.mapping, "fig4_max_rate", "Fig4");
+            write_dot(&inst_owned, rate_mapping, "fig4_max_rate", "Fig4");
         }
         Err(e) => println!("\nFig. 4 mapping infeasible on this draw: {e}"),
     }
@@ -70,17 +76,17 @@ fn main() {
 
 /// ASCII rendering in the style of the paper's figures: modules above,
 /// selected nodes below.
-fn print_mapping(
-    inst: &elpc_mapping::Instance<'_>,
-    cost: &CostModel,
-    mapping: &Mapping,
-) {
+fn print_mapping(inst: &elpc_mapping::Instance<'_>, cost: &CostModel, mapping: &Mapping) {
     let assignment = mapping.assignment();
     let mods: Vec<String> = (0..assignment.len()).map(|j| format!("Mod{j}")).collect();
     println!("  pipeline: {}", mods.join(" -> "));
     let hosts: Vec<String> = assignment.iter().map(|n| format!("N{n}")).collect();
     println!("  hosts:    {}", hosts.join("    "));
-    println!("  path:     {:?}  groups: {:?}", mapping.path(), mapping.group_sizes());
+    println!(
+        "  path:     {:?}  groups: {:?}",
+        mapping.path(),
+        mapping.group_sizes()
+    );
     for stage in cost.stage_times(inst, mapping).expect("valid mapping") {
         match stage {
             Stage::Compute {
@@ -104,12 +110,7 @@ fn print_mapping(
 }
 
 /// DOT export with the chosen path and module groups as labels.
-fn write_dot(
-    inst: &elpc_workloads::ProblemInstance,
-    mapping: &Mapping,
-    file: &str,
-    name: &str,
-) {
+fn write_dot(inst: &elpc_workloads::ProblemInstance, mapping: &Mapping, file: &str, name: &str) {
     let on_path: std::collections::BTreeMap<NodeId, Vec<usize>> = {
         let mut m: std::collections::BTreeMap<NodeId, Vec<usize>> = Default::default();
         for (j, node) in mapping.assignment().into_iter().enumerate() {

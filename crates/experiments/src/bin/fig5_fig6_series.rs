@@ -51,7 +51,8 @@ fn main() {
 
     // qualitative checks the paper reports for these figures
     let delays: Vec<f64> = rows.iter().filter_map(|r| r.delay_elpc.ms()).collect();
-    let first_half: f64 = delays[..delays.len() / 2].iter().sum::<f64>() / (delays.len() / 2) as f64;
+    let first_half: f64 =
+        delays[..delays.len() / 2].iter().sum::<f64>() / (delays.len() / 2) as f64;
     let second_half: f64 =
         delays[delays.len() / 2..].iter().sum::<f64>() / (delays.len() - delays.len() / 2) as f64;
     println!("Fig. 5 shape: mean ELPC delay grows from {first_half:.0} ms (cases 1-10) to {second_half:.0} ms (cases 11-20)");

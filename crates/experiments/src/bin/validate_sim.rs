@@ -1,5 +1,7 @@
 //! Experiment V1: the analytic cost model (Eq. 1/2) vs discrete-event
 //! execution, on the suite prefix and the two §1 scenario pipelines.
+//! Mappings come from the registry's strict DP solvers (the simulator
+//! executes adjacent-path mappings).
 //!
 //! ```text
 //! cargo run --release -p elpc-experiments --bin validate_sim
@@ -8,12 +10,14 @@
 //! Artifact: `results/validate_sim.csv`.
 
 use elpc_experiments::{results_dir, save_csv};
-use elpc_mapping::{elpc_delay, elpc_rate, CostModel, Instance};
+use elpc_mapping::{solver, CostModel, Instance, SolveContext};
 use elpc_simcore::{simulate, Workload};
 use elpc_workloads::cases;
 
 fn main() {
     let cost = CostModel::default();
+    let delay_solver = solver("elpc_delay").expect("registered");
+    let rate_solver = solver("elpc_rate").expect("registered");
     let mut rows = vec![vec![
         "instance".to_string(),
         "analytic_delay_ms".to_string(),
@@ -53,37 +57,40 @@ fn main() {
     for owned in &checks {
         let inst = Instance::new(&owned.network, &owned.pipeline, owned.src, owned.dst)
             .expect("owned instances are valid");
-        let delay = elpc_delay::solve(&inst, &cost).expect("delay-feasible");
-        let sim_delay = simulate(&inst, &cost, &delay.mapping, Workload::single())
+        let ctx = SolveContext::new(inst, cost);
+        let delay = delay_solver.solve(&ctx).expect("delay-feasible");
+        let delay_mapping = delay.mapping.as_ref().expect("strict DP yields a mapping");
+        let sim_delay = simulate(&inst, &cost, delay_mapping, Workload::single())
             .unwrap()
             .end_to_end_delay_ms(0)
             .unwrap();
-        let (a_fps, s_fps) = match elpc_rate::solve(&inst, &cost) {
+        let (a_fps, s_fps) = match rate_solver.solve(&ctx) {
             Ok(rate) => {
                 let frames = 4 * owned.pipeline.len().max(5);
-                let rep = simulate(&inst, &cost, &rate.mapping, Workload::stream(frames)).unwrap();
+                let mapping = rate.mapping.as_ref().expect("strict DP yields a mapping");
+                let rep = simulate(&inst, &cost, mapping, Workload::stream(frames)).unwrap();
                 (rate.frame_rate_fps(), rep.steady_rate_fps().unwrap())
             }
             Err(_) => (f64::NAN, f64::NAN),
         };
         println!(
             "{:<44} {:>13.2} {:>13.2} {:>9.3} {:>9.3}",
-            owned.label, delay.delay_ms, sim_delay, a_fps, s_fps
+            owned.label, delay.objective_ms, sim_delay, a_fps, s_fps
         );
-        max_rel_err = max_rel_err.max((sim_delay - delay.delay_ms).abs() / delay.delay_ms);
+        max_rel_err = max_rel_err.max((sim_delay - delay.objective_ms).abs() / delay.objective_ms);
         if a_fps.is_finite() {
             max_rel_err = max_rel_err.max((s_fps - a_fps).abs() / a_fps);
         }
         rows.push(vec![
             owned.label.clone(),
-            format!("{:.4}", delay.delay_ms),
+            format!("{:.4}", delay.objective_ms),
             format!("{sim_delay:.4}"),
             format!("{a_fps:.4}"),
             format!("{s_fps:.4}"),
         ]);
     }
     save_csv(&results_dir().join("validate_sim.csv"), &rows);
-    println!("\nmaximum relative deviation: {:.2e} (zero up to float rounding)", max_rel_err);
+    println!("\nmaximum relative deviation: {max_rel_err:.2e} (zero up to float rounding)");
     assert!(
         max_rel_err < 1e-6,
         "simulation diverged from the analytic model"

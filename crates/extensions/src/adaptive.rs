@@ -7,7 +7,11 @@
 //! pipeline) re-configures when conditions change; this module reproduces
 //! that control loop on top of [`elpc_netsim::dynamics::DynamicNetwork`]:
 //!
-//! 1. every `period_ms`, snapshot the network and re-run the ELPC-delay DP;
+//! 1. every `period_ms`, snapshot the network and re-solve through a
+//!    registered [`Solver`] (the ELPC-delay DP by default) — re-mapping is
+//!    the hottest repeated-solve path in the stack, so each epoch builds
+//!    one [`SolveContext`] and the candidate solve plus both strategy
+//!    re-evaluations share its metric closure;
 //! 2. switch to the new mapping only when it improves on the retained one
 //!    by more than the `hysteresis` fraction (switching costs real time —
 //!    pipeline drain + redeploy — modeled as `switch_cost_ms` added to the
@@ -15,7 +19,9 @@
 //! 3. compare against the *static* strategy that keeps the epoch-0 mapping
 //!    forever.
 
-use elpc_mapping::{elpc_delay, CostModel, Instance, Mapping, MappingError};
+use elpc_mapping::{
+    routed, solver, CostModel, Instance, MappingError, Objective, Solution, SolveContext, Solver,
+};
 use elpc_netgraph::NodeId;
 use elpc_netsim::dynamics::DynamicNetwork;
 use elpc_pipeline::Pipeline;
@@ -83,8 +89,8 @@ impl AdaptiveReport {
     }
 }
 
-/// Runs the adaptive control loop for `horizon_ms` of simulated time,
-/// optimizing the interactive (minimum-delay) objective.
+/// Runs the adaptive control loop for `horizon_ms` of simulated time with
+/// the registry's optimal ELPC-delay DP as the re-mapping solver.
 pub fn run_delay_adaptation(
     dyn_net: &DynamicNetwork,
     pipeline: &Pipeline,
@@ -94,6 +100,49 @@ pub fn run_delay_adaptation(
     config: AdaptiveConfig,
     horizon_ms: f64,
 ) -> crate::Result<AdaptiveReport> {
+    run_adaptation(
+        dyn_net,
+        pipeline,
+        src,
+        dst,
+        cost,
+        config,
+        horizon_ms,
+        solver("elpc_delay").expect("elpc_delay is registered"),
+    )
+}
+
+/// Evaluates a retained solution's delay on the current snapshot: strict
+/// Eq. 1 when the solver produced an adjacent-path mapping, routed
+/// semantics otherwise — the same semantics its `objective_ms` was
+/// reported under, so hysteresis compares like with like.
+fn current_delay(ctx: &SolveContext<'_>, sol: &Solution) -> crate::Result<f64> {
+    match &sol.mapping {
+        Some(m) => ctx.cost().delay_ms(ctx.instance(), m),
+        None => routed::routed_delay_ms_ctx(ctx, &sol.assignment),
+    }
+}
+
+/// Runs the adaptive control loop with any registered minimum-delay
+/// [`Solver`] — the generic form behind [`run_delay_adaptation`]. Rejects
+/// rate-objective solvers with [`MappingError::BadConfig`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptation(
+    dyn_net: &DynamicNetwork,
+    pipeline: &Pipeline,
+    src: NodeId,
+    dst: NodeId,
+    cost: &CostModel,
+    config: AdaptiveConfig,
+    horizon_ms: f64,
+    remap_solver: &dyn Solver,
+) -> crate::Result<AdaptiveReport> {
+    if remap_solver.objective() != Objective::MinDelay {
+        return Err(MappingError::BadConfig(format!(
+            "adaptive remapping optimizes delay; solver `{}` optimizes rate",
+            remap_solver.name()
+        )));
+    }
     if !(config.period_ms > 0.0) {
         return Err(MappingError::BadConfig(format!(
             "period must be positive, got {}",
@@ -114,40 +163,40 @@ pub fn run_delay_adaptation(
 
     let mut epochs = Vec::new();
     let mut switches = 0usize;
-    let mut retained: Option<Mapping> = None;
-    let mut static_mapping: Option<Mapping> = None;
+    let mut retained: Option<Solution> = None;
+    let mut static_solution: Option<Solution> = None;
 
     let mut t = 0.0;
     while t < horizon_ms {
         let snapshot = dyn_net.snapshot_at(t);
         let inst = Instance::new(&snapshot, pipeline, src, dst)?;
-        let candidate = elpc_delay::solve(&inst, cost)?;
+        // one context per epoch: the candidate solve and both strategy
+        // re-evaluations share this snapshot's metric closure
+        let ctx = SolveContext::new(inst, *cost);
+        let candidate = remap_solver.solve(&ctx)?;
 
         let (adaptive_delay, switched) = match &retained {
             None => {
                 // epoch 0: adopt the candidate; no switch is counted
-                retained = Some(candidate.mapping.clone());
-                static_mapping = Some(candidate.mapping.clone());
-                (candidate.delay_ms, false)
+                retained = Some(candidate.clone());
+                static_solution = Some(candidate.clone());
+                (candidate.objective_ms, false)
             }
             Some(current) => {
-                let current_delay = cost.delay_ms(&inst, current)?;
-                if candidate.delay_ms < current_delay * (1.0 - config.hysteresis) {
-                    retained = Some(candidate.mapping.clone());
+                let current_delay = current_delay(&ctx, current)?;
+                if candidate.objective_ms < current_delay * (1.0 - config.hysteresis) {
+                    retained = Some(candidate.clone());
                     switches += 1;
-                    (candidate.delay_ms + config.switch_cost_ms, true)
+                    (candidate.objective_ms + config.switch_cost_ms, true)
                 } else {
                     (current_delay, false)
                 }
             }
         };
-        let static_delay = cost.delay_ms(
-            &inst,
-            static_mapping.as_ref().expect("set at epoch 0"),
-        )?;
+        let static_delay = current_delay(&ctx, static_solution.as_ref().expect("set at epoch 0"))?;
         epochs.push(EpochRecord {
             t_ms: t,
-            candidate_delay_ms: candidate.delay_ms,
+            candidate_delay_ms: candidate.objective_ms,
             adaptive_delay_ms: adaptive_delay,
             static_delay_ms: static_delay,
             switched,
@@ -344,16 +393,43 @@ mod tests {
             period_ms: 0.0,
             ..Default::default()
         };
-        assert!(run_delay_adaptation(&dyn_net, &pipe(), NodeId(0), NodeId(3), &cost(), bad_period, 1000.0).is_err());
+        assert!(run_delay_adaptation(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            bad_period,
+            1000.0
+        )
+        .is_err());
         let bad_hyst = AdaptiveConfig {
             hysteresis: -0.5,
             ..Default::default()
         };
-        assert!(run_delay_adaptation(&dyn_net, &pipe(), NodeId(0), NodeId(3), &cost(), bad_hyst, 1000.0).is_err());
+        assert!(run_delay_adaptation(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            bad_hyst,
+            1000.0
+        )
+        .is_err());
         let short = AdaptiveConfig {
             period_ms: 1000.0,
             ..Default::default()
         };
-        assert!(run_delay_adaptation(&dyn_net, &pipe(), NodeId(0), NodeId(3), &cost(), short, 500.0).is_err());
+        assert!(run_delay_adaptation(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            short,
+            500.0
+        )
+        .is_err());
     }
 }

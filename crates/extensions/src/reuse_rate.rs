@@ -72,7 +72,9 @@ pub fn solve_with(
     config: ReuseRateConfig,
 ) -> crate::Result<RateSolution> {
     if config.k_labels == 0 {
-        return Err(MappingError::BadConfig("k_labels must be at least 1".into()));
+        return Err(MappingError::BadConfig(
+            "k_labels must be at least 1".into(),
+        ));
     }
     let net = inst.network;
     let pipe = inst.pipeline;
@@ -132,10 +134,7 @@ pub fn solve_with(
                 if label.mask_contains(v) {
                     continue; // simple path: no node revisits
                 }
-                let closed = label
-                    .closed
-                    .max(label.open_work / u_power)
-                    .max(transfer);
+                let closed = label.closed.max(label.open_work / u_power).max(transfer);
                 insert(
                     &mut cur[v],
                     Label {
@@ -254,7 +253,7 @@ pub fn exact(
                     let mapping = Mapping::from_parts(path.to_vec(), sizes.clone())
                         .expect("composition sizes are positive");
                     if let Ok(b) = cost.bottleneck_ms(inst, &mapping) {
-                        if best.as_ref().map_or(true, |s| b < s.bottleneck_ms) {
+                        if best.as_ref().is_none_or(|s| b < s.bottleneck_ms) {
                             best = Some(RateSolution {
                                 mapping,
                                 bottleneck_ms: b,

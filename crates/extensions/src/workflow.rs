@@ -122,9 +122,8 @@ impl DagWorkflow {
         for (_, e) in self.graph.edges() {
             indeg[e.dst.index()] += 1;
         }
-        let mut ready: std::collections::VecDeque<usize> = (0..n)
-            .filter(|&i| indeg[i] == 0)
-            .collect();
+        let mut ready: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = ready.pop_front() {
             order.push(i);
@@ -146,12 +145,10 @@ impl DagWorkflow {
 
     /// Successor edges of module `i` as `(successor, bytes)`.
     fn successors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.graph
-            .neighbors(NodeId::from_index(i))
-            .map(move |nb| {
-                let e = self.graph.edge(nb.edge).expect("valid edge");
-                (nb.node.index(), e.payload)
-            })
+        self.graph.neighbors(NodeId::from_index(i)).map(move |nb| {
+            let e = self.graph.edge(nb.edge).expect("valid edge");
+            (nb.node.index(), e.payload)
+        })
     }
 
     /// Predecessor edges of module `i` as `(predecessor, bytes)`.
@@ -214,7 +211,11 @@ pub fn map_dag(
         bw_sum += e.payload.bw_mbps;
         bw_cnt += 1;
     }
-    let avg_bw = if bw_cnt > 0 { bw_sum / bw_cnt as f64 } else { 1.0 };
+    let avg_bw = if bw_cnt > 0 {
+        bw_sum / bw_cnt as f64
+    } else {
+        1.0
+    };
     let mut rank = vec![0.0_f64; n];
     for &i in order.iter().rev() {
         let own = wf.compute_work(i) / avg_power;
@@ -240,6 +241,11 @@ pub fn map_dag(
     });
 
     // --- EFT placement ---
+    // one metric closure for the whole placement: every (predecessor host,
+    // payload) transfer tree is computed once and read k times across the
+    // candidate loop, instead of one throwaway Dijkstra per (candidate,
+    // predecessor) query
+    let closure = elpc_mapping::MetricClosure::new(net, *cost);
     let mut host: Vec<Option<NodeId>> = vec![None; n];
     let mut finish = vec![f64::NAN; n];
     let mut start = vec![f64::NAN; n];
@@ -263,7 +269,7 @@ pub fn map_dag(
                 let t = if hp == v {
                     0.0
                 } else {
-                    match elpc_mapping::routed::routed_transfer_ms(net, cost, hp, v, bytes) {
+                    match closure.routed_transfer_ms(hp, v, bytes) {
                         Ok(t) => t,
                         Err(_) => {
                             routable = false;
@@ -277,7 +283,7 @@ pub fn map_dag(
                 continue;
             }
             let eft = est + work / net.power(v);
-            if best.map_or(true, |(b, _, _)| eft < b) {
+            if best.is_none_or(|(b, _, _)| eft < b) {
                 best = Some((eft, est, v));
             }
         }
@@ -355,10 +361,7 @@ mod tests {
         let b = wf.add_module(1.0, None);
         wf.add_dependency(a, b, 10.0).unwrap();
         wf.add_dependency(b, a, 10.0).unwrap();
-        assert!(matches!(
-            wf.topo_order(),
-            Err(MappingError::BadConfig(_))
-        ));
+        assert!(matches!(wf.topo_order(), Err(MappingError::BadConfig(_))));
     }
 
     #[test]
@@ -370,8 +373,8 @@ mod tests {
         assert_eq!(sched.assignment[3], NodeId(3));
         // the two heavy branches land on the two fast nodes, in parallel
         assert_ne!(sched.assignment[1], sched.assignment[2]);
-        let overlap = sched.start_ms[1].max(sched.start_ms[2])
-            < sched.finish_ms[1].min(sched.finish_ms[2]);
+        let overlap =
+            sched.start_ms[1].max(sched.start_ms[2]) < sched.finish_ms[1].min(sched.finish_ms[2]);
         assert!(overlap, "branches should overlap in time: {sched:?}");
         // makespan beats any serial execution of both branches on one node
         let serial_work = (wf.compute_work(1) + wf.compute_work(2)) / 400.0;

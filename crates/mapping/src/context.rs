@@ -1,0 +1,294 @@
+//! Shared per-instance solver state: the routed metric closure.
+//!
+//! Every routed-semantics algorithm in this crate — the routed-overlay ELPC
+//! DPs, Streamline's free placement, the routed evaluators, and the
+//! local-search polish — needs the same quantity over and over: *the
+//! cheapest multi-hop transfer time of `m` bytes from node `u` to every
+//! other node*, i.e. one Dijkstra run over the §2.2 edge cost
+//! `m/b (+ d)`. Before this module existed, each solver recomputed those
+//! runs inline on every call, making the 20-case comparison suite
+//! `O(solvers × calls)` in repeated all-pairs work.
+//!
+//! [`MetricClosure`] memoizes those runs per `(payload size, source node)`
+//! for a fixed network and cost model; [`SolveContext`] bundles a closure
+//! with a problem [`Instance`] and is the single argument every registered
+//! [`crate::Solver`] receives. Build one context per instance, hand it to
+//! as many solvers as you like, and the all-pairs work is paid once.
+//!
+//! The closure is keyed by the exact payload byte count (`f64` bit
+//! pattern): the §2.2 edge cost is `bytes·8/b + d`, so route choice genuinely
+//! depends on the payload size, and consecutive pipeline stages usually
+//! reuse only a handful of distinct sizes — exactly what a small hash map
+//! captures. Entries store the full [`ShortestPaths`] (distances *and*
+//! predecessor links), so routed paths can be reconstructed without a new
+//! traversal.
+//!
+//! Interior mutability is a single-threaded `RefCell`; parallel sweeps give
+//! each worker its own context (one per instance), which is both simpler
+//! and faster than sharing a locked cache across threads.
+
+use crate::{CostModel, Instance, MappingError, Result};
+use elpc_netgraph::algo::{dijkstra, extract_path, ShortestPaths};
+use elpc_netgraph::NodeId;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Cache statistics, for tests and perf reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClosureStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran a fresh Dijkstra.
+    pub misses: u64,
+}
+
+impl ClosureStats {
+    /// Fraction of queries served from cache (0 when nothing was queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Lazily materialized routed metric closure of a network under one cost
+/// model: per payload size, per source node, the single-source shortest
+/// transfer-time tree.
+pub struct MetricClosure<'a> {
+    net: &'a elpc_netsim::Network,
+    cost: CostModel,
+    /// `bytes.to_bits() → per-source tree (index = source node id)`.
+    cache: RefCell<HashMap<u64, Vec<Option<Rc<ShortestPaths>>>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl<'a> MetricClosure<'a> {
+    /// An empty closure over `net` under `cost`.
+    pub fn new(net: &'a elpc_netsim::Network, cost: CostModel) -> Self {
+        MetricClosure {
+            net,
+            cost,
+            cache: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &'a elpc_netsim::Network {
+        self.net
+    }
+
+    /// The cost model the closure is computed under.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The routed shortest-path tree from `src` for a payload of `bytes`:
+    /// `tree.dist[v]` is the cheapest multi-hop transfer time (ms), and
+    /// `tree.prev` reconstructs the route. Cached after the first query.
+    ///
+    /// The result is identical (bit for bit) to calling
+    /// [`elpc_netgraph::algo::dijkstra`] with the §2.2 edge cost directly —
+    /// the cache-correctness property test pins this.
+    pub fn routed_from(&self, src: NodeId, bytes: f64) -> Rc<ShortestPaths> {
+        let key = bytes.to_bits();
+        let k = self.net.node_count();
+        let mut cache = self.cache.borrow_mut();
+        let per_source = cache.entry(key).or_insert_with(|| vec![None; k]);
+        if let Some(tree) = &per_source[src.index()] {
+            self.hits.set(self.hits.get() + 1);
+            return Rc::clone(tree);
+        }
+        self.misses.set(self.misses.get() + 1);
+        let tree = Rc::new(dijkstra(self.net.graph(), src, |eid, _| {
+            self.cost.edge_transfer_ms(self.net, eid, bytes)
+        }));
+        per_source[src.index()] = Some(Rc::clone(&tree));
+        tree
+    }
+
+    /// Minimum routed transport time of `bytes` from `a` to `b` (ms), zero
+    /// when `a == b`, [`MappingError::Infeasible`] when no route exists.
+    pub fn routed_transfer_ms(&self, a: NodeId, b: NodeId, bytes: f64) -> Result<f64> {
+        if a == b {
+            return Ok(0.0);
+        }
+        let tree = self.routed_from(a, bytes);
+        let d = tree.dist[b.index()];
+        if d.is_finite() {
+            Ok(d)
+        } else {
+            Err(MappingError::Infeasible(format!(
+                "no route from {a} to {b} in the network"
+            )))
+        }
+    }
+
+    /// The node sequence of the cheapest route `a → b` for `bytes`, from
+    /// the cached predecessor map. `None` when unreachable.
+    pub fn routed_path(&self, a: NodeId, b: NodeId, bytes: f64) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let tree = self.routed_from(a, bytes);
+        extract_path(&tree, a, b)
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> ClosureStats {
+        ClosureStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
+    }
+
+    /// Number of materialized `(payload, source)` trees.
+    pub fn cached_trees(&self) -> usize {
+        self.cache
+            .borrow()
+            .values()
+            .map(|v| v.iter().filter(|t| t.is_some()).count())
+            .sum()
+    }
+}
+
+/// Everything a registered solver needs to run: the problem instance, the
+/// cost model, and the shared metric closure. Build one per instance and
+/// pass it to every algorithm being compared.
+pub struct SolveContext<'a> {
+    inst: Instance<'a>,
+    closure: MetricClosure<'a>,
+}
+
+impl<'a> SolveContext<'a> {
+    /// A context for `inst` under `cost` with an empty closure cache.
+    pub fn new(inst: Instance<'a>, cost: CostModel) -> Self {
+        SolveContext {
+            inst,
+            closure: MetricClosure::new(inst.network, cost),
+        }
+    }
+
+    /// The problem instance.
+    pub fn instance(&self) -> &Instance<'a> {
+        &self.inst
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        self.closure.cost()
+    }
+
+    /// The transport network.
+    pub fn network(&self) -> &'a elpc_netsim::Network {
+        self.inst.network
+    }
+
+    /// The computing pipeline.
+    pub fn pipeline(&self) -> &'a elpc_pipeline::Pipeline {
+        self.inst.pipeline
+    }
+
+    /// The shared metric closure.
+    pub fn closure(&self) -> &MetricClosure<'a> {
+        &self.closure
+    }
+
+    /// Shorthand for [`MetricClosure::routed_from`].
+    pub fn routed_from(&self, src: NodeId, bytes: f64) -> Rc<ShortestPaths> {
+        self.closure.routed_from(src, bytes)
+    }
+
+    /// Shorthand for [`MetricClosure::routed_transfer_ms`].
+    pub fn routed_transfer_ms(&self, a: NodeId, b: NodeId, bytes: f64) -> Result<f64> {
+        self.closure.routed_transfer_ms(a, b, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elpc_netsim::Network;
+    use elpc_pipeline::Pipeline;
+
+    fn net3() -> Network {
+        let mut b = Network::builder();
+        let n0 = b.add_node(100.0).unwrap();
+        let n1 = b.add_node(100.0).unwrap();
+        let n2 = b.add_node(100.0).unwrap();
+        b.add_link(n0, n1, 1000.0, 0.1).unwrap();
+        b.add_link(n1, n2, 1000.0, 0.1).unwrap();
+        b.add_link(n0, n2, 1.0, 0.1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn closure_caches_per_payload_and_source() {
+        let net = net3();
+        let mc = MetricClosure::new(&net, CostModel::default());
+        let a = mc.routed_from(NodeId(0), 1e6);
+        let b = mc.routed_from(NodeId(0), 1e6);
+        assert!(Rc::ptr_eq(&a, &b), "same query must return the cached tree");
+        assert_eq!(mc.stats(), ClosureStats { hits: 1, misses: 1 });
+        // different payload or source recomputes
+        mc.routed_from(NodeId(0), 2e6);
+        mc.routed_from(NodeId(1), 1e6);
+        assert_eq!(mc.stats().misses, 3);
+        assert_eq!(mc.cached_trees(), 3);
+    }
+
+    #[test]
+    fn closure_matches_fresh_dijkstra_bit_for_bit() {
+        let net = net3();
+        let cost = CostModel::default();
+        let mc = MetricClosure::new(&net, cost);
+        for bytes in [1.0, 1e4, 1e6] {
+            for src in 0..3u32 {
+                let cached = mc.routed_from(NodeId(src), bytes);
+                let fresh = dijkstra(net.graph(), NodeId(src), |eid, _| {
+                    cost.edge_transfer_ms(&net, eid, bytes)
+                });
+                for v in 0..3 {
+                    assert_eq!(cached.dist[v].to_bits(), fresh.dist[v].to_bits());
+                    assert_eq!(cached.prev[v], fresh.prev[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_transfer_prefers_multi_hop_over_slow_direct() {
+        let net = net3();
+        let mc = MetricClosure::new(&net, CostModel::default());
+        // 1 MB over the direct 1 Mbps link = 8000 ms; via n1 = 16.2 ms
+        let t = mc.routed_transfer_ms(NodeId(0), NodeId(2), 1e6).unwrap();
+        assert!((t - 16.2).abs() < 1e-9, "got {t}");
+        assert_eq!(
+            mc.routed_path(NodeId(0), NodeId(2), 1e6).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(
+            mc.routed_transfer_ms(NodeId(1), NodeId(1), 1e9).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn context_exposes_instance_and_closure() {
+        let net = net3();
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4)], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(2)).unwrap();
+        let ctx = SolveContext::new(inst, CostModel::default());
+        assert_eq!(ctx.pipeline().len(), 3);
+        assert_eq!(ctx.network().node_count(), 3);
+        assert_eq!(ctx.instance().src, NodeId(0));
+        ctx.routed_from(NodeId(0), 1e4);
+        assert_eq!(ctx.closure().stats().misses, 1);
+    }
+}

@@ -222,7 +222,10 @@ mod tests {
         // compute module 2 on n2: 1*5e4/200 = 250 ms
         let cm = CostModel::default();
         let d = cm.delay_ms(&inst, &m).unwrap();
-        assert!((d - (802.0 + 4000.0 + 201.0 + 250.0)).abs() < 1e-9, "got {d}");
+        assert!(
+            (d - (802.0 + 4000.0 + 201.0 + 250.0)).abs() < 1e-9,
+            "got {d}"
+        );
         // without MLD, 3 ms less
         let cm = CostModel { include_mld: false };
         let d2 = cm.delay_ms(&inst, &m).unwrap();
@@ -257,18 +260,18 @@ mod tests {
         // source is powerful (p=100) so compute is 2*1e5/100 = 2000
         let m = Mapping::from_parts(vec![NodeId(0), NodeId(1), NodeId(2)], vec![2, 0, 1]);
         assert!(m.is_err()); // empty group forbidden — regroup properly
-        // proper grouped mapping skips node 1 entirely? 0 and 2 are not
-        // adjacent, so the path must still pass node 1 with some module.
-        // Put modules {0,1} on n0, module {2} must traverse n1 — not
-        // expressible without a module on n1; instead test grouping {0,1}
-        // on n0 in a 3-group walk is impossible, so group {0,1} on n0 and
-        // {2} on n1 with dst=n1:
+                             // proper grouped mapping skips node 1 entirely? 0 and 2 are not
+                             // adjacent, so the path must still pass node 1 with some module.
+                             // Put modules {0,1} on n0, module {2} must traverse n1 — not
+                             // expressible without a module on n1; instead test grouping {0,1}
+                             // on n0 in a 3-group walk is impossible, so group {0,1} on n0 and
+                             // {2} on n1 with dst=n1:
         let inst2 = Instance::new(&net, &pipe, NodeId(0), NodeId(1)).unwrap();
         let m = Mapping::from_parts(vec![NodeId(0), NodeId(1)], vec![2, 1]).unwrap();
         let cm = CostModel::default();
         let stages = cm.stage_times(&inst2, &m).unwrap();
         assert_eq!(stages.len(), 3); // compute, transfer, compute
-        // group 0 compute: module1 on n0 = 2*1e5/100 = 2000 ms
+                                     // group 0 compute: module1 on n0 = 2*1e5/100 = 2000 ms
         assert!((stages[0].ms() - 2000.0).abs() < 1e-9);
         // transfer m1 = 5e4 B over 1 Mbps + 2: 400 + 2
         assert!((stages[1].ms() - 402.0).abs() < 1e-9);

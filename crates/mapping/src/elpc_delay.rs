@@ -19,8 +19,10 @@
 //! Complexity: `O(n·(k + |E|))` time, `O(n·k)` parent space — the paper's
 //! `O(n·|E|)` with the `k` term made explicit for the stay scan.
 
-use crate::{AssignmentSolution, CostModel, DelaySolution, Instance, Mapping, MappingError, Result};
-use elpc_netgraph::algo::dijkstra;
+use crate::{
+    AssignmentSolution, CostModel, DelaySolution, Instance, Mapping, MappingError, Result,
+    SolveContext,
+};
 use elpc_netgraph::NodeId;
 
 /// Back-pointer for path reconstruction.
@@ -75,9 +77,7 @@ pub fn solve(inst: &Instance<'_>, cost: &CostModel) -> Result<DelaySolution> {
                 continue;
             }
             let v = e.dst.index();
-            let t = prev[u]
-                + work / net.power(e.dst)
-                + cost.edge_transfer_ms(net, eid, in_bytes);
+            let t = prev[u] + work / net.power(e.dst) + cost.edge_transfer_ms(net, eid, in_bytes);
             if t < cur[v] {
                 cur[v] = t;
                 parent[v] = Parent::Move(e.src);
@@ -137,9 +137,12 @@ pub fn solve(inst: &Instance<'_>, cost: &CostModel) -> Result<DelaySolution> {
 /// beat it. Use it whenever baselines are compared under routed semantics
 /// (the Fig. 2/5 tables do).
 ///
-/// Complexity: `O(n · k · (|E| + k) log k)` — one Dijkstra per (module,
-/// host) pair; the paper's strict DP stays `O(n·|E|)`.
-pub fn solve_routed(inst: &Instance<'_>, cost: &CostModel) -> Result<AssignmentSolution> {
+/// Complexity: `O(n · k · (|E| + k) log k)` Dijkstra work in the worst
+/// case, but every (payload, host) shortest-path tree comes from the
+/// context's shared [`crate::MetricClosure`], so repeated solves on one
+/// instance — and sibling solvers in a comparison — pay it only once.
+pub fn solve_routed_ctx(ctx: &SolveContext<'_>) -> Result<AssignmentSolution> {
+    let inst = ctx.instance();
     let net = inst.network;
     let pipe = inst.pipeline;
     let n = pipe.len();
@@ -168,10 +171,8 @@ pub fn solve_routed(inst: &Instance<'_>, cost: &CostModel) -> Result<AssignmentS
             if !prev[u].is_finite() {
                 continue;
             }
-            let du = dijkstra(net.graph(), NodeId::from_index(u), |eid, _| {
-                cost.edge_transfer_ms(net, eid, in_bytes)
-            })
-            .dist;
+            let du = ctx.routed_from(NodeId::from_index(u), in_bytes);
+            let du = &du.dist;
             for v in 0..k {
                 if v == u || du[v].is_infinite() {
                     continue;
@@ -203,13 +204,19 @@ pub fn solve_routed(inst: &Instance<'_>, cost: &CostModel) -> Result<AssignmentS
     assignment[0] = node;
     debug_assert_eq!(assignment[0], inst.src);
     debug_assert!({
-        let re = crate::routed::routed_delay_ms(inst, cost, &assignment)?;
+        let re = crate::routed::routed_delay_ms_ctx(ctx, &assignment)?;
         (re - total).abs() <= 1e-6 * total.max(1.0)
     });
     Ok(AssignmentSolution {
         assignment,
         objective_ms: total,
     })
+}
+
+/// [`solve_routed_ctx`] with a transient context (cold path). Prefer the
+/// context form when running several solvers on one instance.
+pub fn solve_routed(inst: &Instance<'_>, cost: &CostModel) -> Result<AssignmentSolution> {
+    solve_routed_ctx(&SolveContext::new(*inst, *cost))
 }
 
 #[cfg(test)]
@@ -424,7 +431,9 @@ mod tests {
         // links beats one thin link — so routed ≤ strict, with equality when
         // direct links dominate
         let mut b = Network::builder();
-        let ns: Vec<NodeId> = (0..4).map(|i| b.add_node(100.0 * (i + 1) as f64).unwrap()).collect();
+        let ns: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(100.0 * (i + 1) as f64).unwrap())
+            .collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
                 b.add_link(ns[i], ns[j], 100.0, 0.5).unwrap();

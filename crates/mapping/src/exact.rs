@@ -170,7 +170,7 @@ pub fn max_rate(
                 bottleneck = bottleneck.max(t);
             }
         }
-        if best.as_ref().map_or(true, |(b, _)| bottleneck < *b) {
+        if best.as_ref().is_none_or(|(b, _)| bottleneck < *b) {
             best = Some((bottleneck, path.to_vec()));
         }
         PathVisit::Continue
@@ -287,8 +287,7 @@ mod tests {
         for seed in 100..140u64 {
             let (net, pipe) = random_instance(seed);
             let k = net.node_count();
-            let inst =
-                Instance::new(&net, &pipe, NodeId(0), NodeId((k - 1) as u32)).unwrap();
+            let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((k - 1) as u32)).unwrap();
             let ex = max_rate(&inst, &cost(), ExactLimits::default());
             let heur = crate::elpc_rate::solve(&inst, &cost());
             match (ex, heur) {
@@ -323,7 +322,10 @@ mod tests {
         )
         .unwrap();
         let r = min_delay(&inst, &cost(), ExactLimits { budget: 3 });
-        assert!(matches!(r, Err(MappingError::BudgetExhausted { budget: 3 })));
+        assert!(matches!(
+            r,
+            Err(MappingError::BudgetExhausted { budget: 3 })
+        ));
     }
 
     #[test]

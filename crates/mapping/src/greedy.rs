@@ -46,7 +46,7 @@ pub fn solve_min_delay(inst: &Instance<'_>, cost: &CostModel) -> Result<DelaySol
         let work = pipe.compute_work(j);
         let in_bytes = pipe.input_bytes(j);
         let budget = n - 1 - j; // moves left after placing module j
-        // stay candidate
+                                // stay candidate
         let mut best_cost = if reachable_within(&hops_to_dst, current, budget) {
             work / net.power(current)
         } else {
@@ -133,7 +133,7 @@ pub fn solve_max_rate(inst: &Instance<'_>, cost: &CostModel) -> Result<RateSolut
             // local criterion: smallest resulting bottleneck, tie-broken by
             // the smaller stage time (leaves more headroom later)
             let key = (new_bottleneck, stage_max);
-            if best.map_or(true, |(b0, s0, _, _)| key < (b0, s0)) {
+            if best.is_none_or(|(b0, s0, _, _)| key < (b0, s0)) {
                 best = Some((new_bottleneck, stage_max, nb.node, nb.edge));
             }
         }
@@ -228,9 +228,8 @@ mod tests {
             let p = pipe(n);
             let inst = Instance::new(&net, &p, NodeId(0), NodeId(4)).unwrap();
             let g = solve_max_rate(&inst, &cost()).unwrap();
-            let ex =
-                crate::exact::max_rate(&inst, &cost(), crate::exact::ExactLimits::default())
-                    .unwrap();
+            let ex = crate::exact::max_rate(&inst, &cost(), crate::exact::ExactLimits::default())
+                .unwrap();
             assert!(ex.bottleneck_ms <= g.bottleneck_ms + 1e-9);
         }
     }

@@ -15,6 +15,37 @@
 //! | [`streamline`] | Streamline [Agarwalla et al. 2006] adapted to linear pipelines | §3.2 | heuristic, `O(m·n²)` |
 //! | [`greedy`]     | local greedy                     | §3.3 | heuristic, `O(m·n)` |
 //!
+//! ## The `Solver` registry and `SolveContext`
+//!
+//! All ten solver entry points (the five algorithms × two objectives,
+//! strict and routed variants) are registered behind the [`Solver`] trait;
+//! [`registry()`] enumerates them and [`solver()`] looks one up by name.
+//! Every solver receives a [`SolveContext`] — the instance, the cost model,
+//! and a shared [`MetricClosure`] that lazily caches the routed all-pairs
+//! transfer trees (one Dijkstra per `(payload size, source node)`). Build
+//! one context per instance and run as many algorithms as you like against
+//! it: the all-pairs work that used to be recomputed inside every routed
+//! solver is paid exactly once per instance.
+//!
+//! ```
+//! use elpc_mapping::{registry, solver, CostModel, Instance, SolveContext};
+//! # let mut b = elpc_netsim::Network::builder();
+//! # let s = b.add_node(100.0).unwrap();
+//! # let m = b.add_node(1000.0).unwrap();
+//! # let d = b.add_node(100.0).unwrap();
+//! # b.add_link(s, m, 100.0, 0.5).unwrap();
+//! # b.add_link(m, d, 100.0, 0.5).unwrap();
+//! # let network = b.build().unwrap();
+//! # let pipeline = elpc_pipeline::Pipeline::from_stages(1e6, &[(2.0, 1e5)], 1.0).unwrap();
+//! let inst = Instance::new(&network, &pipeline, s, d).unwrap();
+//! let ctx = SolveContext::new(inst, CostModel::default());
+//! for entry in registry() {
+//!     let _ = entry.solve(&ctx); // routed trees are shared across entries
+//! }
+//! let optimal = solver("elpc_delay").unwrap().solve(&ctx).unwrap();
+//! assert!(optimal.objective_ms > 0.0);
+//! ```
+//!
 //! ## Objectives (§2.3)
 //!
 //! * **End-to-end delay** (Eq. 1): total compute plus transport time along
@@ -39,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
 mod cost;
 pub mod elpc_delay;
 pub mod elpc_rate;
@@ -47,11 +79,14 @@ pub mod exact;
 pub mod greedy;
 mod mapping;
 pub mod routed;
+mod solver;
 pub mod streamline;
 
+pub use context::{ClosureStats, MetricClosure, SolveContext};
 pub use cost::{CostModel, Stage};
 pub use error::MappingError;
 pub use mapping::{AssignmentSolution, DelaySolution, Mapping, RateSolution};
+pub use solver::{registry, solver, solvers_for, Objective, Solution, Solver};
 
 pub use elpc_netgraph::{EdgeId, NodeId};
 

@@ -92,7 +92,7 @@ impl Mapping {
     pub fn assignment(&self) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.n_modules());
         for (i, &node) in self.path.iter().enumerate() {
-            out.extend(std::iter::repeat(node).take(self.group_sizes[i]));
+            out.extend(std::iter::repeat_n(node, self.group_sizes[i]));
         }
         out
     }
@@ -313,7 +313,8 @@ mod tests {
             Mapping::from_parts(vec![NodeId(1), NodeId(2), NodeId(3)], vec![2, 1, 1]).unwrap();
         assert!(bad.validate(&inst, false).is_err());
         // wrong module count
-        let bad = Mapping::from_parts(vec![NodeId(0), NodeId(2), NodeId(3)], vec![1, 1, 1]).unwrap();
+        let bad =
+            Mapping::from_parts(vec![NodeId(0), NodeId(2), NodeId(3)], vec![1, 1, 1]).unwrap();
         assert!(bad.validate(&inst, false).is_err());
     }
 

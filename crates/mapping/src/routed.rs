@@ -17,12 +17,16 @@
 //! strict Eq. 1/2 semantics and the baselines under this (never-worse)
 //! routed relaxation, so the reported ELPC advantage is a lower bound.
 
-use crate::{CostModel, Instance, MappingError, Result};
-use elpc_netgraph::algo::dijkstra;
+use crate::{CostModel, Instance, MappingError, MetricClosure, Result, SolveContext};
 use elpc_netgraph::NodeId;
 
 /// Minimum routed transport time of `bytes` from `a` to `b` (ms): the
 /// cheapest route by total per-hop transport time. Zero when `a == b`.
+///
+/// Cold-path convenience over [`MetricClosure::routed_transfer_ms`]; when
+/// evaluating many transfers on one network, build a [`MetricClosure`] (or a
+/// full [`SolveContext`]) and query it instead so the per-source Dijkstra
+/// runs are shared.
 pub fn routed_transfer_ms(
     net: &elpc_netsim::Network,
     cost: &CostModel,
@@ -30,20 +34,7 @@ pub fn routed_transfer_ms(
     b: NodeId,
     bytes: f64,
 ) -> Result<f64> {
-    if a == b {
-        return Ok(0.0);
-    }
-    let sp = dijkstra(net.graph(), a, |eid, _| {
-        cost.edge_transfer_ms(net, eid, bytes)
-    });
-    let d = sp.dist[b.index()];
-    if d.is_finite() {
-        Ok(d)
-    } else {
-        Err(MappingError::Infeasible(format!(
-            "no route from {a} to {b} in the network"
-        )))
-    }
+    MetricClosure::new(net, *cost).routed_transfer_ms(a, b, bytes)
 }
 
 /// Validates the assignment shape shared by both routed objectives.
@@ -77,12 +68,10 @@ fn check_assignment(inst: &Instance<'_>, assignment: &[NodeId]) -> Result<()> {
     Ok(())
 }
 
-/// End-to-end delay (Eq. 1 semantics, routed transfers) of an assignment.
-pub fn routed_delay_ms(
-    inst: &Instance<'_>,
-    cost: &CostModel,
-    assignment: &[NodeId],
-) -> Result<f64> {
+/// End-to-end delay (Eq. 1 semantics, routed transfers) of an assignment,
+/// sharing the context's metric closure.
+pub fn routed_delay_ms_ctx(ctx: &SolveContext<'_>, assignment: &[NodeId]) -> Result<f64> {
+    let inst = ctx.instance();
     check_assignment(inst, assignment)?;
     let net = inst.network;
     let pipe = inst.pipeline;
@@ -94,21 +83,31 @@ pub fn routed_delay_ms(
         }
         if j + 1 < assignment.len() && assignment[j + 1] != node {
             let bytes = pipe.module(j).output_bytes;
-            total += routed_transfer_ms(net, cost, node, assignment[j + 1], bytes)?;
+            total += ctx.routed_transfer_ms(node, assignment[j + 1], bytes)?;
         }
     }
     Ok(total)
 }
 
-/// Bottleneck stage time (Eq. 2 semantics, routed transfers) of an
-/// assignment. With `require_distinct`, node reuse is rejected (the
-/// streaming constraint of §3.1.2).
-pub fn routed_bottleneck_ms(
+/// End-to-end delay of an assignment with a transient context (cold path).
+pub fn routed_delay_ms(
     inst: &Instance<'_>,
     cost: &CostModel,
     assignment: &[NodeId],
+) -> Result<f64> {
+    routed_delay_ms_ctx(&SolveContext::new(*inst, *cost), assignment)
+}
+
+/// Bottleneck stage time (Eq. 2 semantics, routed transfers) of an
+/// assignment, sharing the context's metric closure. With
+/// `require_distinct`, node reuse is rejected (the streaming constraint of
+/// §3.1.2).
+pub fn routed_bottleneck_ms_ctx(
+    ctx: &SolveContext<'_>,
+    assignment: &[NodeId],
     require_distinct: bool,
 ) -> Result<f64> {
+    let inst = ctx.instance();
     check_assignment(inst, assignment)?;
     if require_distinct {
         let mut seen = std::collections::BTreeSet::new();
@@ -130,11 +129,24 @@ pub fn routed_bottleneck_ms(
         }
         if j + 1 < assignment.len() && assignment[j + 1] != node {
             let bytes = pipe.module(j).output_bytes;
-            bottleneck =
-                bottleneck.max(routed_transfer_ms(net, cost, node, assignment[j + 1], bytes)?);
+            bottleneck = bottleneck.max(ctx.routed_transfer_ms(node, assignment[j + 1], bytes)?);
         }
     }
     Ok(bottleneck)
+}
+
+/// Bottleneck of an assignment with a transient context (cold path).
+pub fn routed_bottleneck_ms(
+    inst: &Instance<'_>,
+    cost: &CostModel,
+    assignment: &[NodeId],
+    require_distinct: bool,
+) -> Result<f64> {
+    routed_bottleneck_ms_ctx(
+        &SolveContext::new(*inst, *cost),
+        assignment,
+        require_distinct,
+    )
 }
 
 /// Hill-climbing polish for a routed rate assignment: per sweep, estimate
@@ -152,13 +164,13 @@ pub fn routed_bottleneck_ms(
 ///
 /// Used by the comparison harness to absorb label-pruning misses of the DP
 /// heuristics; the result is always a valid no-reuse placement.
-pub fn polish_rate_assignment(
-    inst: &Instance<'_>,
-    cost: &CostModel,
+pub fn polish_rate_assignment_ctx(
+    ctx: &SolveContext<'_>,
     assignment: &mut Vec<NodeId>,
     max_sweeps: usize,
 ) -> Result<f64> {
-    let mut current = routed_bottleneck_ms(inst, cost, assignment, true)?;
+    let inst = ctx.instance();
+    let mut current = routed_bottleneck_ms_ctx(ctx, assignment, true)?;
     let net = inst.network;
     let pipe = inst.pipeline;
     let n = assignment.len();
@@ -171,22 +183,16 @@ pub fn polish_rate_assignment(
         // --- tables: routed distances per boundary, both directions -----
         // fwd[j]  = dist from host[j]   with bytes m_j (boundary j → j+1)
         // rev[j]  = dist from host[j+1] with bytes m_j (symmetric reverse)
-        let mut fwd: Vec<Vec<f64>> = Vec::with_capacity(n - 1);
-        let mut rev: Vec<Vec<f64>> = Vec::with_capacity(n - 1);
+        // served by the shared metric closure, so repeated sweeps (and the
+        // DP solves that ran before the polish) reuse the same trees
+        let mut fwd: Vec<std::rc::Rc<elpc_netgraph::algo::ShortestPaths>> =
+            Vec::with_capacity(n - 1);
+        let mut rev: Vec<std::rc::Rc<elpc_netgraph::algo::ShortestPaths>> =
+            Vec::with_capacity(n - 1);
         for j in 0..n - 1 {
             let bytes = pipe.module(j).output_bytes;
-            fwd.push(
-                elpc_netgraph::algo::dijkstra(net.graph(), assignment[j], |eid, _| {
-                    cost.edge_transfer_ms(net, eid, bytes)
-                })
-                .dist,
-            );
-            rev.push(
-                elpc_netgraph::algo::dijkstra(net.graph(), assignment[j + 1], |eid, _| {
-                    cost.edge_transfer_ms(net, eid, bytes)
-                })
-                .dist,
-            );
+            fwd.push(ctx.routed_from(assignment[j], bytes));
+            rev.push(ctx.routed_from(assignment[j + 1], bytes));
         }
         // stage times: stages[2j] = compute_j, stages[2j+1] = transfer_j
         let mut stages = vec![0.0_f64; 2 * n - 1];
@@ -198,7 +204,7 @@ pub fn polish_rate_assignment(
                 0.0
             };
             if j + 1 < n {
-                stages[2 * j + 1] = fwd[j][assignment[j + 1].index()];
+                stages[2 * j + 1] = fwd[j].dist[assignment[j + 1].index()];
             }
         }
         // prefix/suffix maxima for O(1) "max excluding a window"
@@ -235,8 +241,8 @@ pub fn polish_rate_assignment(
                     continue;
                 }
                 // estimated affected stages: t_{j-1}, c_j, t_j
-                let t_prev = fwd[j - 1][vi];
-                let t_next = rev[j][vi]; // symmetric estimate of t(v, host[j+1])
+                let t_prev = fwd[j - 1].dist[vi];
+                let t_next = rev[j].dist[vi]; // symmetric estimate of t(v, host[j+1])
                 if !t_prev.is_finite() || !t_next.is_finite() {
                     continue;
                 }
@@ -257,27 +263,35 @@ pub fn polish_rate_assignment(
                 let wb = pipe.compute_work(b);
                 // affected transfers use table symmetry; adjacent pairs share t_a
                 let (t_am1, t_a, t_bm1, t_b);
-                t_am1 = fwd[a - 1][hb];
-                t_b = rev[b][ha];
+                t_am1 = fwd[a - 1].dist[hb];
+                t_b = rev[b].dist[ha];
                 if b == a + 1 {
                     // boundary a now runs host_b → host_a
-                    t_a = fwd[a][hb]; // symmetric: t(host_b, host_a, m_a)
+                    t_a = fwd[a].dist[hb]; // symmetric: t(host_b, host_a, m_a)
                     t_bm1 = t_a;
                 } else {
-                    t_a = rev[a][hb];
-                    t_bm1 = fwd[b - 1][ha];
+                    t_a = rev[a].dist[hb];
+                    t_bm1 = fwd[b - 1].dist[ha];
                 }
                 if ![t_am1, t_a, t_bm1, t_b].iter().all(|t| t.is_finite()) {
                     continue;
                 }
-                let c_a = if wa > 0.0 { wa / net.power(NodeId::from_index(hb)) } else { 0.0 };
-                let c_b = if wb > 0.0 { wb / net.power(NodeId::from_index(ha)) } else { 0.0 };
+                let c_a = if wa > 0.0 {
+                    wa / net.power(NodeId::from_index(hb))
+                } else {
+                    0.0
+                };
+                let c_b = if wb > 0.0 {
+                    wb / net.power(NodeId::from_index(ha))
+                } else {
+                    0.0
+                };
                 // max over unaffected stages: scan once (O(n)); swaps touch
                 // two windows so prefix/suffix alone cannot exclude both
                 let mut others = 0.0_f64;
                 for (i, &s) in stages.iter().enumerate() {
-                    let touched = (i >= 2 * a - 1 && i <= 2 * a + 1)
-                        || (i >= 2 * b - 1 && i <= 2 * b + 1);
+                    let touched =
+                        (i >= 2 * a - 1 && i <= 2 * a + 1) || (i >= 2 * b - 1 && i <= 2 * b + 1);
                     if !touched {
                         others = others.max(s);
                     }
@@ -303,7 +317,7 @@ pub fn polish_rate_assignment(
             Move::Relocate(j, v) => assignment[j] = v,
             Move::Swap(a, b) => assignment.swap(a, b),
         }
-        match routed_bottleneck_ms(inst, cost, assignment, true) {
+        match routed_bottleneck_ms_ctx(ctx, assignment, true) {
             Ok(b) if b < current - 1e-12 => current = b,
             _ => {
                 *assignment = backup;
@@ -312,6 +326,16 @@ pub fn polish_rate_assignment(
         }
     }
     Ok(current)
+}
+
+/// [`polish_rate_assignment_ctx`] with a transient context (cold path).
+pub fn polish_rate_assignment(
+    inst: &Instance<'_>,
+    cost: &CostModel,
+    assignment: &mut Vec<NodeId>,
+    max_sweeps: usize,
+) -> Result<f64> {
+    polish_rate_assignment_ctx(&SolveContext::new(*inst, *cost), assignment, max_sweeps)
 }
 
 #[cfg(test)]
@@ -389,7 +413,10 @@ mod tests {
             .delay_ms(&inst, &Mapping::from_assignment(&a).unwrap())
             .unwrap();
         let routed = routed_delay_ms(&inst, &cm, &a).unwrap();
-        assert!(routed < strict, "routed {routed} should beat strict {strict}");
+        assert!(
+            routed < strict,
+            "routed {routed} should beat strict {strict}"
+        );
     }
 
     #[test]

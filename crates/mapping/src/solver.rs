@@ -1,0 +1,353 @@
+//! The unified solver registry.
+//!
+//! Every mapping algorithm in this crate is reachable behind one trait:
+//! [`Solver`] takes a shared [`SolveContext`] (instance + cost model +
+//! metric-closure cache) and returns a uniform [`Solution`]. The static
+//! [`registry`] enumerates all entry points, so comparison harnesses,
+//! experiment binaries, benches, and the adaptive-remapping control loop
+//! select algorithms by name instead of hard-coding call sites — adding an
+//! algorithm is a one-file change (implement `Solver` here, append it to
+//! `REGISTRY`).
+//!
+//! | name | objective | semantics |
+//! |------|-----------|-----------|
+//! | `elpc_delay` | min delay | strict Eq. 1 DP, node reuse (optimal) |
+//! | `elpc_delay_routed` | min delay | the same DP on the routed metric closure |
+//! | `elpc_rate` | max rate | strict Eq. 2 single-label DP, no reuse |
+//! | `elpc_rate_routed` | max rate | K-best routed DP portfolio + polish |
+//! | `streamline_delay` | min delay | Streamline baseline, routed evaluation |
+//! | `streamline_rate` | max rate | Streamline baseline, routed evaluation |
+//! | `greedy_delay` | min delay | local greedy walk (strict) |
+//! | `greedy_rate` | max rate | local greedy walk (strict) |
+//! | `exact_delay` | min delay | budgeted exhaustive search |
+//! | `exact_rate` | max rate | budgeted exhaustive enumeration |
+
+use crate::{
+    elpc_delay, elpc_rate, exact, greedy, streamline, AssignmentSolution, DelaySolution, Mapping,
+    RateSolution, Result, SolveContext,
+};
+use elpc_netgraph::NodeId;
+
+/// Which §2.3 objective a solver optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Eq. 1 — minimize end-to-end delay (interactive applications).
+    MinDelay,
+    /// Eq. 2 — maximize frame rate / minimize the bottleneck stage
+    /// (streaming applications).
+    MaxRate,
+}
+
+/// Uniform solver output: a per-module host assignment, the objective value
+/// in ms, and — for solvers whose placements follow network-adjacent paths
+/// (the strict DPs, greedy, exact) — the structured [`Mapping`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Node hosting each module, in pipeline order.
+    pub assignment: Vec<NodeId>,
+    /// Objective value in ms: total delay (MinDelay) or bottleneck stage
+    /// time (MaxRate).
+    pub objective_ms: f64,
+    /// The adjacent-path mapping, when the algorithm produces one. Routed
+    /// free-placement solvers (Streamline, the routed ELPC overlays) leave
+    /// this `None`: their transfers are multi-hop routes, not single links.
+    pub mapping: Option<Mapping>,
+}
+
+impl Solution {
+    /// Frames per second for MaxRate solutions (Eq. 2 reciprocal).
+    pub fn frame_rate_fps(&self) -> f64 {
+        elpc_netsim::units::frame_rate_fps(self.objective_ms)
+    }
+
+    fn from_delay(d: DelaySolution) -> Self {
+        Solution {
+            assignment: d.mapping.assignment(),
+            objective_ms: d.delay_ms,
+            mapping: Some(d.mapping),
+        }
+    }
+
+    fn from_rate(r: RateSolution) -> Self {
+        Solution {
+            assignment: r.mapping.assignment(),
+            objective_ms: r.bottleneck_ms,
+            mapping: Some(r.mapping),
+        }
+    }
+
+    fn from_assignment(a: AssignmentSolution) -> Self {
+        Solution {
+            assignment: a.assignment,
+            objective_ms: a.objective_ms,
+            mapping: None,
+        }
+    }
+}
+
+/// A registered mapping algorithm.
+pub trait Solver: Sync {
+    /// Stable registry name (snake_case, unique).
+    fn name(&self) -> &'static str;
+
+    /// The objective this solver optimizes.
+    fn objective(&self) -> Objective;
+
+    /// True for solvers that prove optimality (within their semantics).
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    /// Runs the algorithm against a shared context.
+    fn solve(&self, ctx: &SolveContext<'_>) -> Result<Solution>;
+}
+
+macro_rules! declare_solver {
+    ($ty:ident, $name:literal, $objective:expr, $exact:literal, |$ctx:ident| $body:expr) => {
+        struct $ty;
+
+        impl Solver for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn objective(&self) -> Objective {
+                $objective
+            }
+            fn is_exact(&self) -> bool {
+                $exact
+            }
+            fn solve(&self, $ctx: &SolveContext<'_>) -> Result<Solution> {
+                $body
+            }
+        }
+    };
+}
+
+declare_solver!(ElpcDelay, "elpc_delay", Objective::MinDelay, true, |ctx| {
+    elpc_delay::solve(ctx.instance(), ctx.cost()).map(Solution::from_delay)
+});
+
+declare_solver!(
+    ElpcDelayRouted,
+    "elpc_delay_routed",
+    Objective::MinDelay,
+    true,
+    |ctx| elpc_delay::solve_routed_ctx(ctx).map(Solution::from_assignment)
+);
+
+declare_solver!(ElpcRate, "elpc_rate", Objective::MaxRate, false, |ctx| {
+    elpc_rate::solve(ctx.instance(), ctx.cost()).map(Solution::from_rate)
+});
+
+declare_solver!(
+    ElpcRateRouted,
+    "elpc_rate_routed",
+    Objective::MaxRate,
+    false,
+    |ctx| elpc_rate::solve_routed_portfolio(ctx).map(Solution::from_assignment)
+);
+
+declare_solver!(
+    StreamlineDelay,
+    "streamline_delay",
+    Objective::MinDelay,
+    false,
+    |ctx| streamline::solve_min_delay_ctx(ctx).map(Solution::from_assignment)
+);
+
+declare_solver!(
+    StreamlineRate,
+    "streamline_rate",
+    Objective::MaxRate,
+    false,
+    |ctx| streamline::solve_max_rate_ctx(ctx).map(Solution::from_assignment)
+);
+
+declare_solver!(
+    GreedyDelay,
+    "greedy_delay",
+    Objective::MinDelay,
+    false,
+    |ctx| greedy::solve_min_delay(ctx.instance(), ctx.cost()).map(Solution::from_delay)
+);
+
+declare_solver!(
+    GreedyRate,
+    "greedy_rate",
+    Objective::MaxRate,
+    false,
+    |ctx| greedy::solve_max_rate(ctx.instance(), ctx.cost()).map(Solution::from_rate)
+);
+
+declare_solver!(
+    ExactDelay,
+    "exact_delay",
+    Objective::MinDelay,
+    true,
+    |ctx| {
+        exact::min_delay(ctx.instance(), ctx.cost(), exact::ExactLimits::default())
+            .map(Solution::from_delay)
+    }
+);
+
+declare_solver!(ExactRate, "exact_rate", Objective::MaxRate, true, |ctx| {
+    exact::max_rate(ctx.instance(), ctx.cost(), exact::ExactLimits::default())
+        .map(Solution::from_rate)
+});
+
+static REGISTRY: [&dyn Solver; 10] = [
+    &ElpcDelay,
+    &ElpcDelayRouted,
+    &ElpcRate,
+    &ElpcRateRouted,
+    &StreamlineDelay,
+    &StreamlineRate,
+    &GreedyDelay,
+    &GreedyRate,
+    &ExactDelay,
+    &ExactRate,
+];
+
+/// Every registered solver, in registration order.
+pub fn registry() -> &'static [&'static dyn Solver] {
+    &REGISTRY
+}
+
+/// Looks a solver up by its registry name.
+pub fn solver(name: &str) -> Option<&'static dyn Solver> {
+    REGISTRY.iter().copied().find(|s| s.name() == name)
+}
+
+/// Registered solvers optimizing `objective`.
+pub fn solvers_for(objective: Objective) -> Vec<&'static dyn Solver> {
+    REGISTRY
+        .iter()
+        .copied()
+        .filter(|s| s.objective() == objective)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Instance};
+    use elpc_netsim::Network;
+    use elpc_pipeline::Pipeline;
+
+    fn fixture() -> (Network, Pipeline) {
+        let mut b = Network::builder();
+        let powers = [100.0, 10.0, 1000.0, 10.0, 100.0];
+        let ns: Vec<NodeId> = powers.iter().map(|&p| b.add_node(p).unwrap()).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_link(ns[i], ns[j], 100.0, 0.5).unwrap();
+            }
+        }
+        let net = b.build().unwrap();
+        let pipe = Pipeline::from_stages(1e6, &[(2.0, 1e5), (1.0, 5e4)], 1.0).unwrap();
+        (net, pipe)
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_complete() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate registry names");
+        for required in [
+            "elpc_delay",
+            "elpc_delay_routed",
+            "elpc_rate",
+            "elpc_rate_routed",
+            "streamline_delay",
+            "streamline_rate",
+            "greedy_delay",
+            "greedy_rate",
+            "exact_delay",
+            "exact_rate",
+        ] {
+            assert!(
+                solver(required).is_some(),
+                "solver `{required}` missing from registry"
+            );
+        }
+        assert!(solver("does_not_exist").is_none());
+    }
+
+    #[test]
+    fn objectives_split_the_registry_in_half() {
+        assert_eq!(solvers_for(Objective::MinDelay).len(), 5);
+        assert_eq!(solvers_for(Objective::MaxRate).len(), 5);
+    }
+
+    #[test]
+    fn every_solver_runs_through_one_shared_context() {
+        let (net, pipe) = fixture();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, CostModel::default());
+        for s in registry() {
+            let sol = s
+                .solve(&ctx)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", s.name()));
+            assert_eq!(sol.assignment.len(), pipe.len(), "{}", s.name());
+            assert_eq!(sol.assignment[0], NodeId(0), "{}", s.name());
+            assert_eq!(*sol.assignment.last().unwrap(), NodeId(4), "{}", s.name());
+            assert!(sol.objective_ms.is_finite() && sol.objective_ms > 0.0);
+            if let Some(m) = &sol.mapping {
+                assert_eq!(m.assignment(), sol.assignment, "{}", s.name());
+            }
+        }
+        // the routed solvers all hit the same closure
+        assert!(
+            ctx.closure().stats().hits > 0,
+            "sharing a context must produce cache hits"
+        );
+    }
+
+    #[test]
+    fn registry_results_match_direct_calls_bit_for_bit() {
+        let (net, pipe) = fixture();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let cost = CostModel::default();
+        let ctx = SolveContext::new(inst, cost);
+
+        let direct = elpc_delay::solve(&inst, &cost).unwrap();
+        let via = solver("elpc_delay").unwrap().solve(&ctx).unwrap();
+        assert_eq!(via.objective_ms.to_bits(), direct.delay_ms.to_bits());
+        assert_eq!(via.mapping.as_ref().unwrap(), &direct.mapping);
+
+        let direct = elpc_delay::solve_routed(&inst, &cost).unwrap();
+        let via = solver("elpc_delay_routed").unwrap().solve(&ctx).unwrap();
+        assert_eq!(via.objective_ms.to_bits(), direct.objective_ms.to_bits());
+        assert_eq!(via.assignment, direct.assignment);
+
+        let direct = streamline::solve_max_rate(&inst, &cost).unwrap();
+        let via = solver("streamline_rate").unwrap().solve(&ctx).unwrap();
+        assert_eq!(via.objective_ms.to_bits(), direct.objective_ms.to_bits());
+        assert_eq!(via.assignment, direct.assignment);
+    }
+
+    #[test]
+    fn exact_solvers_lower_bound_their_heuristics() {
+        let (net, pipe) = fixture();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, CostModel::default());
+        let exact_delay = solver("exact_delay").unwrap().solve(&ctx).unwrap();
+        let exact_rate = solver("exact_rate").unwrap().solve(&ctx).unwrap();
+        for s in registry() {
+            let Ok(sol) = s.solve(&ctx) else { continue };
+            match s.objective() {
+                // strict-semantics delay solvers cannot beat the strict optimum;
+                // routed overlays may (they relax transport)
+                Objective::MinDelay if s.name() == "greedy_delay" => {
+                    assert!(exact_delay.objective_ms <= sol.objective_ms + 1e-9);
+                }
+                Objective::MaxRate if s.name() == "greedy_rate" || s.name() == "elpc_rate" => {
+                    assert!(exact_rate.objective_ms <= sol.objective_ms + 1e-9);
+                }
+                _ => {}
+            }
+        }
+    }
+}

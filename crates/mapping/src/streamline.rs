@@ -27,23 +27,35 @@
 //! Complexity: `O(m · (k log k + |E|))` with the per-stage Dijkstra pair —
 //! the `O(m·n²)` of §3.2 specialized to sparse graphs.
 
-use crate::routed::{routed_bottleneck_ms, routed_delay_ms};
-use crate::{AssignmentSolution, CostModel, Instance, MappingError, Result};
-use elpc_netgraph::algo::dijkstra;
+use crate::routed::{routed_bottleneck_ms_ctx, routed_delay_ms_ctx};
+use crate::{AssignmentSolution, CostModel, Instance, MappingError, Result, SolveContext};
 use elpc_netgraph::NodeId;
 
-/// Streamline for the interactive (minimum delay, node-reuse) objective.
+/// Streamline for the interactive (minimum delay, node-reuse) objective,
+/// with a transient context (cold path).
 pub fn solve_min_delay(inst: &Instance<'_>, cost: &CostModel) -> Result<AssignmentSolution> {
-    let assignment = place(inst, cost, Mode::Delay)?;
-    let objective_ms = routed_delay_ms(inst, cost, &assignment)?;
+    solve_min_delay_ctx(&SolveContext::new(*inst, *cost))
+}
+
+/// Streamline minimum delay over a shared [`SolveContext`].
+pub fn solve_min_delay_ctx(ctx: &SolveContext<'_>) -> Result<AssignmentSolution> {
+    let assignment = place(ctx, Mode::Delay)?;
+    let objective_ms = routed_delay_ms_ctx(ctx, &assignment)?;
     Ok(AssignmentSolution {
         assignment,
         objective_ms,
     })
 }
 
-/// Streamline for the streaming (maximum frame rate, no-reuse) objective.
+/// Streamline for the streaming (maximum frame rate, no-reuse) objective,
+/// with a transient context (cold path).
 pub fn solve_max_rate(inst: &Instance<'_>, cost: &CostModel) -> Result<AssignmentSolution> {
+    solve_max_rate_ctx(&SolveContext::new(*inst, *cost))
+}
+
+/// Streamline maximum frame rate over a shared [`SolveContext`].
+pub fn solve_max_rate_ctx(ctx: &SolveContext<'_>) -> Result<AssignmentSolution> {
+    let inst = ctx.instance();
     if inst.n_modules() > inst.network.node_count() {
         return Err(MappingError::Infeasible(format!(
             "{} modules need distinct nodes, network has {}",
@@ -56,8 +68,8 @@ pub fn solve_max_rate(inst: &Instance<'_>, cost: &CostModel) -> Result<Assignmen
             "source and destination coincide".into(),
         ));
     }
-    let assignment = place(inst, cost, Mode::Rate)?;
-    let objective_ms = routed_bottleneck_ms(inst, cost, &assignment, true)?;
+    let assignment = place(ctx, Mode::Rate)?;
+    let objective_ms = routed_bottleneck_ms_ctx(ctx, &assignment, true)?;
     Ok(AssignmentSolution {
         assignment,
         objective_ms,
@@ -70,27 +82,27 @@ enum Mode {
     Rate,
 }
 
-fn place(inst: &Instance<'_>, cost: &CostModel, mode: Mode) -> Result<Vec<NodeId>> {
+fn place(ctx: &SolveContext<'_>, mode: Mode) -> Result<Vec<NodeId>> {
+    let inst = ctx.instance();
     let net = inst.network;
     let pipe = inst.pipeline;
     let n = pipe.len();
     let k = net.node_count();
 
     // --- step 1: neediness ranking over the unpinned stages 1..n-1 ---
-    let avg_power = net
-        .node_ids()
-        .map(|v| net.power(v))
-        .sum::<f64>()
-        / k as f64;
+    let avg_power = net.node_ids().map(|v| net.power(v)).sum::<f64>() / k as f64;
     let mut bw_sum = 0.0;
     let mut bw_count = 0usize;
     for (_, e) in net.graph().edges() {
         bw_sum += e.payload.bw_mbps;
         bw_count += 1;
     }
-    let avg_bw = if bw_count > 0 { bw_sum / bw_count as f64 } else { 1.0 };
-    let est_transfer =
-        |bytes: f64| -> f64 { elpc_netsim::units::serialization_ms(bytes, avg_bw) };
+    let avg_bw = if bw_count > 0 {
+        bw_sum / bw_count as f64
+    } else {
+        1.0
+    };
+    let est_transfer = |bytes: f64| -> f64 { elpc_netsim::units::serialization_ms(bytes, avg_bw) };
 
     let mut order: Vec<usize> = (1..n - 1).collect();
     let need = |j: usize| -> f64 {
@@ -112,19 +124,14 @@ fn place(inst: &Instance<'_>, cost: &CostModel, mode: Mode) -> Result<Vec<NodeId
 
     for &j in &order {
         // routed distances from the placed predecessor / to the placed
-        // successor, one Dijkstra each (the network is symmetric, so the
-        // successor's distances are computed from the successor's side)
+        // successor, one metric-closure tree each (the network is
+        // symmetric, so the successor's distances are computed from the
+        // successor's side); trees are shared with every other solver on
+        // this context
         let in_bytes = pipe.input_bytes(j);
         let out_bytes = pipe.module(j).output_bytes;
-        let from_pred = assignment[j - 1].map(|u| {
-            dijkstra(net.graph(), u, |eid, _| cost.edge_transfer_ms(net, eid, in_bytes)).dist
-        });
-        let to_succ = assignment[j + 1].map(|w| {
-            dijkstra(net.graph(), w, |eid, _| {
-                cost.edge_transfer_ms(net, eid, out_bytes)
-            })
-            .dist
-        });
+        let from_pred = assignment[j - 1].map(|u| ctx.routed_from(u, in_bytes));
+        let to_succ = assignment[j + 1].map(|w| ctx.routed_from(w, out_bytes));
         let work = pipe.compute_work(j);
         let mut best: Option<(f64, NodeId)> = None;
         for v in net.node_ids() {
@@ -132,16 +139,18 @@ fn place(inst: &Instance<'_>, cost: &CostModel, mode: Mode) -> Result<Vec<NodeId
                 continue;
             }
             let compute = work / net.power(v);
-            let pred_t = from_pred.as_ref().map(|d| d[v.index()]);
-            let succ_t = to_succ.as_ref().map(|d| d[v.index()]);
+            let pred_t = from_pred.as_ref().map(|d| d.dist[v.index()]);
+            let succ_t = to_succ.as_ref().map(|d| d.dist[v.index()]);
             if pred_t.is_some_and(f64::is_infinite) || succ_t.is_some_and(f64::is_infinite) {
                 continue;
             }
             let score = match mode {
                 Mode::Delay => compute + pred_t.unwrap_or(0.0) + succ_t.unwrap_or(0.0),
-                Mode::Rate => compute.max(pred_t.unwrap_or(0.0)).max(succ_t.unwrap_or(0.0)),
+                Mode::Rate => compute
+                    .max(pred_t.unwrap_or(0.0))
+                    .max(succ_t.unwrap_or(0.0)),
             };
-            if best.map_or(true, |(s, _)| score < s) {
+            if best.is_none_or(|(s, _)| score < s) {
                 best = Some((score, v));
             }
         }
@@ -165,6 +174,7 @@ fn place(inst: &Instance<'_>, cost: &CostModel, mode: Mode) -> Result<Vec<NodeId
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routed::{routed_bottleneck_ms, routed_delay_ms};
     use elpc_netsim::Network;
     use elpc_pipeline::{Module, Pipeline};
 

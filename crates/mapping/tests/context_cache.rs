@@ -1,0 +1,233 @@
+//! Cache-correctness regression tests for the `SolveContext` metric
+//! closure.
+//!
+//! The refactor that introduced [`SolveContext`] deleted four inline
+//! Dijkstra blocks (in `elpc_delay::solve_routed`, `elpc_rate::
+//! solve_routed_with`, `streamline::place`, and `routed::*`) in favor of
+//! one shared, lazily-keyed cache. These tests pin the two properties that
+//! make that refactor safe:
+//!
+//! 1. every closure entry equals a freshly computed `dijkstra` run, bit
+//!    for bit, on random `netgraph::gen` topologies;
+//! 2. the routed solvers' outputs are bit-identical to reference
+//!    implementations that recompute shortest paths inline on every query
+//!    — i.e. the pre-refactor behavior.
+
+use elpc_mapping::{
+    elpc_delay, routed, streamline, CostModel, Instance, MetricClosure, NodeId, SolveContext,
+};
+use elpc_netgraph::algo::dijkstra;
+use elpc_netsim::{Link, Network, Node};
+use elpc_pipeline::gen::PipelineSpec;
+use elpc_pipeline::Pipeline;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random connected instance: 4..=12 nodes, feasible link budget,
+/// 2..=min(k, 7) modules, WAN-like parameters.
+fn build_instance(seed: u64) -> (Network, Pipeline) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = rng.gen_range(4usize..=12);
+    let links = rng.gen_range(k - 1..=k * (k - 1) / 2);
+    let topo = elpc_netgraph::gen::random_connected(k, links, &mut rng).unwrap();
+    let powers: Vec<f64> = (0..k).map(|_| rng.gen_range(5.0..2000.0)).collect();
+    let mut lr = ChaCha8Rng::seed_from_u64(seed ^ 0xCAC4E);
+    let net = Network::from_topology(
+        &topo,
+        |i| Node::with_power(powers[i]),
+        |_, _| Link::new(lr.gen_range(1.0..1000.0), lr.gen_range(0.01..10.0)),
+    )
+    .unwrap();
+    let n = rng.gen_range(2usize..=k.min(7));
+    let pipe = PipelineSpec {
+        modules: n,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+    .unwrap();
+    (net, pipe)
+}
+
+fn endpoints(net: &Network) -> (NodeId, NodeId) {
+    (NodeId(0), NodeId((net.node_count() - 1) as u32))
+}
+
+/// Reference routed-delay DP: the pre-refactor `solve_routed` body, with a
+/// fresh Dijkstra per (column, source) and no caching.
+fn reference_routed_delay(inst: &Instance<'_>, cost: &CostModel) -> Option<(Vec<NodeId>, f64)> {
+    let net = inst.network;
+    let pipe = inst.pipeline;
+    let n = pipe.len();
+    let k = net.node_count();
+    let mut prev = vec![f64::INFINITY; k];
+    prev[inst.src.index()] = 0.0;
+    let mut parents: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(n - 1);
+    let mut cur = vec![f64::INFINITY; k];
+    for j in 1..n {
+        let in_bytes = pipe.input_bytes(j);
+        let work = pipe.compute_work(j);
+        let mut parent: Vec<Option<NodeId>> = vec![None; k];
+        for v in 0..k {
+            cur[v] = if prev[v].is_finite() {
+                parent[v] = Some(NodeId::from_index(v));
+                prev[v] + work / net.power(NodeId::from_index(v))
+            } else {
+                f64::INFINITY
+            };
+        }
+        for u in 0..k {
+            if !prev[u].is_finite() {
+                continue;
+            }
+            let du = dijkstra(net.graph(), NodeId::from_index(u), |eid, _| {
+                cost.edge_transfer_ms(net, eid, in_bytes)
+            })
+            .dist;
+            for v in 0..k {
+                if v == u || du[v].is_infinite() {
+                    continue;
+                }
+                let t = prev[u] + du[v] + work / net.power(NodeId::from_index(v));
+                if t < cur[v] {
+                    cur[v] = t;
+                    parent[v] = Some(NodeId::from_index(u));
+                }
+            }
+        }
+        parents.push(parent);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let total = prev[inst.dst.index()];
+    if !total.is_finite() {
+        return None;
+    }
+    let mut assignment = vec![inst.dst; n];
+    let mut node = inst.dst;
+    for j in (1..n).rev() {
+        assignment[j] = node;
+        node = parents[j - 1][node.index()].expect("finite cells have parents");
+    }
+    assignment[0] = node;
+    Some((assignment, total))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: every metric-closure entry equals a fresh Dijkstra run,
+    /// bit for bit, including predecessor links — and repeat queries are
+    /// served from cache.
+    #[test]
+    fn closure_entries_equal_fresh_dijkstra(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let cost = CostModel::default();
+        let closure = MetricClosure::new(&net, cost);
+        let k = net.node_count();
+        // query the closure with the instance's real payload sizes plus a
+        // couple of synthetic ones
+        let mut sizes: Vec<f64> = (1..pipe.len()).map(|j| pipe.input_bytes(j)).collect();
+        sizes.push(1.0);
+        sizes.push(3.5e6);
+        for &bytes in &sizes {
+            for u in 0..k {
+                let cached = closure.routed_from(NodeId::from_index(u), bytes);
+                let fresh = dijkstra(net.graph(), NodeId::from_index(u), |eid, _| {
+                    cost.edge_transfer_ms(&net, eid, bytes)
+                });
+                for v in 0..k {
+                    prop_assert_eq!(cached.dist[v].to_bits(), fresh.dist[v].to_bits(),
+                        "dist mismatch: bytes {} source {} target {}", bytes, u, v);
+                    prop_assert_eq!(cached.prev[v], fresh.prev[v]);
+                }
+            }
+        }
+        // second pass over the same queries must be all hits
+        let before = closure.stats();
+        for &bytes in &sizes {
+            for u in 0..k {
+                closure.routed_from(NodeId::from_index(u), bytes);
+            }
+        }
+        let after = closure.stats();
+        prop_assert_eq!(after.misses, before.misses, "repeat queries recomputed");
+        prop_assert!(after.hits > before.hits);
+    }
+
+    /// Property 2: `solve_routed` through the shared context is
+    /// bit-identical — objective and assignment — to the pre-refactor
+    /// reference that recomputes Dijkstra inline on every call.
+    #[test]
+    fn solve_routed_outputs_are_bit_identical_to_the_uncached_reference(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cost = CostModel::default();
+        let reference = reference_routed_delay(&inst, &cost);
+        let cached = elpc_delay::solve_routed(&inst, &cost);
+        match (reference, cached) {
+            (Some((ref_assignment, ref_ms)), Ok(sol)) => {
+                prop_assert_eq!(sol.objective_ms.to_bits(), ref_ms.to_bits(),
+                    "objective drifted: cached {} vs reference {}", sol.objective_ms, ref_ms);
+                prop_assert_eq!(sol.assignment, ref_assignment);
+            }
+            (None, Err(_)) => {}
+            (r, c) => prop_assert!(false, "feasibility disagreement: {r:?} vs {c:?}"),
+        }
+    }
+
+    /// Routed evaluation of a fixed assignment agrees bit-for-bit between
+    /// the cold free functions and a warm shared context, no matter how
+    /// much unrelated state the closure already holds.
+    #[test]
+    fn routed_evaluators_agree_between_cold_and_warm_contexts(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cost = CostModel::default();
+        let ctx = SolveContext::new(inst, cost);
+        // warm the closure with solver traffic first
+        let _ = elpc_delay::solve_routed_ctx(&ctx);
+        let _ = streamline::solve_min_delay_ctx(&ctx);
+        if let Ok(sl) = streamline::solve_min_delay_ctx(&ctx) {
+            let warm = routed::routed_delay_ms_ctx(&ctx, &sl.assignment).unwrap();
+            let cold = routed::routed_delay_ms(&inst, &cost, &sl.assignment).unwrap();
+            prop_assert_eq!(warm.to_bits(), cold.to_bits());
+            prop_assert_eq!(warm.to_bits(), sl.objective_ms.to_bits());
+        }
+        if let Ok(sl) = streamline::solve_max_rate_ctx(&ctx) {
+            let warm = routed::routed_bottleneck_ms_ctx(&ctx, &sl.assignment, true).unwrap();
+            let cold = routed::routed_bottleneck_ms(&inst, &cost, &sl.assignment, true).unwrap();
+            prop_assert_eq!(warm.to_bits(), cold.to_bits());
+        }
+    }
+
+    /// Waxman topologies (the other §4.1 generator family) get the same
+    /// bit-identical guarantee.
+    #[test]
+    fn closure_matches_dijkstra_on_waxman_topologies(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = rng.gen_range(5usize..=15);
+        let topo = elpc_netgraph::gen::waxman(k, 0.5, 0.4, &mut rng).unwrap();
+        let mut lr = ChaCha8Rng::seed_from_u64(seed ^ 0x3A7);
+        let powers: Vec<f64> = (0..k).map(|_| lr.gen_range(10.0..1000.0)).collect();
+        let net = Network::from_topology(
+            &topo,
+            |i| Node::with_power(powers[i]),
+            |_, _| Link::new(lr.gen_range(1.0..622.0), lr.gen_range(0.1..20.0)),
+        )
+        .unwrap();
+        let cost = CostModel { include_mld: rng.gen_bool(0.5) };
+        let closure = MetricClosure::new(&net, cost);
+        let bytes = lr.gen_range(1e3..1e7);
+        for u in 0..k {
+            let cached = closure.routed_from(NodeId::from_index(u), bytes);
+            let fresh = dijkstra(net.graph(), NodeId::from_index(u), |eid, _| {
+                cost.edge_transfer_ms(&net, eid, bytes)
+            });
+            for v in 0..k {
+                prop_assert_eq!(cached.dist[v].to_bits(), fresh.dist[v].to_bits());
+            }
+        }
+    }
+}

@@ -8,7 +8,9 @@
 //!   sets never hurt it;
 //! * baselines never beat the optimal DP on the delay objective.
 
-use elpc_mapping::{elpc_delay, elpc_rate, exact, greedy, CostModel, Instance, MappingError, NodeId};
+use elpc_mapping::{
+    elpc_delay, elpc_rate, exact, greedy, CostModel, Instance, MappingError, NodeId,
+};
 use elpc_netsim::{Link, Network, Node};
 use elpc_pipeline::gen::PipelineSpec;
 use elpc_pipeline::Pipeline;

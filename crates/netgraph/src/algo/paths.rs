@@ -97,7 +97,7 @@ fn dfs<N, E>(
         }
         // admissible prune: v must still be able to reach dst in the budget
         match dist_to_dst[v.index()] {
-            Some(d) if d <= remaining_hops - 1 => {}
+            Some(d) if d < remaining_hops => {}
             _ => continue,
         }
         // dst may only appear as the final node

@@ -71,7 +71,13 @@ pub fn to_dot<N, E>(
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "G".to_string()
@@ -96,9 +102,12 @@ mod tests {
     #[test]
     fn collapsed_output_is_an_undirected_graph() {
         let g = sample();
-        let dot = to_dot(&g, &DotOptions::default(), |_, _| String::new(), |_, _| {
-            String::new()
-        });
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |_, _| String::new(),
+            |_, _| String::new(),
+        );
         assert!(dot.starts_with("graph G {"));
         assert_eq!(dot.matches("0 -- 1").count(), 1);
         assert!(!dot.contains("1 -- 0"));
@@ -147,9 +156,12 @@ mod tests {
         let a = g.add_node(());
         let b = g.add_node(());
         g.add_edge(b, a, ()).unwrap(); // reverse-direction only
-        let dot = to_dot(&g, &DotOptions::default(), |_, _| String::new(), |_, _| {
-            String::new()
-        });
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |_, _| String::new(),
+            |_, _| String::new(),
+        );
         assert!(dot.contains("1 -- 0"));
     }
 }

@@ -203,9 +203,11 @@ impl<N, E> Graph<N, E> {
 
     /// Finds the first edge `src -> dst`, if any.
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
-        self.out.get(src.index())?.iter().copied().find(|&eid| {
-            self.edges[eid.index()].dst == dst
-        })
+        self.out
+            .get(src.index())?
+            .iter()
+            .copied()
+            .find(|&eid| self.edges[eid.index()].dst == dst)
     }
 
     /// True if a directed edge `src -> dst` exists.

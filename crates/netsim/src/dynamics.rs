@@ -293,19 +293,14 @@ mod tests {
         let l = snap.link(EdgeId(0)).unwrap();
         assert_eq!(l.bw_mbps, 250.0);
         assert_eq!(l.mld_ms, 1.0); // MLD untouched
-        // both directions scaled
+                                   // both directions scaled
         assert_eq!(snap.link(EdgeId(1)).unwrap().bw_mbps, 250.0);
     }
 
     #[test]
     fn mismatched_model_counts_are_rejected() {
         assert!(DynamicNetwork::new(base(), vec![], vec![LoadModel::Constant(1.0)]).is_err());
-        assert!(DynamicNetwork::new(
-            base(),
-            vec![LoadModel::Constant(1.0); 2],
-            vec![]
-        )
-        .is_err());
+        assert!(DynamicNetwork::new(base(), vec![LoadModel::Constant(1.0); 2], vec![]).is_err());
     }
 
     #[test]

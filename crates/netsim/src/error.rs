@@ -47,7 +47,9 @@ impl fmt::Display for NetworkError {
                     endpoints.0, endpoints.1
                 )
             }
-            NetworkError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            NetworkError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
             NetworkError::Invalid(msg) => write!(f, "invalid network: {msg}"),
         }
     }

@@ -70,7 +70,9 @@ pub fn from_text(text: &str) -> Result<Network> {
                 if id != next_node {
                     return Err(NetworkError::Parse {
                         line: lineno,
-                        reason: format!("expected NodeID {next_node}, got {id} (ids must be dense and ordered)"),
+                        reason: format!(
+                            "expected NodeID {next_node}, got {id} (ids must be dense and ordered)"
+                        ),
                     });
                 }
                 let power: f64 = parse_field(parts.next(), "ProcessingPower", lineno)?;
@@ -112,11 +114,7 @@ pub fn from_text(text: &str) -> Result<Network> {
     b.build()
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: Option<&str>,
-    name: &str,
-    line: usize,
-) -> Result<T> {
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, name: &str, line: usize) -> Result<T> {
     let s = field.ok_or_else(|| NetworkError::Parse {
         line,
         reason: format!("missing field {name}"),
@@ -157,7 +155,10 @@ mod tests {
         assert_eq!(back.node_count(), 3);
         assert_eq!(back.link_count(), 3);
         assert_eq!(back.power(NodeId(0)), 5000.0);
-        assert_eq!(back.node(NodeId(0)).unwrap().ip.as_deref(), Some("10.0.0.1"));
+        assert_eq!(
+            back.node(NodeId(0)).unwrap().ip.as_deref(),
+            Some("10.0.0.1")
+        );
         assert_eq!(back.link(elpc_netgraph::EdgeId(2)).unwrap().bw_mbps, 622.0);
         assert_eq!(back.link(elpc_netgraph::EdgeId(4)).unwrap().mld_ms, 10.0);
     }

@@ -249,11 +249,11 @@ mod tests {
         let same = vec![
             ProbeSample {
                 bytes: 10.0,
-                time_ms: 1.0
+                time_ms: 1.0,
             },
             ProbeSample {
                 bytes: 10.0,
-                time_ms: 2.0
+                time_ms: 2.0,
             },
         ];
         assert!(fit_link(&same).is_err());
@@ -261,11 +261,11 @@ mod tests {
         let bad = vec![
             ProbeSample {
                 bytes: 10.0,
-                time_ms: 5.0
+                time_ms: 5.0,
             },
             ProbeSample {
                 bytes: 1000.0,
-                time_ms: 1.0
+                time_ms: 1.0,
             },
         ];
         assert!(fit_link(&bad).is_err());

@@ -190,13 +190,19 @@ impl Network {
             if !(e.payload.bw_mbps > 0.0) || !e.payload.bw_mbps.is_finite() {
                 return Err(NetworkError::BadLinkParameter {
                     endpoints: (e.src, e.dst),
-                    reason: format!("bandwidth must be positive and finite, got {}", e.payload.bw_mbps),
+                    reason: format!(
+                        "bandwidth must be positive and finite, got {}",
+                        e.payload.bw_mbps
+                    ),
                 });
             }
             if !(e.payload.mld_ms >= 0.0) || !e.payload.mld_ms.is_finite() {
                 return Err(NetworkError::BadLinkParameter {
                     endpoints: (e.src, e.dst),
-                    reason: format!("MLD must be non-negative and finite, got {}", e.payload.mld_ms),
+                    reason: format!(
+                        "MLD must be non-negative and finite, got {}",
+                        e.payload.mld_ms
+                    ),
                 });
             }
         }
@@ -287,7 +293,10 @@ impl NetworkBuilder {
         if !(link.bw_mbps > 0.0) || !link.bw_mbps.is_finite() {
             return Err(NetworkError::BadLinkParameter {
                 endpoints: (a, b),
-                reason: format!("bandwidth must be positive and finite, got {}", link.bw_mbps),
+                reason: format!(
+                    "bandwidth must be positive and finite, got {}",
+                    link.bw_mbps
+                ),
             });
         }
         if !(link.mld_ms >= 0.0) || !link.mld_ms.is_finite() {
@@ -373,7 +382,10 @@ mod tests {
         let net = b.build().unwrap();
         let (_, t) = net.best_edge(a, c, 1_000_000.0).unwrap();
         assert!((t - 8.0).abs() < 1e-9); // 1 MB over 1000 Mbps = 8 ms
-        assert_eq!(net.best_edge(c, NodeId(0), 1.0).map(|x| x.1 > 0.0), Some(true));
+        assert_eq!(
+            net.best_edge(c, NodeId(0), 1.0).map(|x| x.1 > 0.0),
+            Some(true)
+        );
         assert!(net.best_edge(a, NodeId(7), 1.0).is_none());
     }
 
@@ -417,7 +429,8 @@ mod tests {
     #[test]
     fn set_link_symmetric_updates_both_directions() {
         let mut net = chain();
-        net.set_link_symmetric(EdgeId(0), Link::new(50.0, 2.0)).unwrap();
+        net.set_link_symmetric(EdgeId(0), Link::new(50.0, 2.0))
+            .unwrap();
         assert_eq!(net.link(EdgeId(0)).unwrap().bw_mbps, 50.0);
         assert_eq!(net.link(EdgeId(1)).unwrap().bw_mbps, 50.0);
         // the other link is untouched
@@ -461,7 +474,10 @@ mod tests {
         b.push_node(Node::with_power(5.0)).unwrap();
         b.add_link(NodeId(0), NodeId(1), 10.0, 0.0).unwrap();
         let net = b.build().unwrap();
-        assert_eq!(net.node(NodeId(0)).unwrap().ip.as_deref(), Some("192.168.0.1"));
+        assert_eq!(
+            net.node(NodeId(0)).unwrap().ip.as_deref(),
+            Some("192.168.0.1")
+        );
         assert_eq!(net.node(NodeId(0)).unwrap().name.as_deref(), Some("source"));
         assert_eq!(net.node(NodeId(1)).unwrap().ip, None);
     }

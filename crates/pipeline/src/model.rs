@@ -269,11 +269,8 @@ mod tests {
         ])
         .unwrap_err();
         assert!(matches!(err, PipelineError::BadModule { index: 1, .. }));
-        let err = Pipeline::new(vec![
-            Module::new(0.0, f64::NAN),
-            Module::new(1.0, 0.0),
-        ])
-        .unwrap_err();
+        let err =
+            Pipeline::new(vec![Module::new(0.0, f64::NAN), Module::new(1.0, 0.0)]).unwrap_err();
         assert!(matches!(err, PipelineError::BadModule { index: 0, .. }));
         // intermediate module with zero output starves its successor
         let err = Pipeline::new(vec![

@@ -111,11 +111,7 @@ mod tests {
         assert!(p.module(1).output_bytes < p.module(0).output_bytes);
         assert!(p.module(2).output_bytes < p.module(1).output_bytes);
         // extraction is the most expensive per-byte stage
-        let max_c = p
-            .modules()
-            .iter()
-            .map(|m| m.complexity)
-            .fold(0.0, f64::max);
+        let max_c = p.modules().iter().map(|m| m.complexity).fold(0.0, f64::max);
         assert_eq!(p.module(2).complexity, max_c);
     }
 

@@ -154,8 +154,10 @@ pub fn simulate_assignment(
     workload: Workload,
 ) -> Result<SimReport> {
     workload.validate()?;
-    // reuse the routed validation by evaluating the delay once
-    elpc_mapping::routed::routed_delay_ms(inst, cost, assignment)?;
+    let ctx = elpc_mapping::SolveContext::new(*inst, *cost);
+    // reuse the routed validation by evaluating the delay once; the same
+    // context then serves every per-boundary transfer below from cache
+    elpc_mapping::routed::routed_delay_ms_ctx(&ctx, assignment)?;
     let net = inst.network;
     let pipe = inst.pipeline;
     let mut exec = Vec::new();
@@ -164,19 +166,26 @@ pub fn simulate_assignment(
         let work = pipe.compute_work(j);
         keys.push(ResKey::Node(node));
         exec.push(ExecStage {
-            service_ms: if work > 0.0 { work / net.power(node) } else { 0.0 },
+            service_ms: if work > 0.0 {
+                work / net.power(node)
+            } else {
+                0.0
+            },
             resource: usize::MAX,
             label: format!("compute module {j} @ node {node}"),
         });
         if j + 1 < assignment.len() && assignment[j + 1] != node {
             let bytes = pipe.module(j).output_bytes;
-            let ms =
-                elpc_mapping::routed::routed_transfer_ms(net, cost, node, assignment[j + 1], bytes)?;
+            let ms = ctx.routed_transfer_ms(node, assignment[j + 1], bytes)?;
             keys.push(ResKey::Route(j));
             exec.push(ExecStage {
                 service_ms: ms,
                 resource: usize::MAX,
-                label: format!("routed transfer {} → {} ({bytes} B)", node, assignment[j + 1]),
+                label: format!(
+                    "routed transfer {} → {} ({bytes} B)",
+                    node,
+                    assignment[j + 1]
+                ),
             });
         }
     }
@@ -220,13 +229,26 @@ fn run(mut exec: Vec<ExecStage>, keys: Vec<ResKey>, workload: Workload) -> Resul
             }
             Ev::Complete { frame, stage } => {
                 let r = exec[stage].resource;
-                let ((done_frame, done_stage), next) = resources[r].complete(exec[stage].service_ms);
+                let ((done_frame, done_stage), next) =
+                    resources[r].complete(exec[stage].service_ms);
                 debug_assert_eq!((done_frame, done_stage), (frame, stage));
                 if let Some(&(nf, ns)) = next {
-                    q.schedule(now + exec[ns].service_ms, Ev::Complete { frame: nf, stage: ns });
+                    q.schedule(
+                        now + exec[ns].service_ms,
+                        Ev::Complete {
+                            frame: nf,
+                            stage: ns,
+                        },
+                    );
                 }
                 if stage + 1 < exec.len() {
-                    q.schedule(now, Ev::Arrive { frame, stage: stage + 1 });
+                    q.schedule(
+                        now,
+                        Ev::Arrive {
+                            frame,
+                            stage: stage + 1,
+                        },
+                    );
                 } else {
                     completions[frame] = now;
                 }
@@ -329,8 +351,7 @@ mod tests {
         ])
         .unwrap();
         let inst = Instance::new(&net, &pipe, s, d).unwrap();
-        let mapping =
-            elpc_mapping::Mapping::from_parts(vec![s, d], vec![2, 1]).unwrap();
+        let mapping = elpc_mapping::Mapping::from_parts(vec![s, d], vec![2, 1]).unwrap();
         let report = simulate(&inst, &cost(), &mapping, Workload::stream(20)).unwrap();
         let gap = report.steady_interdeparture_ms().unwrap();
         // bottleneck = source compute group = 20000 ms
@@ -362,12 +383,13 @@ mod tests {
         // a deliberately non-adjacent placement: module 1 on node 2,
         // module 2 back on node 1
         let assignment = vec![NodeId(0), NodeId(2), NodeId(1), NodeId(3)];
-        let expected =
-            elpc_mapping::routed::routed_delay_ms(&inst, &cost(), &assignment).unwrap();
-        let report =
-            simulate_assignment(&inst, &cost(), &assignment, Workload::single()).unwrap();
+        let expected = elpc_mapping::routed::routed_delay_ms(&inst, &cost(), &assignment).unwrap();
+        let report = simulate_assignment(&inst, &cost(), &assignment, Workload::single()).unwrap();
         let got = report.end_to_end_delay_ms(0).unwrap();
-        assert!((got - expected).abs() < 1e-6, "sim {got} vs routed {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "sim {got} vs routed {expected}"
+        );
     }
 
     #[test]

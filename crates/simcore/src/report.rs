@@ -92,10 +92,7 @@ impl SimReport {
 
     /// Total simulated time (last completion).
     pub fn makespan_ms(&self) -> f64 {
-        self.completions_ms
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
+        self.completions_ms.iter().copied().fold(0.0, f64::max)
     }
 
     /// Utilization of each resource over the makespan, `(name, fraction)`.

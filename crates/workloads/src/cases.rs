@@ -34,8 +34,8 @@ pub struct CaseSpec {
 impl CaseSpec {
     /// Materializes the case into a problem instance.
     pub fn generate(&self) -> crate::Result<ProblemInstance> {
-        let mut inst = InstanceSpec::sized(self.modules, self.nodes, self.links)
-            .generate(self.seed)?;
+        let mut inst =
+            InstanceSpec::sized(self.modules, self.nodes, self.links).generate(self.seed)?;
         inst.label = format!(
             "case {:02}: m={} n={} l={}",
             self.number, self.modules, self.nodes, self.links
@@ -113,7 +113,11 @@ mod tests {
         for c in paper_cases() {
             assert!(c.modules >= 2);
             assert!(c.modules <= c.nodes, "case {}: m > n", c.number);
-            assert!(c.links >= c.nodes - 1, "case {}: disconnected budget", c.number);
+            assert!(
+                c.links >= c.nodes - 1,
+                "case {}: disconnected budget",
+                c.number
+            );
             assert!(
                 c.links <= c.nodes * (c.nodes - 1) / 2,
                 "case {}: too many links",

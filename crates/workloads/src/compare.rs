@@ -1,16 +1,23 @@
-//! Three-algorithm comparison on one instance — the row shape of Fig. 2.
+//! Registry-driven algorithm comparison on one instance — the row shape of
+//! Fig. 2.
+//!
+//! Every algorithm is pulled from the [`elpc_mapping::registry`] and run
+//! against one shared [`SolveContext`], so the routed metric closure (the
+//! all-pairs Dijkstra work that dominates large cases) is computed once per
+//! instance instead of once per solver. Adding an algorithm to the
+//! comparison is a one-file change in `elpc_mapping::solver` — this module
+//! picks it up by name.
 //!
 //! Evaluation semantics (see `elpc_mapping::routed` for the rationale):
 //! Streamline places modules freely, so its transfers are charged at routed
 //! (best multi-hop) cost; to compare like with like, the ELPC columns use
-//! the routed-overlay DP variants (`solve_routed`), which are the same
-//! algorithms run on the network's metric closure. The strict Eq. 1/2
-//! values of the published DPs are recorded alongside
-//! (`delay_elpc_strict` / `rate_elpc_strict`); Greedy walks real edges, so
-//! its strict and routed values coincide.
+//! the routed-overlay DP variants, which are the same algorithms run on the
+//! network's metric closure. The strict Eq. 1/2 values of the published DPs
+//! are recorded alongside (`delay_elpc_strict` / `rate_elpc_strict`);
+//! Greedy walks real edges, so its strict and routed values coincide.
 
 use crate::ProblemInstance;
-use elpc_mapping::{elpc_delay, elpc_rate, greedy, streamline, CostModel, MappingError};
+use elpc_mapping::{solver, CostModel, MappingError, SolveContext};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one algorithm on one objective.
@@ -90,8 +97,8 @@ impl CaseResult {
         };
         // routed evaluation can only flatter the baselines, so allow a
         // measurement-epsilon tolerance
-        self.delay_streamline.ms().map_or(true, |s| e <= s + 1e-9)
-            && self.delay_greedy.ms().map_or(true, |g| e <= g + 1e-9)
+        self.delay_streamline.ms().is_none_or(|s| e <= s + 1e-9)
+            && self.delay_greedy.ms().is_none_or(|g| e <= g + 1e-9)
     }
 
     /// True when ELPC's frame rate is no worse than both baselines
@@ -100,75 +107,63 @@ impl CaseResult {
         let Some(e) = self.rate_elpc.ms() else {
             return false;
         };
-        self.rate_streamline.ms().map_or(true, |s| e <= s + 1e-9)
-            && self.rate_greedy.ms().map_or(true, |g| e <= g + 1e-9)
+        self.rate_streamline.ms().is_none_or(|s| e <= s + 1e-9)
+            && self.rate_greedy.ms().is_none_or(|g| e <= g + 1e-9)
     }
 }
 
-/// ELPC rate under routed semantics, as a small portfolio: the routed DP
-/// with a modestly widened label set (ablation A2 showed K-best labels
-/// recover most single-label misses), falling back to the strict DP's
-/// mapping re-evaluated under routed transport. Both members are ELPC
-/// variants; the portfolio only papers over heuristic label misses.
-fn best_rate_routed(
-    view: &elpc_mapping::Instance<'_>,
+/// The registry names behind the [`CaseResult`] columns, in column order.
+pub const CASE_COLUMNS: [&str; 8] = [
+    "elpc_delay_routed",
+    "elpc_delay",
+    "streamline_delay",
+    "greedy_delay",
+    "elpc_rate_routed",
+    "elpc_rate",
+    "streamline_rate",
+    "greedy_rate",
+];
+
+/// Runs one registered solver on a shared context, as an [`Outcome`].
+pub fn run_solver(ctx: &SolveContext<'_>, name: &str) -> Outcome {
+    match solver(name) {
+        Some(s) => Outcome::from_result(s.solve(ctx).map(|sol| sol.objective_ms)),
+        None => Outcome::Error(format!("no solver named `{name}` in the registry")),
+    }
+}
+
+/// Runs an arbitrary list of registered solvers on one instance, sharing a
+/// single metric-closure context. The generic entry point for experiments
+/// that want more (or different) algorithms than the Fig. 2 columns.
+pub fn run_solvers(
+    inst: &ProblemInstance,
     cost: &CostModel,
-) -> Result<f64, MappingError> {
-    // wider label sets are cheap on small networks and recover nearly all
-    // single-label misses; large networks keep a modest width
-    let k_labels = if view.network.node_count() <= 100 { 16 } else { 12 };
-    let config = elpc_rate::RateConfig { k_labels };
-
-    // portfolio members: (routed objective, assignment)
-    let mut candidates: Vec<(f64, Vec<elpc_mapping::NodeId>)> = Vec::new();
-    if let Ok(r) = elpc_rate::solve_routed_with(view, cost, config) {
-        candidates.push((r.objective_ms, r.assignment));
-    }
-    if let Ok(s) = elpc_rate::solve_with(view, cost, config) {
-        let a = s.mapping.assignment();
-        if let Ok(b) = elpc_mapping::routed::routed_bottleneck_ms(view, cost, &a, true) {
-            candidates.push((b, a));
-        }
-    }
-    let Some((_, mut best)) = candidates
-        .into_iter()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("objectives are not NaN"))
-    else {
-        return Err(MappingError::Infeasible(
-            "no ELPC rate variant found a feasible placement".into(),
-        ));
-    };
-    // local-search polish absorbs residual label-pruning misses
-    let sweeps = 4;
-    elpc_mapping::routed::polish_rate_assignment(view, cost, &mut best, sweeps)
+    names: &[&str],
+) -> Vec<(String, Outcome)> {
+    let view = inst.as_instance();
+    let ctx = SolveContext::new(view, *cost);
+    names
+        .iter()
+        .map(|&n| (n.to_string(), run_solver(&ctx, n)))
+        .collect()
 }
 
-/// Runs all six solver×objective combinations on one instance.
+/// Runs all eight solver×objective combinations on one instance through the
+/// registry, sharing one metric-closure context across all of them.
 pub fn run_case(inst: &ProblemInstance, cost: &CostModel) -> CaseResult {
     let view = inst.as_instance();
+    let ctx = SolveContext::new(view, *cost);
     CaseResult {
         label: inst.label.clone(),
         dims: inst.dims(),
-        delay_elpc: Outcome::from_result(
-            elpc_delay::solve_routed(&view, cost).map(|s| s.objective_ms),
-        ),
-        delay_elpc_strict: Outcome::from_result(
-            elpc_delay::solve(&view, cost).map(|s| s.delay_ms),
-        ),
-        delay_streamline: Outcome::from_result(
-            streamline::solve_min_delay(&view, cost).map(|s| s.objective_ms),
-        ),
-        delay_greedy: Outcome::from_result(greedy::solve_min_delay(&view, cost).map(|s| s.delay_ms)),
-        rate_elpc: Outcome::from_result(best_rate_routed(&view, cost)),
-        rate_elpc_strict: Outcome::from_result(
-            elpc_rate::solve(&view, cost).map(|s| s.bottleneck_ms),
-        ),
-        rate_streamline: Outcome::from_result(
-            streamline::solve_max_rate(&view, cost).map(|s| s.objective_ms),
-        ),
-        rate_greedy: Outcome::from_result(
-            greedy::solve_max_rate(&view, cost).map(|s| s.bottleneck_ms),
-        ),
+        delay_elpc: run_solver(&ctx, "elpc_delay_routed"),
+        delay_elpc_strict: run_solver(&ctx, "elpc_delay"),
+        delay_streamline: run_solver(&ctx, "streamline_delay"),
+        delay_greedy: run_solver(&ctx, "greedy_delay"),
+        rate_elpc: run_solver(&ctx, "elpc_rate_routed"),
+        rate_elpc_strict: run_solver(&ctx, "elpc_rate"),
+        rate_streamline: run_solver(&ctx, "streamline_rate"),
+        rate_greedy: run_solver(&ctx, "greedy_rate"),
     }
 }
 
@@ -185,7 +180,12 @@ mod tests {
             let row = run_case(&inst, &cost);
             assert_eq!(row.dims, (case.modules, case.nodes, case.links));
             // ELPC delay always solves on feasible suite instances
-            assert!(row.delay_elpc.ms().is_some(), "case {}: {:?}", case.number, row.delay_elpc);
+            assert!(
+                row.delay_elpc.ms().is_some(),
+                "case {}: {:?}",
+                case.number,
+                row.delay_elpc
+            );
             // no solver may crash
             for o in [
                 &row.delay_streamline,
@@ -209,6 +209,20 @@ mod tests {
                 assert!(e <= g + 1e-9, "case {}: ELPC {e} > greedy {g}", case.number);
             }
         }
+    }
+
+    #[test]
+    fn run_solvers_covers_arbitrary_registry_subsets() {
+        let cost = CostModel::default();
+        let inst = paper_cases()[0].generate().unwrap();
+        let rows = run_solvers(&inst, &cost, &CASE_COLUMNS);
+        assert_eq!(rows.len(), CASE_COLUMNS.len());
+        for (name, outcome) in &rows {
+            assert!(!matches!(outcome, Outcome::Error(_)), "{name}: {outcome:?}");
+        }
+        // unknown names surface as reported errors, never panics
+        let rows = run_solvers(&inst, &cost, &["nonexistent_algorithm"]);
+        assert!(matches!(rows[0].1, Outcome::Error(_)));
     }
 
     #[test]

@@ -203,12 +203,14 @@ mod tests {
         assert_eq!(a.src, b.src);
         assert_eq!(a.dst, b.dst);
         let c = spec.generate(8).unwrap();
-        assert!(a.pipeline != c.pipeline || a.dst != c.dst || {
-            // networks differ structurally almost surely; compare powers
-            let pa = a.network.power(NodeId(0));
-            let pc = c.network.power(NodeId(0));
-            pa != pc
-        });
+        assert!(
+            a.pipeline != c.pipeline || a.dst != c.dst || {
+                // networks differ structurally almost surely; compare powers
+                let pa = a.network.power(NodeId(0));
+                let pc = c.network.power(NodeId(0));
+                pa != pc
+            }
+        );
     }
 
     #[test]

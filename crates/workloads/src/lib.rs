@@ -9,10 +9,13 @@
 //!   exact random draws are unrecoverable from the scanned PDF, so the
 //!   suite is a seeded geometric progression anchored at the paper's worked
 //!   5-module/6-node small case — DESIGN.md §4);
-//! * [`compare`] — runs ELPC, Streamline, and Greedy on one instance for
-//!   both objectives, producing the row shape of Fig. 2;
+//! * [`compare`] — runs every algorithm in the `elpc_mapping::registry`
+//!   on one instance through a shared `SolveContext` (one metric-closure
+//!   computation per instance, not per solver), producing the row shape of
+//!   Fig. 2 plus a generic any-solver runner;
 //! * [`sweep`] — a crossbeam-based parallel map that keeps experiment
-//!   wall-time reasonable on large suites.
+//!   wall-time reasonable on large suites (each worker gets its own
+//!   per-instance context, so results are thread-count-invariant).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -92,7 +92,11 @@ mod tests {
     fn results_match_sequential_reference() {
         let items: Vec<u64> = (0..257).collect();
         let par = run_parallel(&items, 7, |i, &x| x * x + i as u64);
-        let seq: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * x + i as u64).collect();
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * x + i as u64)
+            .collect();
         assert_eq!(par, seq);
     }
 }

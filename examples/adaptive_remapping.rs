@@ -72,7 +72,10 @@ fn main() {
 
     // --- run the control loop at several hysteresis settings ------------
     println!("=== one simulated hour, re-planning every 3 min ===");
-    println!("{:<12} {:>9} {:>14} {:>13} {:>9}", "hysteresis", "switches", "adaptive (ms)", "static (ms)", "gain");
+    println!(
+        "{:<12} {:>9} {:>14} {:>13} {:>9}",
+        "hysteresis", "switches", "adaptive (ms)", "static (ms)", "gain"
+    );
     for hysteresis in [0.0, 0.05, 0.25, 1.0] {
         let report = run_delay_adaptation(
             &dyn_net,
@@ -98,8 +101,10 @@ fn main() {
         );
     }
 
-    println!("\nepoch detail at 5% hysteresis:");
-    let report = run_delay_adaptation(
+    // the generic entry point takes any registered minimum-delay solver —
+    // here the routed-overlay DP instead of the strict default
+    println!("\nepoch detail at 5% hysteresis (routed-overlay re-mapping):");
+    let report = elpc::extensions::adaptive::run_adaptation(
         &dyn_net,
         &pipeline,
         src,
@@ -111,6 +116,7 @@ fn main() {
             switch_cost_ms: 50.0,
         },
         hour_ms,
+        elpc::mapping::solver("elpc_delay_routed").expect("registered"),
     )
     .unwrap();
     for e in &report.epochs {

@@ -1,11 +1,12 @@
 //! Quickstart: build a small network and pipeline, solve both objectives,
+//! compare every registered algorithm through one shared `SolveContext`,
 //! and verify the answers by discrete-event execution.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use elpc::mapping::{elpc_delay, elpc_rate};
+use elpc::mapping::{elpc_delay, elpc_rate, registry, SolveContext};
 use elpc::prelude::*;
 use elpc::simcore::{simulate, Workload};
 
@@ -29,9 +30,9 @@ fn main() {
 
     // --- the pipeline: source → filter → render → display --------------
     let pipeline = Pipeline::from_stages(
-        2e7,                        // the source holds a 20 MB dataset
+        2e7,                       // the source holds a 20 MB dataset
         &[(3.0, 4e6), (6.0, 1e6)], // filter shrinks it; render is heavy
-        0.5,                        // the display stage is light
+        0.5,                       // the display stage is light
     )
     .unwrap();
 
@@ -45,7 +46,9 @@ fn main() {
     println!("  modules per group:     {:?}", delay.mapping.group_sizes());
     for stage in cost.stage_times(&inst, &delay.mapping).unwrap() {
         match stage {
-            elpc::mapping::Stage::Compute { node, modules, ms, .. } => {
+            elpc::mapping::Stage::Compute {
+                node, modules, ms, ..
+            } => {
                 println!("  compute modules {modules:?} on node {node}: {ms:.1} ms")
             }
             elpc::mapping::Stage::Transfer { bytes, ms, .. } => {
@@ -62,6 +65,28 @@ fn main() {
         rate.bottleneck_ms
     );
     println!("  path: {:?}", rate.mapping.path());
+
+    // --- every registered algorithm, one shared metric-closure cache ----
+    let ctx = SolveContext::new(inst, cost);
+    println!("\nall registered solvers (shared SolveContext):");
+    for entry in registry() {
+        match entry.solve(&ctx) {
+            Ok(sol) => println!(
+                "  {:<20} {:?}  {:>10.1} ms",
+                entry.name(),
+                entry.objective(),
+                sol.objective_ms
+            ),
+            Err(e) => println!("  {:<20} {e}", entry.name()),
+        }
+    }
+    let stats = ctx.closure().stats();
+    println!(
+        "  metric closure: {} Dijkstra runs, {} served from cache ({:.0}% hit rate)",
+        stats.misses,
+        stats.hits,
+        stats.hit_rate() * 100.0
+    );
 
     // --- check both answers against the discrete-event simulator --------
     let report = simulate(&inst, &cost, &delay.mapping, Workload::single()).unwrap();

@@ -96,8 +96,10 @@ fn main() {
             naive.delay_ms,
             naive.delay_ms / routed.objective_ms
         );
-        assert!(routed.objective_ms <= global.objective_ms + 1e-9,
-            "routed ELPC is optimal under routed semantics");
+        assert!(
+            routed.objective_ms <= global.objective_ms + 1e-9,
+            "routed ELPC is optimal under routed semantics"
+        );
 
         // replay the strict mapping in the simulator to confirm Eq. 1
         let report = simulate(&inst, &cost, &strict.mapping, Workload::single()).unwrap();

@@ -1,0 +1,429 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build environment
+//! has no `syn`/`quote`). The parser handles exactly the shapes this
+//! workspace derives on: plain structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like, with optional simple type
+//! parameters (`struct Graph<N, E> { ... }`). Bounds, lifetimes, and
+//! where-clauses are out of scope and will fail loudly rather than silently
+//! misbehave.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: named (`Some(name)`) or positional (`None`).
+struct Field {
+    name: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        generics: Vec<String>,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        generics: Vec<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { shape, .. } => serialize_shape(shape, "self", None),
+        Item::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&serialize_variant_arm(&item_name(&item), v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let (name, generics) = (item_name(&item), item_generics(&item));
+    let (impl_generics, ty_generics) = split_generics(generics, "serde::Serialize");
+    format!(
+        "impl{impl_generics} serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, shape, .. } => deserialize_shape(name, shape),
+        Item::Enum { name, variants, .. } => deserialize_enum(name, variants),
+    };
+    let (name, generics) = (item_name(&item), item_generics(&item));
+    let (impl_generics, ty_generics) = split_generics(generics, "serde::Deserialize");
+    format!(
+        "impl{impl_generics} serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+fn item_name(item: &Item) -> String {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    }
+}
+
+fn item_generics(item: &Item) -> &[String] {
+    match item {
+        Item::Struct { generics, .. } | Item::Enum { generics, .. } => generics,
+    }
+}
+
+/// `(impl generics with bounds, bare type generics)`.
+fn split_generics(generics: &[String], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let with_bounds: Vec<String> = generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        (
+            format!("<{}>", with_bounds.join(", ")),
+            format!("<{}>", generics.join(", ")),
+        )
+    }
+}
+
+// ------------------------------------------------------------ serialization
+
+/// Serializes a shape given an accessor prefix: `self` (struct fields become
+/// `self.name` / `self.0`) or `None` prefix with explicit bindings (enum
+/// variants bind fields to `__f0`, `__f1`, … or their names).
+fn serialize_shape(shape: &Shape, this: &str, bindings: Option<&[String]>) -> String {
+    match shape {
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Tuple(fields) => {
+            let exprs: Vec<String> = (0..fields.len())
+                .map(|i| match bindings {
+                    Some(b) => format!("serde::Serialize::to_value({})", b[i]),
+                    None => format!("serde::Serialize::to_value(&{this}.{i})"),
+                })
+                .collect();
+            if exprs.len() == 1 {
+                // newtype: serialize transparently as the inner value
+                exprs.into_iter().next().expect("one element")
+            } else {
+                format!("serde::Value::Arr(vec![{}])", exprs.join(", "))
+            }
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let name = f.name.as_deref().expect("named field");
+                    let access = match bindings {
+                        Some(b) => b[i].clone(),
+                        None => format!("&{this}.{name}"),
+                    };
+                    format!("(\"{name}\".to_string(), serde::Serialize::to_value({access}))")
+                })
+                .collect();
+            format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => {
+            format!("{enum_name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),\n")
+        }
+        Shape::Tuple(fields) => {
+            let binds: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+            let payload = serialize_shape(&v.shape, "", Some(&binds));
+            format!(
+                "{enum_name}::{vname}({}) => serde::Value::Obj(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                binds.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let names: Vec<String> = fields
+                .iter()
+                .map(|f| f.name.clone().expect("named field"))
+                .collect();
+            let payload = serialize_shape(&v.shape, "", Some(&names));
+            format!(
+                "{enum_name}::{vname} {{ {} }} => serde::Value::Obj(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                names.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------- deserialization
+
+fn deserialize_shape(path: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("{{ let _ = v; Ok({path}) }}"),
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            format!("Ok({path}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let elems: Vec<String> = (0..n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = v.as_arr()?;\n\
+                   if __items.len() != {n} {{\n\
+                       return Err(serde::Error(format!(\"expected {n} elements, found {{}}\", __items.len())));\n\
+                   }}\n\
+                   Ok({path}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let name = f.name.as_deref().expect("named field");
+                    format!("{name}: serde::Deserialize::from_value(v.field(\"{name}\")?)?")
+                })
+                .collect();
+            format!("Ok({path} {{ {} }})", inits.join(", "))
+        }
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"));
+                // also accept the externally-tagged object form
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{ let _ = __payload; return Ok({name}::{vname}); }}\n"
+                ));
+            }
+            shape => {
+                let body = deserialize_shape(&format!("{name}::{vname}"), shape);
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{ let v = __payload; return {body}; }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\n\
+           if let serde::Value::Str(__s) = v {{\n\
+               match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+           }}\n\
+           if let serde::Value::Obj(__fields) = v {{\n\
+               if __fields.len() == 1 {{\n\
+                   let (__tag, __payload) = &__fields[0];\n\
+                   match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+               }}\n\
+           }}\n\
+           Err(serde::Error(format!(\"no variant of {name} matched\")))\n\
+         }}"
+    )
+}
+
+// ----------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unsupported struct body: {other:?}"),
+            };
+            Item::Struct {
+                name,
+                generics,
+                shape,
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                generics,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<A, B, ...>` collecting bare type-parameter names. Bounds and
+/// defaults inside the angle brackets are skipped; lifetimes are rejected
+/// (no derived type in this workspace carries one).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*pos) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1i32;
+    let mut expect_param = true;
+    while let Some(tt) = tokens.get(*pos) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *pos += 1;
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetimes on derived types are unsupported")
+            }
+            TokenTree::Ident(id) if expect_param && depth == 1 => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    panic!("serde_derive: unbalanced generics");
+}
+
+/// Splits a field-list token stream on top-level commas (angle-bracket aware).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut pos = 0usize;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            let name = expect_ident(&chunk, &mut pos);
+            Field { name: Some(name) }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|_| Field { name: None })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut pos = 0usize;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            let name = expect_ident(&chunk, &mut pos);
+            let shape = match chunk.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                None => Shape::Unit,
+                other => panic!("serde_derive: unsupported variant body: {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}

@@ -56,10 +56,38 @@
 //! | [`netgraph`] | graph substrate: adjacency graph, path algorithms, topology generators, DOT export |
 //! | [`netsim`] | network resource model: nodes, links, probe-based measurement, time dynamics |
 //! | [`pipeline`] | linear pipeline model, generators, the paper's motivating scenarios |
-//! | [`mapping`] | the paper's algorithms: ELPC delay/rate DPs, exact solvers, Streamline, Greedy |
+//! | [`mapping`] | the paper's algorithms behind one `Solver` registry, fed by a shared `SolveContext` metric-closure cache |
 //! | [`simcore`] | discrete-event executor validating the analytic model |
-//! | [`workloads`] | experiment instances: the 20-case suite, comparison runner, parallel sweeps |
-//! | [`extensions`] | §5 future work: frame rate with reuse, DAG workflows, adaptive remapping |
+//! | [`workloads`] | experiment instances: the 20-case suite, the registry-driven comparison runner, parallel sweeps |
+//! | [`extensions`] | §5 future work: frame rate with reuse, DAG workflows, adaptive remapping (registry-driven re-solves) |
+//!
+//! ## Solver registry and shared context
+//!
+//! All mapping algorithms register behind [`mapping::Solver`] and are
+//! enumerated by [`mapping::registry`] / looked up by [`mapping::solver`].
+//! Each receives a [`mapping::SolveContext`], which lazily caches the
+//! network's routed metric closure (all-pairs cheapest transfer trees,
+//! keyed by payload size) in a [`mapping::MetricClosure`]. Build one
+//! context per [`Instance`](mapping::Instance) and run any number of
+//! algorithms against it — the all-pairs Dijkstra work that used to be
+//! recomputed inside every routed solver is paid once per instance:
+//!
+//! ```
+//! # use elpc::prelude::*;
+//! # let mut b = Network::builder();
+//! # let src = b.add_node(5_000.0).unwrap();
+//! # let relay = b.add_node(20_000.0).unwrap();
+//! # let dst = b.add_node(2_000.0).unwrap();
+//! # b.add_link(src, relay, 622.0, 1.0).unwrap();
+//! # b.add_link(relay, dst, 100.0, 5.0).unwrap();
+//! # let network = b.build().unwrap();
+//! # let pipeline = Pipeline::from_stages(5e6, &[(2.0, 1e6)], 0.5).unwrap();
+//! let inst = Instance::new(&network, &pipeline, src, dst).unwrap();
+//! let ctx = elpc::mapping::SolveContext::new(inst, CostModel::default());
+//! for entry in elpc::mapping::registry() {
+//!     let _ = entry.solve(&ctx); // all routed solvers share one closure
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -57,9 +57,7 @@ fn parse_solve_simulate_roundtrip() {
     let rep = simulate(&inst, &cost(), &dp.mapping, Workload::single()).unwrap();
     assert!((rep.end_to_end_delay_ms(0).unwrap() - dp.delay_ms).abs() < 1e-6);
     let rep = simulate(&inst, &cost(), &rate.mapping, Workload::stream(30)).unwrap();
-    assert!(
-        (rep.steady_interdeparture_ms().unwrap() - rate.bottleneck_ms).abs() < 1e-6
-    );
+    assert!((rep.steady_interdeparture_ms().unwrap() - rate.bottleneck_ms).abs() < 1e-6);
 
     // round-trip the network description
     let text = format::to_text(&network);
@@ -184,5 +182,9 @@ fn measurement_feeds_mapping() {
     let inst_true = Instance::new(&net_true, &pipe, m0, m3).unwrap();
     let sol_true = elpc_delay::solve(&inst_true, &cost()).unwrap();
     let rel = (sol.delay_ms - sol_true.delay_ms).abs() / sol_true.delay_ms;
-    assert!(rel < 0.15, "estimated-network delay off by {:.0}%", rel * 100.0);
+    assert!(
+        rel < 0.15,
+        "estimated-network delay off by {:.0}%",
+        rel * 100.0
+    );
 }

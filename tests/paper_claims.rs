@@ -104,8 +104,7 @@ fn claim_infeasible_extremes_are_detected() {
         Err(MappingError::Infeasible(_))
     ));
     // pipeline longer than the longest simple path (no reuse)
-    let long =
-        elpc::pipeline::Pipeline::from_stages(1e5, &[(1.0, 1e4); 6], 1.0).unwrap(); // 8 modules
+    let long = elpc::pipeline::Pipeline::from_stages(1e5, &[(1.0, 1e4); 6], 1.0).unwrap(); // 8 modules
     let inst = Instance::new(&line, &long, ns[0], ns[4]).unwrap();
     assert!(matches!(
         elpc_rate::solve(&inst, &cost()),
