@@ -2,12 +2,14 @@
 //! the pre-refactor behavior, every solver recomputing the routed metric
 //! closure) vs shared-context solves (one closure per instance) for every
 //! registered algorithm on a 50-node topology, plus the full roster both
-//! ways. The `BENCH_context_reuse.json` artifact tracks the speedup across
-//! commits.
+//! ways, plus the **context_parallel** tier — serial vs multi-threaded
+//! `par_warm` closure builds, a parallel-warm cold solve, and a
+//! `ClosureBank` checkout solve (cross-instance reuse). The
+//! `BENCH_context_reuse.json` artifact tracks all of it across commits.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use elpc_mapping::{registry, CostModel, SolveContext};
-use elpc_workloads::InstanceSpec;
+use elpc_mapping::{registry, solver, CostModel, MetricClosure, NodeId, SolveContext};
+use elpc_workloads::{ClosureBank, InstanceSpec};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -45,6 +47,56 @@ fn bench_context_reuse(c: &mut Criterion) {
             |b, entry| b.iter(|| black_box(entry.solve(&warm))),
         );
     }
+
+    // --- context_parallel: intra-solve parallel tree builds --------------
+    // the full closure block the routed DPs consult, built serially vs on
+    // all CPUs (each iteration starts from an empty closure)
+    let sources: Vec<NodeId> = inst_owned.network.node_ids().collect();
+    let payloads: Vec<f64> = (1..inst_owned.pipeline.len())
+        .map(|j| inst_owned.pipeline.input_bytes(j))
+        .collect();
+    for (label, threads) in [("serial_t1", 1usize), ("parallel_t0", 0usize)] {
+        group.bench_with_input(
+            BenchmarkId::new("context_parallel_warm", label),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mc = MetricClosure::new(&inst_owned.network, cost);
+                    black_box(mc.par_warm(&sources, &payloads, threads))
+                })
+            },
+        );
+    }
+    // a cold routed-DP solve, serial-lazy vs parallel-warm context
+    for (label, threads) in [("solve_serial_t1", 1usize), ("solve_parallel_t0", 0usize)] {
+        group.bench_with_input(
+            BenchmarkId::new("context_parallel_warm", label),
+            &threads,
+            |b, &threads| {
+                let s = solver("elpc_delay_routed").expect("registered");
+                b.iter(|| {
+                    let ctx = SolveContext::with_threads(inst, cost, threads);
+                    black_box(s.solve(&ctx).ok())
+                })
+            },
+        );
+    }
+    // cross-instance reuse: a bank-seeded solve skips the build entirely
+    let bank = ClosureBank::new();
+    {
+        let seed_ctx = bank.context_for(inst, cost, 0);
+        let _ = solver("elpc_delay_routed")
+            .expect("registered")
+            .solve(&seed_ctx);
+        bank.deposit(&seed_ctx);
+    }
+    group.bench_function("context_parallel_warm/solve_banked", |b| {
+        let s = solver("elpc_delay_routed").expect("registered");
+        b.iter(|| {
+            let ctx = bank.context_for(inst, cost, 1);
+            black_box(s.solve(&ctx).ok())
+        })
+    });
 
     // the comparison-harness shape: the whole roster on one instance
     group.bench_function("roster_cold_context_per_solver", |b| {

@@ -3,7 +3,10 @@
 //! See `benches/`: `fig2_algorithms` (E1/E2), `scaling` (E7),
 //! `heuristic_gap` (E8/A2), `simulation` (V1 engine cost), and
 //! `context_reuse` (cold-solve vs shared-`SolveContext` solve for every
-//! registered algorithm — the metric-closure cache payoff). Run with
+//! registered algorithm — the metric-closure cache payoff — plus the
+//! `context_parallel_warm` entries: serial vs all-CPU `par_warm` closure
+//! builds, parallel-warm cold solves, and `ClosureBank` checkout solves).
+//! Run with
 //! `cargo bench --workspace`; each bench group writes a `BENCH_<group>.json`
 //! artifact so results are tracked across commits. DESIGN.md §5 maps each
 //! bench to its paper artifact.

@@ -10,15 +10,20 @@
 //! Artifacts: `results/fig3_min_delay.dot`, `results/fig4_max_rate.dot`.
 
 use elpc_experiments::results_dir;
-use elpc_mapping::{solver, CostModel, Mapping, NodeId, SolveContext, Stage};
+use elpc_mapping::{solver, CostModel, Mapping, NodeId, Stage};
 use elpc_netgraph::dot::{to_dot, DotOptions};
 use elpc_workloads::cases::small_case;
+use elpc_workloads::ClosureBank;
 
 fn main() {
     let inst_owned = small_case().expect("the small case generates");
     let inst = inst_owned.as_instance();
     let cost = CostModel::default();
-    let ctx = SolveContext::new(inst, cost);
+    // checked out of a (process-local) closure bank with parallel warm-up:
+    // the small case is instant either way, but the bin exercises the same
+    // context path the sweeps use
+    let bank = ClosureBank::new();
+    let ctx = bank.context_for(inst, cost, 0);
 
     println!("=== the Fig. 3/4 worked instance ===");
     println!(
@@ -72,6 +77,13 @@ fn main() {
         }
         Err(e) => println!("\nFig. 4 mapping infeasible on this draw: {e}"),
     }
+
+    bank.deposit(&ctx);
+    eprintln!(
+        "(closure: {} trees materialized; bank now holds {} entry/ies)",
+        ctx.closure().cached_trees(),
+        bank.len()
+    );
 }
 
 /// ASCII rendering in the style of the paper's figures: modules above,

@@ -16,8 +16,8 @@
 //! machine-readable artifacts under `results/`.
 
 use elpc_mapping::CostModel;
-use elpc_workloads::compare::{run_case, CaseResult};
-use elpc_workloads::{cases, sweep};
+use elpc_workloads::compare::{run_case_opts, CaseResult, CompareOptions};
+use elpc_workloads::{cases, sweep, ClosureBank};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -46,12 +46,25 @@ pub fn suite_results(reuse: bool) -> Vec<CaseResult> {
     }
     let specs = cases::paper_cases();
     let cost = CostModel::default();
+    // one closure bank across the sweep: suite cases all draw distinct
+    // networks, so this records (rather than exploits) cross-case reuse —
+    // sweeps that hold the topology fixed hit it instead. Tight capacity:
+    // with no repeats every deposit is dead weight, so keep only a couple
+    // of closures alive at a time instead of all twenty.
+    let bank = ClosureBank::with_capacity(2);
     let rows = sweep::run_parallel(&specs, 0, |_, spec| {
         let inst = spec.generate().expect("suite cases generate cleanly");
-        let row = run_case(&inst, &cost);
+        let row = run_case_opts(&inst, &cost, CompareOptions::banked(&bank));
         eprintln!("  finished {}", row.label);
         row
     });
+    let stats = bank.stats();
+    eprintln!(
+        "(closure bank: {} checkouts, {:.0}% hit rate, {} closures on deposit)",
+        stats.hits + stats.misses,
+        stats.hit_rate() * 100.0,
+        bank.len()
+    );
     save_json(&path, &rows);
     rows
 }

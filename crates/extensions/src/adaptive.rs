@@ -25,6 +25,7 @@ use elpc_mapping::{
 use elpc_netgraph::NodeId;
 use elpc_netsim::dynamics::DynamicNetwork;
 use elpc_pipeline::Pipeline;
+use elpc_workloads::ClosureBank;
 use serde::{Deserialize, Serialize};
 
 /// Control-loop configuration.
@@ -137,6 +138,38 @@ pub fn run_adaptation(
     horizon_ms: f64,
     remap_solver: &dyn Solver,
 ) -> crate::Result<AdaptiveReport> {
+    run_adaptation_banked(
+        dyn_net,
+        pipeline,
+        src,
+        dst,
+        cost,
+        config,
+        horizon_ms,
+        remap_solver,
+        None,
+    )
+}
+
+/// [`run_adaptation`] with an optional cross-epoch [`ClosureBank`]: each
+/// epoch's context is checked out of the bank and deposited back, so when
+/// the network holds still between snapshots (steady or slowly varying
+/// resources — the common regime between re-mapping triggers) the epoch
+/// skips the routed all-pairs work entirely. The bank is keyed on the
+/// snapshot's structural fingerprint, so any drifted epoch misses and
+/// solves cold — results are bit-identical with or without a bank.
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptation_banked(
+    dyn_net: &DynamicNetwork,
+    pipeline: &Pipeline,
+    src: NodeId,
+    dst: NodeId,
+    cost: &CostModel,
+    config: AdaptiveConfig,
+    horizon_ms: f64,
+    remap_solver: &dyn Solver,
+    bank: Option<&ClosureBank>,
+) -> crate::Result<AdaptiveReport> {
     if remap_solver.objective() != Objective::MinDelay {
         return Err(MappingError::BadConfig(format!(
             "adaptive remapping optimizes delay; solver `{}` optimizes rate",
@@ -171,8 +204,12 @@ pub fn run_adaptation(
         let snapshot = dyn_net.snapshot_at(t);
         let inst = Instance::new(&snapshot, pipeline, src, dst)?;
         // one context per epoch: the candidate solve and both strategy
-        // re-evaluations share this snapshot's metric closure
-        let ctx = SolveContext::new(inst, *cost);
+        // re-evaluations share this snapshot's metric closure, and a bank
+        // carries it to the next epoch when the snapshot repeats
+        let ctx = match bank {
+            Some(b) => b.context_for(inst, *cost, 1),
+            None => SolveContext::new(inst, *cost),
+        };
         let candidate = remap_solver.solve(&ctx)?;
 
         let (adaptive_delay, switched) = match &retained {
@@ -194,6 +231,9 @@ pub fn run_adaptation(
             }
         };
         let static_delay = current_delay(&ctx, static_solution.as_ref().expect("set at epoch 0"))?;
+        if let Some(b) = bank {
+            b.deposit(&ctx);
+        }
         epochs.push(EpochRecord {
             t_ms: t,
             candidate_delay_ms: candidate.objective_ms,
@@ -384,6 +424,42 @@ mod tests {
             assert!(e.candidate_delay_ms <= e.adaptive_delay_ms + 1e-9);
             assert!(e.candidate_delay_ms <= e.static_delay_ms + 1e-9);
         }
+    }
+
+    #[test]
+    fn banked_epochs_reuse_the_closure_on_steady_networks() {
+        let dyn_net = DynamicNetwork::steady(base_net());
+        // a routed solver so the epochs actually consult the metric closure
+        let s = solver("elpc_delay_routed").expect("registered");
+        let plain = run_adaptation(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            AdaptiveConfig::default(),
+            10_000.0,
+            s,
+        )
+        .unwrap();
+        let bank = ClosureBank::new();
+        let banked = run_adaptation_banked(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            AdaptiveConfig::default(),
+            10_000.0,
+            s,
+            Some(&bank),
+        )
+        .unwrap();
+        assert_eq!(plain, banked, "the bank must not change any epoch");
+        let stats = bank.stats();
+        assert_eq!(stats.hits + stats.misses, 10, "one checkout per epoch");
+        assert_eq!(stats.misses, 1, "only epoch 0 should solve cold");
+        assert_eq!(bank.len(), 1, "steady snapshots share one key");
     }
 
     #[test]

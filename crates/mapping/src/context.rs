@@ -1,38 +1,111 @@
-//! Shared per-instance solver state: the routed metric closure.
+//! Shared solver state: the thread-safe sharded routed metric closure.
 //!
 //! Every routed-semantics algorithm in this crate — the routed-overlay ELPC
 //! DPs, Streamline's free placement, the routed evaluators, and the
 //! local-search polish — needs the same quantity over and over: *the
 //! cheapest multi-hop transfer time of `m` bytes from node `u` to every
 //! other node*, i.e. one Dijkstra run over the §2.2 edge cost
-//! `m/b (+ d)`. Before this module existed, each solver recomputed those
-//! runs inline on every call, making the 20-case comparison suite
-//! `O(solvers × calls)` in repeated all-pairs work.
+//! `m/b (+ d)`. [`MetricClosure`] memoizes those runs per
+//! `(payload size, source node)` for a fixed network and cost model;
+//! [`SolveContext`] bundles a closure with a problem [`Instance`] and is the
+//! single argument every registered [`crate::Solver`] receives.
 //!
-//! [`MetricClosure`] memoizes those runs per `(payload size, source node)`
-//! for a fixed network and cost model; [`SolveContext`] bundles a closure
-//! with a problem [`Instance`] and is the single argument every registered
-//! [`crate::Solver`] receives. Build one context per instance, hand it to
-//! as many solvers as you like, and the all-pairs work is paid once.
+//! ## Concurrency model
+//!
+//! The closure is `Send + Sync`. Entries live in a small fixed array of
+//! [`parking_lot::RwLock`]-guarded hash-map **shards** (selected by a hash
+//! of the `(payload, source)` key), so concurrent readers never contend
+//! with each other and concurrent writers rarely contend at all: a solve
+//! running on one thread, a parallel sweep hammering the same closure from
+//! many threads, and a background warm-up all observe one coherent cache.
+//! Dijkstra itself runs *outside* any lock; when two threads race to build
+//! the same tree the first insert wins and both receive the same `Arc`
+//! (the trees are bit-identical either way — Dijkstra is deterministic per
+//! key). Statistics are atomic counters, so `hits + misses` always equals
+//! the number of [`MetricClosure::routed_from`] queries, even under
+//! contention.
+//!
+//! ## Parallel warm-up
+//!
+//! The per-source trees are embarrassingly parallel — no tree depends on
+//! any other — so [`MetricClosure::par_warm`] builds a whole
+//! `sources × payloads` block on scoped worker threads (the same
+//! work-pulling pattern as `elpc_workloads::sweep::run_parallel`). The
+//! routed DPs call [`SolveContext::warm_routed_dp`] on entry, which turns a
+//! serial cold solve into a parallel-warm one when the context was built
+//! with [`SolveContext::with_threads`]; with `threads == 1` the solvers
+//! keep their lazy, minimal-work behavior. Warm-up changes *when* trees are
+//! built, never *what* they contain, so results are bit-for-bit identical
+//! at any thread count.
+//!
+//! ## Cross-instance reuse
+//!
+//! [`MetricClosure::export`] / [`MetricClosure::seed`] move materialized
+//! trees (cheap `Arc` clones) between closures over the *same* network and
+//! cost model — the mechanism behind `elpc_workloads::ClosureBank`, the
+//! topology-keyed cache that lets consecutive sweep cases sharing a network
+//! skip the all-pairs work entirely.
 //!
 //! The closure is keyed by the exact payload byte count (`f64` bit
-//! pattern): the §2.2 edge cost is `bytes·8/b + d`, so route choice genuinely
-//! depends on the payload size, and consecutive pipeline stages usually
-//! reuse only a handful of distinct sizes — exactly what a small hash map
-//! captures. Entries store the full [`ShortestPaths`] (distances *and*
-//! predecessor links), so routed paths can be reconstructed without a new
-//! traversal.
-//!
-//! Interior mutability is a single-threaded `RefCell`; parallel sweeps give
-//! each worker its own context (one per instance), which is both simpler
-//! and faster than sharing a locked cache across threads.
+//! pattern): the §2.2 edge cost is `bytes·8/b + d`, so route choice
+//! genuinely depends on the payload size, and consecutive pipeline stages
+//! usually reuse only a handful of distinct sizes. Entries store the full
+//! [`ShortestPaths`] (distances *and* predecessor links), so routed paths
+//! can be reconstructed without a new traversal.
 
 use crate::{CostModel, Instance, MappingError, Result};
 use elpc_netgraph::algo::{dijkstra, extract_path, ShortestPaths};
 use elpc_netgraph::NodeId;
-use std::cell::{Cell, RefCell};
+use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of lock shards. A small power of two: enough to make write
+/// contention negligible at realistic thread counts, small enough that
+/// iterating all shards (stats, export) stays trivial.
+const SHARD_COUNT: usize = 16;
+
+/// Cache key of one shortest-path tree: the payload's `f64` bit pattern and
+/// the source node index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeKey {
+    /// `bytes.to_bits()` of the payload size.
+    pub payload_bits: u64,
+    /// Source node index.
+    pub source: u32,
+}
+
+impl TreeKey {
+    /// The key for a `(source, payload)` query.
+    pub fn new(src: NodeId, bytes: f64) -> Self {
+        TreeKey {
+            payload_bits: bytes.to_bits(),
+            source: src.index() as u32,
+        }
+    }
+
+    /// The payload size in bytes.
+    pub fn payload(&self) -> f64 {
+        f64::from_bits(self.payload_bits)
+    }
+
+    /// The source node.
+    pub fn source_node(&self) -> NodeId {
+        NodeId::from_index(self.source as usize)
+    }
+}
+
+/// One materialized cache entry, as exported by [`MetricClosure::export`]
+/// and re-imported by [`MetricClosure::seed`] (the unit the cross-instance
+/// `ClosureBank` stores).
+#[derive(Debug, Clone)]
+pub struct CachedTree {
+    /// The `(payload, source)` key.
+    pub key: TreeKey,
+    /// The shared shortest-path tree.
+    pub tree: Arc<ShortestPaths>,
+}
 
 /// Cache statistics, for tests and perf reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,16 +128,35 @@ impl ClosureStats {
     }
 }
 
+type ShardMap = HashMap<TreeKey, Arc<ShortestPaths>>;
+
+/// Shard index of a key: an FNV-1a mix over both key halves, so payloads
+/// and sources spread independently.
+fn shard_of(key: &TreeKey) -> usize {
+    let mut h = elpc_netgraph::fnv::Fnv1a::new();
+    h.write_u64(key.payload_bits).write_u64(key.source as u64);
+    (h.finish() >> 32) as usize & (SHARD_COUNT - 1)
+}
+
+/// Resolves a thread-count request: `0` means "all CPUs".
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
 /// Lazily materialized routed metric closure of a network under one cost
 /// model: per payload size, per source node, the single-source shortest
-/// transfer-time tree.
+/// transfer-time tree. `Send + Sync`; see the module docs for the
+/// concurrency model.
 pub struct MetricClosure<'a> {
     net: &'a elpc_netsim::Network,
     cost: CostModel,
-    /// `bytes.to_bits() → per-source tree (index = source node id)`.
-    cache: RefCell<HashMap<u64, Vec<Option<Rc<ShortestPaths>>>>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    shards: [RwLock<ShardMap>; SHARD_COUNT],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'a> MetricClosure<'a> {
@@ -73,9 +165,9 @@ impl<'a> MetricClosure<'a> {
         MetricClosure {
             net,
             cost,
-            cache: RefCell::new(HashMap::new()),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -95,22 +187,117 @@ impl<'a> MetricClosure<'a> {
     ///
     /// The result is identical (bit for bit) to calling
     /// [`elpc_netgraph::algo::dijkstra`] with the §2.2 edge cost directly —
-    /// the cache-correctness property test pins this.
-    pub fn routed_from(&self, src: NodeId, bytes: f64) -> Rc<ShortestPaths> {
-        let key = bytes.to_bits();
-        let k = self.net.node_count();
-        let mut cache = self.cache.borrow_mut();
-        let per_source = cache.entry(key).or_insert_with(|| vec![None; k]);
-        if let Some(tree) = &per_source[src.index()] {
-            self.hits.set(self.hits.get() + 1);
-            return Rc::clone(tree);
+    /// the cache-correctness property test pins this. Counts exactly one
+    /// hit or one miss per call (a miss when this call ran Dijkstra, even
+    /// if a racing thread's identical tree won the insert).
+    pub fn routed_from(&self, src: NodeId, bytes: f64) -> Arc<ShortestPaths> {
+        let key = TreeKey::new(src, bytes);
+        let shard = &self.shards[shard_of(&key)];
+        if let Some(tree) = shard.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(tree);
         }
-        self.misses.set(self.misses.get() + 1);
-        let tree = Rc::new(dijkstra(self.net.graph(), src, |eid, _| {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tree = self.build_tree(src, bytes);
+        Arc::clone(shard.write().entry(key).or_insert(tree))
+    }
+
+    /// Runs the Dijkstra for one key, outside any lock.
+    fn build_tree(&self, src: NodeId, bytes: f64) -> Arc<ShortestPaths> {
+        Arc::new(dijkstra(self.net.graph(), src, |eid, _| {
             self.cost.edge_transfer_ms(self.net, eid, bytes)
-        }));
-        per_source[src.index()] = Some(Rc::clone(&tree));
-        tree
+        }))
+    }
+
+    /// True when the `(src, bytes)` tree is already materialized. Does not
+    /// count as a query.
+    pub fn contains(&self, src: NodeId, bytes: f64) -> bool {
+        let key = TreeKey::new(src, bytes);
+        self.shards[shard_of(&key)].read().contains_key(&key)
+    }
+
+    /// Builds every missing `(source, payload)` tree of the cross product
+    /// on `threads` worker threads (`0` = all CPUs, `1` = inline serial).
+    /// Returns the number of trees this call set out to build.
+    ///
+    /// Each tree is an independent Dijkstra run, so the build order — and
+    /// therefore the thread count — cannot affect any entry's contents:
+    /// `par_warm(s, p, 1)` and `par_warm(s, p, 0)` leave bit-for-bit
+    /// identical caches. Every build counts as one miss (and a racing
+    /// duplicate query as a hit), keeping `hits + misses == queries` exact.
+    pub fn par_warm(&self, sources: &[NodeId], payloads: &[f64], threads: usize) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut work: Vec<TreeKey> = Vec::with_capacity(sources.len() * payloads.len());
+        for &bytes in payloads {
+            for &src in sources {
+                let key = TreeKey::new(src, bytes);
+                if seen.insert(key) && !self.shards[shard_of(&key)].read().contains_key(&key) {
+                    work.push(key);
+                }
+            }
+        }
+        if work.is_empty() {
+            return 0;
+        }
+        let threads = effective_threads(threads).min(work.len());
+        if threads <= 1 {
+            for key in &work {
+                self.routed_from(key.source_node(), key.payload());
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            crossbeam::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= work.len() {
+                            break;
+                        }
+                        let key = &work[i];
+                        self.routed_from(key.source_node(), key.payload());
+                    });
+                }
+            })
+            .expect("warm-up workers must not panic");
+        }
+        work.len()
+    }
+
+    /// Every materialized entry, sorted by key (deterministic order), as
+    /// cheap `Arc` clones. The export half of the cross-instance reuse path.
+    pub fn export(&self) -> Vec<CachedTree> {
+        let mut out: Vec<CachedTree> = Vec::with_capacity(self.cached_trees());
+        for shard in &self.shards {
+            for (key, tree) in shard.read().iter() {
+                out.push(CachedTree {
+                    key: *key,
+                    tree: Arc::clone(tree),
+                });
+            }
+        }
+        out.sort_by_key(|e| e.key);
+        out
+    }
+
+    /// Imports previously exported entries (same network, same cost model —
+    /// the caller keys on that; `ClosureBank` uses a structural
+    /// fingerprint). Entries whose tree does not match this network's node
+    /// count are rejected; existing entries are kept. Returns the number of
+    /// entries inserted. Seeding is not a query: stats are untouched.
+    pub fn seed(&self, entries: &[CachedTree]) -> usize {
+        let k = self.net.node_count();
+        let mut inserted = 0;
+        for e in entries {
+            if e.tree.dist.len() != k || (e.key.source as usize) >= k {
+                continue;
+            }
+            let mut shard = self.shards[shard_of(&e.key)].write();
+            if let std::collections::hash_map::Entry::Vacant(v) = shard.entry(e.key) {
+                v.insert(Arc::clone(&e.tree));
+                inserted += 1;
+            }
+        }
+        inserted
     }
 
     /// Minimum routed transport time of `bytes` from `a` to `b` (ms), zero
@@ -143,36 +330,64 @@ impl<'a> MetricClosure<'a> {
     /// Cache statistics so far.
     pub fn stats(&self) -> ClosureStats {
         ClosureStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
         }
     }
 
     /// Number of materialized `(payload, source)` trees.
     pub fn cached_trees(&self) -> usize {
-        self.cache
-            .borrow()
-            .values()
-            .map(|v| v.iter().filter(|t| t.is_some()).count())
-            .sum()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 }
 
 /// Everything a registered solver needs to run: the problem instance, the
-/// cost model, and the shared metric closure. Build one per instance and
-/// pass it to every algorithm being compared.
+/// cost model, and the shared metric closure (held behind an [`Arc`], so
+/// the cache can also be shared across contexts and threads). Build one per
+/// instance and pass it to every algorithm being compared.
+#[derive(Clone)]
 pub struct SolveContext<'a> {
     inst: Instance<'a>,
-    closure: MetricClosure<'a>,
+    closure: Arc<MetricClosure<'a>>,
+    warm_threads: usize,
 }
 
 impl<'a> SolveContext<'a> {
-    /// A context for `inst` under `cost` with an empty closure cache.
+    /// A context for `inst` under `cost` with an empty closure cache and
+    /// serial (lazy) tree builds — the minimal-work single-threaded
+    /// configuration.
     pub fn new(inst: Instance<'a>, cost: CostModel) -> Self {
+        Self::with_threads(inst, cost, 1)
+    }
+
+    /// A context whose routed solvers pre-build their transfer trees on
+    /// `threads` worker threads (`0` = all CPUs, `1` = lazy serial).
+    pub fn with_threads(inst: Instance<'a>, cost: CostModel, threads: usize) -> Self {
         SolveContext {
             inst,
-            closure: MetricClosure::new(inst.network, cost),
+            closure: Arc::new(MetricClosure::new(inst.network, cost)),
+            warm_threads: threads,
         }
+    }
+
+    /// A context sharing an existing closure (same network required —
+    /// checked by identity). The intra-process sharing path: several
+    /// contexts over one network see one cache.
+    pub fn from_shared(
+        inst: Instance<'a>,
+        closure: Arc<MetricClosure<'a>>,
+        threads: usize,
+    ) -> Result<Self> {
+        if !std::ptr::eq(closure.network(), inst.network) {
+            return Err(MappingError::BadConfig(
+                "shared closure was built over a different network".into(),
+            ));
+        }
+        Ok(SolveContext {
+            inst,
+            closure,
+            warm_threads: threads,
+        })
     }
 
     /// The problem instance.
@@ -200,8 +415,46 @@ impl<'a> SolveContext<'a> {
         &self.closure
     }
 
+    /// The closure as a cloneable handle, for sharing across contexts or
+    /// threads.
+    pub fn closure_arc(&self) -> Arc<MetricClosure<'a>> {
+        Arc::clone(&self.closure)
+    }
+
+    /// The configured warm-up thread count (`0` = all CPUs, `1` = lazy).
+    pub fn warm_threads(&self) -> usize {
+        self.warm_threads
+    }
+
+    /// Pre-builds the transfer trees the routed DPs consult: the first
+    /// boundary's payload from the source, and every later boundary's
+    /// payload from every node. Called by the routed solvers on entry; a
+    /// no-op at `warm_threads == 1`, where the solvers' lazy queries build
+    /// strictly the trees they touch. Returns the number of trees built.
+    pub fn warm_routed_dp(&self) -> usize {
+        if self.warm_threads == 1 {
+            return 0;
+        }
+        let pipe = self.inst.pipeline;
+        let n = pipe.len();
+        if n < 2 {
+            return 0;
+        }
+        let mut built =
+            self.closure
+                .par_warm(&[self.inst.src], &[pipe.input_bytes(1)], self.warm_threads);
+        if n > 2 {
+            let sources: Vec<NodeId> = self.network().node_ids().collect();
+            let payloads: Vec<f64> = (2..n).map(|j| pipe.input_bytes(j)).collect();
+            built += self
+                .closure
+                .par_warm(&sources, &payloads, self.warm_threads);
+        }
+        built
+    }
+
     /// Shorthand for [`MetricClosure::routed_from`].
-    pub fn routed_from(&self, src: NodeId, bytes: f64) -> Rc<ShortestPaths> {
+    pub fn routed_from(&self, src: NodeId, bytes: f64) -> Arc<ShortestPaths> {
         self.closure.routed_from(src, bytes)
     }
 
@@ -228,19 +481,37 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn assert_send_sync<T: Send + Sync>(_: &T) {}
+
+    #[test]
+    fn closure_and_context_are_send_and_sync() {
+        let net = net3();
+        let mc = MetricClosure::new(&net, CostModel::default());
+        assert_send_sync(&mc);
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4)], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(2)).unwrap();
+        let ctx = SolveContext::new(inst, CostModel::default());
+        assert_send_sync(&ctx);
+    }
+
     #[test]
     fn closure_caches_per_payload_and_source() {
         let net = net3();
         let mc = MetricClosure::new(&net, CostModel::default());
         let a = mc.routed_from(NodeId(0), 1e6);
         let b = mc.routed_from(NodeId(0), 1e6);
-        assert!(Rc::ptr_eq(&a, &b), "same query must return the cached tree");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same query must return the cached tree"
+        );
         assert_eq!(mc.stats(), ClosureStats { hits: 1, misses: 1 });
         // different payload or source recomputes
         mc.routed_from(NodeId(0), 2e6);
         mc.routed_from(NodeId(1), 1e6);
         assert_eq!(mc.stats().misses, 3);
         assert_eq!(mc.cached_trees(), 3);
+        assert!(mc.contains(NodeId(0), 2e6));
+        assert!(!mc.contains(NodeId(2), 2e6));
     }
 
     #[test]
@@ -280,6 +551,84 @@ mod tests {
     }
 
     #[test]
+    fn par_warm_builds_the_cross_product_once() {
+        let net = net3();
+        let mc = MetricClosure::new(&net, CostModel::default());
+        let sources = [NodeId(0), NodeId(1), NodeId(2)];
+        let built = mc.par_warm(&sources, &[1e4, 1e6], 2);
+        assert_eq!(built, 6);
+        assert_eq!(mc.cached_trees(), 6);
+        // a second warm builds nothing
+        assert_eq!(mc.par_warm(&sources, &[1e4, 1e6], 0), 0);
+        // duplicate inputs are deduplicated
+        let built = mc.par_warm(&[NodeId(0), NodeId(0)], &[5e5, 5e5], 4);
+        assert_eq!(built, 1);
+    }
+
+    #[test]
+    fn par_warm_thread_counts_agree_bit_for_bit() {
+        let net = net3();
+        let cost = CostModel::default();
+        let serial = MetricClosure::new(&net, cost);
+        let parallel = MetricClosure::new(&net, cost);
+        let sources = [NodeId(0), NodeId(1), NodeId(2)];
+        let payloads = [1.0, 1e4, 2.5e5, 1e6];
+        serial.par_warm(&sources, &payloads, 1);
+        parallel.par_warm(&sources, &payloads, 0);
+        for &src in &sources {
+            for &bytes in &payloads {
+                let a = serial.routed_from(src, bytes);
+                let b = parallel.routed_from(src, bytes);
+                for v in 0..3 {
+                    assert_eq!(a.dist[v].to_bits(), b.dist[v].to_bits());
+                    assert_eq!(a.prev[v], b.prev[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn export_seed_round_trips_trees_by_identity() {
+        let net = net3();
+        let cost = CostModel::default();
+        let mc = MetricClosure::new(&net, cost);
+        mc.par_warm(&[NodeId(0), NodeId(1)], &[1e4, 1e6], 1);
+        let entries = mc.export();
+        assert_eq!(entries.len(), 4);
+        // deterministic order
+        let again = mc.export();
+        for (a, b) in entries.iter().zip(&again) {
+            assert_eq!(a.key, b.key);
+            assert!(Arc::ptr_eq(&a.tree, &b.tree));
+        }
+        let fresh = MetricClosure::new(&net, cost);
+        assert_eq!(fresh.seed(&entries), 4);
+        assert_eq!(fresh.cached_trees(), 4);
+        // seeding is not a query and keeps existing entries
+        assert_eq!(fresh.stats(), ClosureStats::default());
+        assert_eq!(fresh.seed(&entries), 0);
+        // a seeded query is a hit on the identical Arc
+        let tree = fresh.routed_from(NodeId(0), 1e4);
+        assert!(Arc::ptr_eq(&tree, &mc.routed_from(NodeId(0), 1e4)));
+        assert_eq!(fresh.stats().hits, 1);
+    }
+
+    #[test]
+    fn seed_rejects_foreign_shaped_trees() {
+        let net = net3();
+        let cost = CostModel::default();
+        let mut b = Network::builder();
+        let a = b.add_node(1.0).unwrap();
+        let c = b.add_node(1.0).unwrap();
+        b.add_link(a, c, 10.0, 0.1).unwrap();
+        let net2 = b.build().unwrap();
+        let mc2 = MetricClosure::new(&net2, cost);
+        mc2.routed_from(a, 1e4);
+        let mc = MetricClosure::new(&net, cost);
+        assert_eq!(mc.seed(&mc2.export()), 0, "2-node trees must be rejected");
+    }
+
+    #[test]
     fn context_exposes_instance_and_closure() {
         let net = net3();
         let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4)], 1.0).unwrap();
@@ -288,7 +637,37 @@ mod tests {
         assert_eq!(ctx.pipeline().len(), 3);
         assert_eq!(ctx.network().node_count(), 3);
         assert_eq!(ctx.instance().src, NodeId(0));
+        assert_eq!(ctx.warm_threads(), 1);
         ctx.routed_from(NodeId(0), 1e4);
         assert_eq!(ctx.closure().stats().misses, 1);
+        // lazy contexts skip the DP warm-up entirely
+        assert_eq!(ctx.warm_routed_dp(), 0);
+    }
+
+    #[test]
+    fn parallel_context_prewarms_the_dp_trees() {
+        let net = net3();
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4), (1.0, 1e3)], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(2)).unwrap();
+        let ctx = SolveContext::with_threads(inst, CostModel::default(), 2);
+        // boundary 1 from src only, boundaries 2..n from all 3 nodes
+        let built = ctx.warm_routed_dp();
+        assert_eq!(built, 1 + 3 * 2);
+        // idempotent
+        assert_eq!(ctx.warm_routed_dp(), 0);
+    }
+
+    #[test]
+    fn shared_closure_contexts_enforce_network_identity() {
+        let net = net3();
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4)], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(2)).unwrap();
+        let ctx = SolveContext::new(inst, CostModel::default());
+        ctx.routed_from(NodeId(1), 1e4);
+        let shared = SolveContext::from_shared(inst, ctx.closure_arc(), 1).unwrap();
+        assert_eq!(shared.closure().cached_trees(), 1);
+        let other = net3();
+        let inst2 = Instance::new(&other, &pipe, NodeId(0), NodeId(2)).unwrap();
+        assert!(SolveContext::from_shared(inst2, ctx.closure_arc(), 1).is_err());
     }
 }

@@ -24,6 +24,22 @@ impl Default for CostModel {
     }
 }
 
+impl CostModel {
+    /// A structural fingerprint of the configuration, mixed into cache
+    /// keys (`elpc_workloads::ClosureBank`) so closures computed under
+    /// different cost models never collide.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a field to
+    /// `CostModel` fails to compile here until the new field is mixed in,
+    /// so the cache key can never silently ignore it.
+    pub fn fingerprint(&self) -> u64 {
+        let CostModel { include_mld } = *self;
+        let mut h = elpc_netgraph::fnv::Fnv1a::new();
+        h.write_u64(include_mld as u64);
+        h.finish()
+    }
+}
+
 /// One stage of a mapped pipeline's timeline — the breakdown behind both
 /// objectives, and the data for the Fig. 3/4 annotations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

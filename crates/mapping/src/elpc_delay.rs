@@ -148,6 +148,10 @@ pub fn solve_routed_ctx(ctx: &SolveContext<'_>) -> Result<AssignmentSolution> {
     let n = pipe.len();
     let k = net.node_count();
 
+    // pre-build the per-source trees in parallel when the context asks for
+    // it (no-op on lazy serial contexts); the DP below then runs hot
+    ctx.warm_routed_dp();
+
     let mut prev = vec![f64::INFINITY; k];
     prev[inst.src.index()] = 0.0;
     let mut parents: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(n - 1);

@@ -230,6 +230,10 @@ pub fn solve_routed_with_ctx(
             "source and destination coincide".into(),
         ));
     }
+
+    // parallel tree pre-build on contexts configured for it (lazy no-op
+    // otherwise); the label DP below then only reads the shared cache
+    ctx.warm_routed_dp();
     let words = k.div_ceil(64);
     let mut root_mask = vec![0u64; words].into_boxed_slice();
     root_mask[inst.src.index() / 64] |= 1 << (inst.src.index() % 64);

@@ -82,7 +82,7 @@ pub mod routed;
 mod solver;
 pub mod streamline;
 
-pub use context::{ClosureStats, MetricClosure, SolveContext};
+pub use context::{CachedTree, ClosureStats, MetricClosure, SolveContext, TreeKey};
 pub use cost::{CostModel, Stage};
 pub use error::MappingError;
 pub use mapping::{AssignmentSolution, DelaySolution, Mapping, RateSolution};

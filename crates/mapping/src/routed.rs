@@ -185,9 +185,9 @@ pub fn polish_rate_assignment_ctx(
         // rev[j]  = dist from host[j+1] with bytes m_j (symmetric reverse)
         // served by the shared metric closure, so repeated sweeps (and the
         // DP solves that ran before the polish) reuse the same trees
-        let mut fwd: Vec<std::rc::Rc<elpc_netgraph::algo::ShortestPaths>> =
+        let mut fwd: Vec<std::sync::Arc<elpc_netgraph::algo::ShortestPaths>> =
             Vec::with_capacity(n - 1);
-        let mut rev: Vec<std::rc::Rc<elpc_netgraph::algo::ShortestPaths>> =
+        let mut rev: Vec<std::sync::Arc<elpc_netgraph::algo::ShortestPaths>> =
             Vec::with_capacity(n - 1);
         for j in 0..n - 1 {
             let bytes = pipe.module(j).output_bytes;

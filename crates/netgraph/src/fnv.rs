@@ -1,0 +1,87 @@
+//! The workspace's one FNV-1a implementation.
+//!
+//! Several layers need a small, deterministic, dependency-free structural
+//! hash: `elpc_netsim::Network::fingerprint`, the metric-closure shard
+//! selector, and the `ClosureBank` topology key. They all mix through this
+//! hasher so the constants and byte order live in exactly one place.
+//!
+//! FNV-1a is a non-cryptographic hash: fine for cache keys and shard
+//! spreading, unsuitable for anything adversarial.
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Mixes one `u64` (little-endian byte order), returning `self` for
+    /// chaining.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Mixes an `f64` by its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Mixes a `usize` (as `u64`).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(1).write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        c.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn every_input_bit_matters() {
+        let base = {
+            let mut h = Fnv1a::new();
+            h.write_f64(1.0);
+            h.finish()
+        };
+        let tweaked = {
+            let mut h = Fnv1a::new();
+            h.write_f64(1.0 + f64::EPSILON);
+            h.finish()
+        };
+        assert_ne!(base, tweaked);
+        assert_ne!(base, Fnv1a::new().finish());
+    }
+}

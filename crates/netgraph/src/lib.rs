@@ -34,6 +34,7 @@
 pub mod algo;
 pub mod dot;
 pub mod error;
+pub mod fnv;
 pub mod gen;
 mod graph;
 mod ids;

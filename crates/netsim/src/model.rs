@@ -212,6 +212,32 @@ impl Network {
         Ok(())
     }
 
+    /// A structural fingerprint of the network: an FNV-1a hash over the
+    /// node count and powers plus every directed edge's endpoints,
+    /// bandwidth, and MLD (exact `f64` bit patterns). Two networks with the
+    /// same fingerprint present identical inputs to every mapping
+    /// algorithm; any perturbation of a power, bandwidth, or delay — or of
+    /// the topology itself — changes it. Node metadata (`ip`, `name`) is
+    /// deliberately excluded: it never enters a cost computation.
+    ///
+    /// This is the topology key of cross-instance caches
+    /// (`elpc_workloads::ClosureBank`), not a cryptographic digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = elpc_netgraph::fnv::Fnv1a::new();
+        h.write_usize(self.graph.node_count());
+        for (_, n) in self.graph.nodes() {
+            h.write_f64(n.power);
+        }
+        h.write_usize(self.graph.edge_count());
+        for (_, e) in self.graph.edges() {
+            h.write_usize(e.src.index());
+            h.write_usize(e.dst.index());
+            h.write_f64(e.payload.bw_mbps);
+            h.write_f64(e.payload.mld_ms);
+        }
+        h.finish()
+    }
+
     /// Mutable access to a link payload (both directions must be updated
     /// separately; [`Network::set_link_symmetric`] does both).
     pub fn link_mut(&mut self, edge: EdgeId) -> Result<&mut Link> {
@@ -460,6 +486,31 @@ mod tests {
         assert_eq!(net2.link_count(), 2);
         assert_eq!(net2.power(NodeId(0)), 1000.0);
         assert!(net2.validate().is_ok());
+    }
+
+    #[test]
+    fn fingerprint_tracks_solver_relevant_state_only() {
+        let a = chain();
+        let b = chain();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same build, same print");
+        // bandwidth perturbation changes it
+        let mut c = chain();
+        c.set_link_symmetric(EdgeId(0), Link::new(100.0 + 1e-9, 1.0))
+            .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // MLD perturbation changes it
+        let mut d = chain();
+        d.set_link_symmetric(EdgeId(0), Link::new(100.0, 1.0 + 1e-9))
+            .unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        // node power perturbation changes it
+        let mut e = chain();
+        e.node_mut(NodeId(1)).unwrap().power += 1e-9;
+        assert_ne!(a.fingerprint(), e.fingerprint());
+        // metadata does not
+        let mut f = chain();
+        f.node_mut(NodeId(0)).unwrap().name = Some("renamed".into());
+        assert_eq!(a.fingerprint(), f.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Cross-instance metric-closure reuse: the topology-keyed [`ClosureBank`].
+//!
+//! A `SolveContext` shares the routed all-pairs work across *solvers* on
+//! one instance; consecutive suite cases, parameter sweeps that hold the
+//! network fixed, and repeated experiment runs still rebuilt identical
+//! closures from scratch because each case owns its own context. The bank
+//! closes that gap: materialized shortest-path trees are deposited under a
+//! key derived from the **network fingerprint × cost model × payload set**,
+//! and any later instance with the same key checks them back out as cheap
+//! `Arc` clones.
+//!
+//! The key is deliberately strict — [`elpc_netsim::Network::fingerprint`]
+//! covers every node power and every link's bandwidth/MLD bit pattern, so a
+//! perturbed edge misses the bank instead of serving stale trees. Payload
+//! sets are part of the key so an entry always contains exactly the trees
+//! its pipeline's boundaries query (seeding is still shape-checked on
+//! import). Correctness never depends on the bank: a miss just means a cold
+//! closure, and checked-out trees are bit-identical to freshly built ones
+//! (the bank-identity test pins this).
+//!
+//! The bank is `Send + Sync` (one mutex around the store, atomic
+//! statistics) so a parallel sweep can share a single bank across workers.
+
+use elpc_mapping::{CachedTree, CostModel, Instance, SolveContext};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bank access statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankStats {
+    /// Checkouts that found a banked closure for the key.
+    pub hits: u64,
+    /// Checkouts that found nothing (cold context handed out).
+    pub misses: u64,
+    /// Deposits that stored or enriched an entry.
+    pub deposits: u64,
+}
+
+impl BankStats {
+    /// Fraction of checkouts served from the bank (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The bank key of an instance: FNV-1a over the network fingerprint, the
+/// cost-model fingerprint ([`CostModel::fingerprint`] — exhaustive over
+/// the model's fields by construction), and the sorted distinct payload
+/// sizes of the pipeline's stage boundaries (`f64` bit patterns).
+pub fn bank_key(inst: &Instance<'_>, cost: &CostModel) -> u64 {
+    let mut h = elpc_netgraph::fnv::Fnv1a::new();
+    h.write_u64(inst.network.fingerprint());
+    h.write_u64(cost.fingerprint());
+    let n = inst.pipeline.len();
+    let mut payloads: Vec<u64> = (1..n)
+        .map(|j| inst.pipeline.input_bytes(j).to_bits())
+        .collect();
+    payloads.sort_unstable();
+    payloads.dedup();
+    h.write_usize(payloads.len());
+    for p in payloads {
+        h.write_u64(p);
+    }
+    h.finish()
+}
+
+/// Closure store plus FIFO eviction order, behind one mutex.
+#[derive(Default)]
+struct BankStore {
+    entries: HashMap<u64, Arc<Vec<CachedTree>>>,
+    /// Keys in first-deposit order; front is evicted first once the
+    /// capacity is reached. Re-deposits of an existing key keep its slot.
+    order: std::collections::VecDeque<u64>,
+}
+
+/// A topology-keyed cross-instance cache of materialized metric-closure
+/// entries. Checkout seeds a fresh context from the bank; deposit saves a
+/// solved context's trees back for the next instance with the same key.
+///
+/// Capacity-bounded: once `capacity` distinct keys are on deposit, the
+/// oldest-deposited key is evicted to make room (first-in, first-out —
+/// sweeps revisit topologies in waves, so deposit age tracks usefulness
+/// well enough without per-hit bookkeeping). An evicted topology simply
+/// solves cold again and re-deposits.
+pub struct ClosureBank {
+    store: Mutex<BankStore>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    deposits: AtomicU64,
+}
+
+impl Default for ClosureBank {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl ClosureBank {
+    /// Default number of distinct topologies kept on deposit. Each banked
+    /// closure holds all materialized all-pairs trees of one instance, so
+    /// the cap bounds memory on sweeps over many distinct networks.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// An empty bank with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty bank evicting beyond `capacity` keys (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ClosureBank {
+            store: Mutex::new(BankStore::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            deposits: AtomicU64::new(0),
+        }
+    }
+
+    /// The eviction threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A context for `inst`, seeded from the bank when a closure for the
+    /// instance's topology/cost/payload key is on deposit (a hit), cold
+    /// otherwise (a miss). `threads` configures the context's parallel
+    /// warm-up exactly as [`SolveContext::with_threads`] does.
+    pub fn context_for<'a>(
+        &self,
+        inst: Instance<'a>,
+        cost: CostModel,
+        threads: usize,
+    ) -> SolveContext<'a> {
+        let ctx = SolveContext::with_threads(inst, cost, threads);
+        let banked = self
+            .store
+            .lock()
+            .entries
+            .get(&bank_key(&inst, &cost))
+            .cloned();
+        match banked {
+            Some(entries) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ctx.closure().seed(&entries);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        ctx
+    }
+
+    /// Deposits `ctx`'s materialized trees under its instance key. Keeps
+    /// whichever entry holds more trees, so a richer closure (more solvers
+    /// ran against it) is never replaced by a poorer one; a first deposit
+    /// beyond the capacity evicts the oldest-deposited key.
+    pub fn deposit(&self, ctx: &SolveContext<'_>) {
+        let exported = ctx.closure().export();
+        if exported.is_empty() {
+            return;
+        }
+        let key = bank_key(ctx.instance(), ctx.cost());
+        let mut store = self.store.lock();
+        match store.entries.get(&key) {
+            Some(old) if old.len() >= exported.len() => return,
+            Some(_) => {
+                // enrich in place; the key keeps its eviction slot
+                store.entries.insert(key, Arc::new(exported));
+            }
+            None => {
+                while store.order.len() >= self.capacity {
+                    if let Some(evicted) = store.order.pop_front() {
+                        store.entries.remove(&evicted);
+                    }
+                }
+                store.order.push_back(key);
+                store.entries.insert(key, Arc::new(exported));
+            }
+        }
+        self.deposits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> BankStats {
+        BankStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            deposits: self.deposits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of banked closures (distinct keys).
+    pub fn len(&self) -> usize {
+        self.store.lock().entries.len()
+    }
+
+    /// True when nothing is on deposit.
+    pub fn is_empty(&self) -> bool {
+        self.store.lock().entries.is_empty()
+    }
+
+    /// Drops every banked closure (statistics are kept).
+    pub fn clear(&self) {
+        let mut store = self.store.lock();
+        store.entries.clear();
+        store.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceSpec;
+    use elpc_mapping::solver;
+    use elpc_netgraph::EdgeId;
+    use elpc_netsim::Link;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn same_topology_hits_perturbed_topology_misses() {
+        let spec = InstanceSpec::sized(5, 10, 20);
+        let a = spec.generate(3).unwrap();
+        let b = spec.generate(3).unwrap(); // identical draw
+        let bank = ClosureBank::new();
+
+        let ctx = bank.context_for(a.as_instance(), cost(), 1);
+        solver("elpc_delay_routed").unwrap().solve(&ctx).unwrap();
+        bank.deposit(&ctx);
+        assert_eq!(bank.len(), 1);
+        assert_eq!(bank.stats().deposits, 1);
+
+        // identical network + pipeline → hit, and the closure starts warm
+        let warm = bank.context_for(b.as_instance(), cost(), 1);
+        assert_eq!(bank.stats().hits, 1);
+        assert!(warm.closure().cached_trees() > 0);
+
+        // perturb one link bandwidth → fingerprint guard forces a miss
+        let mut c = spec.generate(3).unwrap();
+        let old = c.network.link(EdgeId(0)).unwrap().clone();
+        c.network
+            .set_link_symmetric(EdgeId(0), Link::new(old.bw_mbps * 1.001, old.mld_ms))
+            .unwrap();
+        let cold = bank.context_for(c.as_instance(), cost(), 1);
+        assert_eq!(cold.closure().cached_trees(), 0);
+        // a different cost model also misses
+        bank.context_for(b.as_instance(), CostModel { include_mld: false }, 1);
+        assert_eq!(bank.stats().misses, 3);
+    }
+
+    #[test]
+    fn banked_solve_is_bit_identical_to_cold_solve() {
+        let spec = InstanceSpec::sized(6, 12, 30);
+        let owned = spec.generate(11).unwrap();
+        let bank = ClosureBank::new();
+        let s = solver("elpc_delay_routed").unwrap();
+
+        let cold = s
+            .solve(&bank.context_for(owned.as_instance(), cost(), 1))
+            .unwrap();
+        // redo with a deposited closure
+        let ctx = bank.context_for(owned.as_instance(), cost(), 1);
+        s.solve(&ctx).unwrap();
+        bank.deposit(&ctx);
+        let warm_ctx = bank.context_for(owned.as_instance(), cost(), 1);
+        let warm = s.solve(&warm_ctx).unwrap();
+        assert_eq!(cold.objective_ms.to_bits(), warm.objective_ms.to_bits());
+        assert_eq!(cold.assignment, warm.assignment);
+        // the warm solve never ran a Dijkstra
+        assert_eq!(warm_ctx.closure().stats().misses, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_deposit_first() {
+        let spec = InstanceSpec::sized(4, 8, 14);
+        let instances: Vec<_> = (0..3).map(|s| spec.generate(s).unwrap()).collect();
+        let bank = ClosureBank::with_capacity(2);
+        assert_eq!(bank.capacity(), 2);
+        for inst in &instances {
+            let ctx = bank.context_for(inst.as_instance(), cost(), 1);
+            solver("elpc_delay_routed").unwrap().solve(&ctx).unwrap();
+            bank.deposit(&ctx);
+        }
+        assert_eq!(bank.len(), 2, "third deposit must evict one");
+        // the oldest (seed 0) is gone; the two youngest survive
+        let c0 = bank.context_for(instances[0].as_instance(), cost(), 1);
+        assert_eq!(c0.closure().cached_trees(), 0, "seed 0 was evicted");
+        for inst in &instances[1..] {
+            let c = bank.context_for(inst.as_instance(), cost(), 1);
+            assert!(c.closure().cached_trees() > 0);
+        }
+        // an evicted topology re-deposits cleanly (evicting the next oldest)
+        solver("elpc_delay_routed").unwrap().solve(&c0).unwrap();
+        bank.deposit(&c0);
+        assert_eq!(bank.len(), 2);
+        assert!(
+            bank.context_for(instances[0].as_instance(), cost(), 1)
+                .closure()
+                .cached_trees()
+                > 0
+        );
+    }
+
+    #[test]
+    fn richer_deposits_replace_poorer_ones_only() {
+        let spec = InstanceSpec::sized(5, 8, 16);
+        let owned = spec.generate(1).unwrap();
+        let bank = ClosureBank::new();
+        let rich = bank.context_for(owned.as_instance(), cost(), 1);
+        solver("elpc_delay_routed").unwrap().solve(&rich).unwrap();
+        bank.deposit(&rich);
+        let rich_count = rich.closure().cached_trees();
+
+        // a sparser context (one tree) must not clobber the banked closure
+        let poor = SolveContext::new(owned.as_instance(), cost());
+        poor.routed_from(owned.src, 1e4);
+        bank.deposit(&poor);
+        let again = bank.context_for(owned.as_instance(), cost(), 1);
+        assert_eq!(again.closure().cached_trees(), rich_count);
+
+        bank.clear();
+        assert!(bank.is_empty());
+        // empty contexts deposit nothing
+        bank.deposit(&SolveContext::new(owned.as_instance(), cost()));
+        assert!(bank.is_empty());
+    }
+}

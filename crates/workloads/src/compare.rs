@@ -16,8 +16,8 @@
 //! are recorded alongside (`delay_elpc_strict` / `rate_elpc_strict`);
 //! Greedy walks real edges, so its strict and routed values coincide.
 
-use crate::ProblemInstance;
-use elpc_mapping::{solver, CostModel, MappingError, SolveContext};
+use crate::{ClosureBank, ProblemInstance};
+use elpc_mapping::{solver, CostModel, Instance, MappingError, SolveContext};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one algorithm on one objective.
@@ -132,6 +132,55 @@ pub fn run_solver(ctx: &SolveContext<'_>, name: &str) -> Outcome {
     }
 }
 
+/// How the comparison runners build their per-instance context.
+#[derive(Clone, Copy)]
+pub struct CompareOptions<'b> {
+    /// Cross-instance closure cache: hit on checkout, deposit after the
+    /// roster ran. `None` = a cold context per instance (the default).
+    pub bank: Option<&'b ClosureBank>,
+    /// Warm-up thread count for the routed solvers' tree pre-build
+    /// (`0` = all CPUs, `1` = lazy serial — the default).
+    pub warm_threads: usize,
+}
+
+impl Default for CompareOptions<'_> {
+    fn default() -> Self {
+        CompareOptions {
+            bank: None,
+            warm_threads: 1,
+        }
+    }
+}
+
+impl<'b> CompareOptions<'b> {
+    /// Options using `bank` for cross-instance reuse.
+    pub fn banked(bank: &'b ClosureBank) -> Self {
+        CompareOptions {
+            bank: Some(bank),
+            warm_threads: 1,
+        }
+    }
+
+    /// Sets the warm-up thread count.
+    pub fn warm_threads(mut self, threads: usize) -> Self {
+        self.warm_threads = threads;
+        self
+    }
+
+    fn context_for<'a>(&self, view: Instance<'a>, cost: &CostModel) -> SolveContext<'a> {
+        match self.bank {
+            Some(bank) => bank.context_for(view, *cost, self.warm_threads),
+            None => SolveContext::with_threads(view, *cost, self.warm_threads),
+        }
+    }
+
+    fn finish(&self, ctx: &SolveContext<'_>) {
+        if let Some(bank) = self.bank {
+            bank.deposit(ctx);
+        }
+    }
+}
+
 /// Runs an arbitrary list of registered solvers on one instance, sharing a
 /// single metric-closure context. The generic entry point for experiments
 /// that want more (or different) algorithms than the Fig. 2 columns.
@@ -140,20 +189,44 @@ pub fn run_solvers(
     cost: &CostModel,
     names: &[&str],
 ) -> Vec<(String, Outcome)> {
+    run_solvers_opts(inst, cost, names, CompareOptions::default())
+}
+
+/// [`run_solvers`] with explicit [`CompareOptions`]: checks the context out
+/// of the bank (when one is given), runs the roster, deposits the closure
+/// back. Results are bit-identical to the cold path — the bank and the
+/// warm-up only change *when* trees are built, never their contents.
+pub fn run_solvers_opts(
+    inst: &ProblemInstance,
+    cost: &CostModel,
+    names: &[&str],
+    opts: CompareOptions<'_>,
+) -> Vec<(String, Outcome)> {
     let view = inst.as_instance();
-    let ctx = SolveContext::new(view, *cost);
-    names
+    let ctx = opts.context_for(view, cost);
+    let out = names
         .iter()
         .map(|&n| (n.to_string(), run_solver(&ctx, n)))
-        .collect()
+        .collect();
+    opts.finish(&ctx);
+    out
 }
 
 /// Runs all eight solver×objective combinations on one instance through the
 /// registry, sharing one metric-closure context across all of them.
 pub fn run_case(inst: &ProblemInstance, cost: &CostModel) -> CaseResult {
+    run_case_opts(inst, cost, CompareOptions::default())
+}
+
+/// [`run_case`] with explicit [`CompareOptions`] (bank + warm-up threads).
+pub fn run_case_opts(
+    inst: &ProblemInstance,
+    cost: &CostModel,
+    opts: CompareOptions<'_>,
+) -> CaseResult {
     let view = inst.as_instance();
-    let ctx = SolveContext::new(view, *cost);
-    CaseResult {
+    let ctx = opts.context_for(view, cost);
+    let row = CaseResult {
         label: inst.label.clone(),
         dims: inst.dims(),
         delay_elpc: run_solver(&ctx, "elpc_delay_routed"),
@@ -164,7 +237,25 @@ pub fn run_case(inst: &ProblemInstance, cost: &CostModel) -> CaseResult {
         rate_elpc_strict: run_solver(&ctx, "elpc_rate"),
         rate_streamline: run_solver(&ctx, "streamline_rate"),
         rate_greedy: run_solver(&ctx, "greedy_rate"),
-    }
+    };
+    opts.finish(&ctx);
+    row
+}
+
+/// The sweep driver: every instance through [`run_case_opts`] on `threads`
+/// workers (`0` = all CPUs), sharing `opts.bank` across workers when one is
+/// given — cases with the same topology/cost/payload key then reuse one
+/// closure across the whole sweep. Output order matches input order and is
+/// thread-count-invariant.
+pub fn run_cases(
+    instances: &[ProblemInstance],
+    cost: &CostModel,
+    threads: usize,
+    opts: CompareOptions<'_>,
+) -> Vec<CaseResult> {
+    crate::sweep::run_parallel(instances, threads, |_, inst| {
+        run_case_opts(inst, cost, opts)
+    })
 }
 
 #[cfg(test)]
@@ -232,6 +323,30 @@ mod tests {
         assert_eq!(o.fps(), Some(10.0));
         assert_eq!(Outcome::Infeasible.ms(), None);
         assert_eq!(Outcome::Error("x".into()).fps(), None);
+    }
+
+    #[test]
+    fn sweep_with_bank_reuses_the_closure_across_same_network_cases() {
+        let cost = CostModel::default();
+        let inst = paper_cases()[1].generate().unwrap();
+        let baseline = run_case(&inst, &cost);
+
+        // four cases sharing one network: the first checkout misses, every
+        // later one (in whatever worker order) hits the banked closure
+        let suite = vec![inst.clone(), inst.clone(), inst.clone(), inst];
+        let bank = ClosureBank::new();
+        let rows = run_cases(&suite, &cost, 2, CompareOptions::banked(&bank));
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row, &baseline, "bank must not change any result");
+        }
+        let stats = bank.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+        assert!(
+            stats.hits >= 1,
+            "cases sharing a network must hit the bank (stats: {stats:?})"
+        );
+        assert_eq!(bank.len(), 1, "one topology, one banked closure");
     }
 
     #[test]

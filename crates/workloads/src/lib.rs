@@ -15,16 +15,22 @@
 //!   Fig. 2 plus a generic any-solver runner;
 //! * [`sweep`] — a crossbeam-based parallel map that keeps experiment
 //!   wall-time reasonable on large suites (each worker gets its own
-//!   per-instance context, so results are thread-count-invariant).
+//!   per-instance context, so results are thread-count-invariant);
+//! * [`bank`] — the [`ClosureBank`], a topology-keyed (network fingerprint
+//!   × cost model × payload set) cross-instance cache of metric-closure
+//!   trees, so consecutive cases sharing a network skip the all-pairs
+//!   Dijkstra work entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod cases;
 pub mod compare;
 mod instance;
 pub mod sweep;
 
+pub use bank::{BankStats, ClosureBank};
 pub use instance::{InstanceSpec, ProblemInstance, TopologyKind};
 
 /// Result alias shared with the mapping crate.

@@ -58,7 +58,7 @@
 //! | [`pipeline`] | linear pipeline model, generators, the paper's motivating scenarios |
 //! | [`mapping`] | the paper's algorithms behind one `Solver` registry, fed by a shared `SolveContext` metric-closure cache |
 //! | [`simcore`] | discrete-event executor validating the analytic model |
-//! | [`workloads`] | experiment instances: the 20-case suite, the registry-driven comparison runner, parallel sweeps |
+//! | [`workloads`] | experiment instances: the 20-case suite, the registry-driven comparison runner, parallel sweeps, the cross-instance `ClosureBank` |
 //! | [`extensions`] | §5 future work: frame rate with reuse, DAG workflows, adaptive remapping (registry-driven re-solves) |
 //!
 //! ## Solver registry and shared context
@@ -67,10 +67,14 @@
 //! enumerated by [`mapping::registry`] / looked up by [`mapping::solver`].
 //! Each receives a [`mapping::SolveContext`], which lazily caches the
 //! network's routed metric closure (all-pairs cheapest transfer trees,
-//! keyed by payload size) in a [`mapping::MetricClosure`]. Build one
-//! context per [`Instance`](mapping::Instance) and run any number of
-//! algorithms against it — the all-pairs Dijkstra work that used to be
-//! recomputed inside every routed solver is paid once per instance:
+//! keyed by payload size) in a thread-safe sharded
+//! [`mapping::MetricClosure`]. Build one context per
+//! [`Instance`](mapping::Instance) and run any number of algorithms
+//! against it — from as many threads as you like — and the all-pairs
+//! Dijkstra work is paid once per instance. Contexts built with
+//! [`mapping::SolveContext::with_threads`] pre-build the routed DPs' trees
+//! in parallel, and [`workloads::ClosureBank`] carries a finished closure
+//! to later instances that share the same network:
 //!
 //! ```
 //! # use elpc::prelude::*;
