@@ -3,7 +3,7 @@
 //! "The time-varying nature of system resources' availability makes it
 //! challenging to perform an accurate prediction or estimation of the
 //! execution time of a computing module in a real network environment."
-//! The authors' own earlier system ([13], the self-adaptive visualization
+//! The authors' own earlier system (\[13\], the self-adaptive visualization
 //! pipeline) re-configures when conditions change; this module reproduces
 //! that control loop on top of [`elpc_netsim::dynamics::DynamicNetwork`]:
 //!

@@ -108,6 +108,32 @@ pub struct CachedTree {
 }
 
 /// Cache statistics, for tests and perf reports.
+///
+/// **Invariant:** every [`MetricClosure::routed_from`] query counts exactly
+/// one hit or one miss — `hits + misses` always equals the number of
+/// queries made so far, even under concurrent access (the counters are
+/// atomic and racing builders each record their own miss). Seeding via
+/// [`MetricClosure::seed`] and probing via [`MetricClosure::contains`] are
+/// *not* queries and leave the statistics untouched.
+///
+/// ```
+/// use elpc_mapping::{CostModel, MetricClosure, NodeId};
+/// # let mut b = elpc_netsim::Network::builder();
+/// # let a = b.add_node(100.0).unwrap();
+/// # let c = b.add_node(100.0).unwrap();
+/// # b.add_link(a, c, 100.0, 0.5).unwrap();
+/// # let network = b.build().unwrap();
+/// let closure = MetricClosure::new(&network, CostModel::default());
+/// let queries = 5u64;
+/// for _ in 0..queries {
+///     closure.routed_from(NodeId(0), 1e6); // 1 miss, then 4 hits
+/// }
+/// let stats = closure.stats();
+/// assert_eq!(stats.hits + stats.misses, queries);
+/// assert_eq!(stats.misses, 1);
+/// assert!(closure.contains(NodeId(0), 1e6)); // not a query
+/// assert_eq!(closure.stats().hits + closure.stats().misses, queries);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClosureStats {
     /// Queries answered from the cache.
@@ -138,8 +164,54 @@ fn shard_of(key: &TreeKey) -> usize {
     (h.finish() >> 32) as usize & (SHARD_COUNT - 1)
 }
 
+/// Minimum node count before the routed **delay** DP chunks its per-stage
+/// relax loop across worker threads: below this, the `O(k²)` column update
+/// is microseconds of float work and a per-stage scope spawn/join would
+/// cost more than it saves. Results are identical either way — this is
+/// purely a crossover point.
+pub(crate) const MIN_PARALLEL_RELAX_NODES_DELAY: usize = 64;
+
+/// Crossover for the routed **rate** DP's label relax. Its per-stage cost
+/// is `O(k² × labels)` with bitmask cloning per extension — two orders of
+/// magnitude heavier per cell than the delay DP (compare the
+/// `reference_warm` entries in `BENCH_metaheuristics.json`) — so chunking
+/// pays off at much smaller networks.
+pub(crate) const MIN_PARALLEL_RELAX_NODES_RATE: usize = 24;
+
+/// The chunked column-update scaffolding shared by the routed DPs'
+/// per-stage relax loops: applies `relax(v, &mut cells[v])` to every cell,
+/// inline when `threads <= 1`, otherwise on scoped worker threads that each
+/// own one contiguous chunk of cells. Because every cell is computed
+/// independently and `relax` receives the same index either way, the chunk
+/// layout cannot affect any cell's value — serial and chunked runs are
+/// bit-for-bit identical.
+pub(crate) fn relax_columns_chunked<T: Send, F>(threads: usize, cells: &mut [T], relax: F)
+where
+    F: Fn(usize, &mut T) + Sync,
+{
+    let k = cells.len();
+    if threads <= 1 || k < 2 {
+        for (v, cell) in cells.iter_mut().enumerate() {
+            relax(v, cell);
+        }
+        return;
+    }
+    let chunk = k.div_ceil(threads.min(k));
+    crossbeam::scope(|scope| {
+        let relax = &relax;
+        for (ci, cells_c) in cells.chunks_mut(chunk).enumerate() {
+            scope.spawn(move |_| {
+                for (i, cell) in cells_c.iter_mut().enumerate() {
+                    relax(ci * chunk + i, cell);
+                }
+            });
+        }
+    })
+    .expect("relax workers must not panic");
+}
+
 /// Resolves a thread-count request: `0` means "all CPUs".
-fn effective_threads(threads: usize) -> usize {
+pub(crate) fn effective_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -225,6 +297,27 @@ impl<'a> MetricClosure<'a> {
     /// `par_warm(s, p, 1)` and `par_warm(s, p, 0)` leave bit-for-bit
     /// identical caches. Every build counts as one miss (and a racing
     /// duplicate query as a hit), keeping `hits + misses == queries` exact.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use elpc_mapping::{CostModel, MetricClosure, NodeId};
+    /// # let mut b = elpc_netsim::Network::builder();
+    /// # let s = b.add_node(100.0).unwrap();
+    /// # let m = b.add_node(100.0).unwrap();
+    /// # let d = b.add_node(100.0).unwrap();
+    /// # b.add_link(s, m, 100.0, 0.5).unwrap();
+    /// # b.add_link(m, d, 100.0, 0.5).unwrap();
+    /// # let network = b.build().unwrap();
+    /// let closure = MetricClosure::new(&network, CostModel::default());
+    /// let sources: Vec<NodeId> = network.node_ids().collect();
+    /// // 3 sources × 2 payloads on all CPUs
+    /// let built = closure.par_warm(&sources, &[1e5, 1e6], 0);
+    /// assert_eq!(built, 6);
+    /// assert_eq!(closure.cached_trees(), 6);
+    /// // idempotent: everything is already materialized
+    /// assert_eq!(closure.par_warm(&sources, &[1e5, 1e6], 1), 0);
+    /// ```
     pub fn par_warm(&self, sources: &[NodeId], payloads: &[f64], threads: usize) -> usize {
         let mut seen = std::collections::HashSet::new();
         let mut work: Vec<TreeKey> = Vec::with_capacity(sources.len() * payloads.len());
@@ -345,6 +438,30 @@ impl<'a> MetricClosure<'a> {
 /// cost model, and the shared metric closure (held behind an [`Arc`], so
 /// the cache can also be shared across contexts and threads). Build one per
 /// instance and pass it to every algorithm being compared.
+///
+/// # Examples
+///
+/// ```
+/// use elpc_mapping::{solver, CostModel, Instance, SolveContext};
+/// # let mut b = elpc_netsim::Network::builder();
+/// # let s = b.add_node(100.0).unwrap();
+/// # let m = b.add_node(1000.0).unwrap();
+/// # let d = b.add_node(100.0).unwrap();
+/// # b.add_link(s, m, 100.0, 0.5).unwrap();
+/// # b.add_link(m, d, 100.0, 0.5).unwrap();
+/// # let network = b.build().unwrap();
+/// # let pipeline = elpc_pipeline::Pipeline::from_stages(1e6, &[(2.0, 1e5)], 1.0).unwrap();
+/// let inst = Instance::new(&network, &pipeline, s, d).unwrap();
+/// // `new` is the lazy serial constructor; `with_threads(inst, cost, 0)`
+/// // would additionally pre-build the routed DPs' transfer trees on all
+/// // CPUs — results are identical either way
+/// let ctx = SolveContext::new(inst, CostModel::default());
+/// let a = solver("elpc_delay_routed").unwrap().solve(&ctx).unwrap();
+/// let b = solver("streamline_delay").unwrap().solve(&ctx).unwrap();
+/// // both solvers shared one metric closure: the second one hit the cache
+/// assert!(ctx.closure().stats().hits > 0);
+/// assert!(a.objective_ms <= b.objective_ms);
+/// ```
 #[derive(Clone)]
 pub struct SolveContext<'a> {
     inst: Instance<'a>,

@@ -141,12 +141,26 @@ pub fn solve(inst: &Instance<'_>, cost: &CostModel) -> Result<DelaySolution> {
 /// case, but every (payload, host) shortest-path tree comes from the
 /// context's shared [`crate::MetricClosure`], so repeated solves on one
 /// instance — and sibling solvers in a comparison — pay it only once.
+///
+/// The `O(k²)` per-stage relax loop runs on
+/// [`SolveContext::warm_threads`] chunked column workers (`0` = all CPUs):
+/// each worker owns a contiguous block of destination cells and scans every
+/// source row in ascending order, so the result is bit-for-bit identical at
+/// any thread count. At `threads == 1` no worker threads are spawned and
+/// the trees are still fetched lazily per stage.
 pub fn solve_routed_ctx(ctx: &SolveContext<'_>) -> Result<AssignmentSolution> {
     let inst = ctx.instance();
     let net = inst.network;
     let pipe = inst.pipeline;
     let n = pipe.len();
     let k = net.node_count();
+    // below the crossover size a per-stage scope spawn costs more than the
+    // whole O(k²) relax; the serial path computes identical cells
+    let threads = if k >= crate::context::MIN_PARALLEL_RELAX_NODES_DELAY {
+        crate::context::effective_threads(ctx.warm_threads())
+    } else {
+        1
+    };
 
     // pre-build the per-source trees in parallel when the context asks for
     // it (no-op on lazy serial contexts); the DP below then runs hot
@@ -155,41 +169,51 @@ pub fn solve_routed_ctx(ctx: &SolveContext<'_>) -> Result<AssignmentSolution> {
     let mut prev = vec![f64::INFINITY; k];
     prev[inst.src.index()] = 0.0;
     let mut parents: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(n - 1);
-    let mut cur = vec![f64::INFINITY; k];
+    // one cell per destination node: (best delay, parent host)
+    let mut cur: Vec<(f64, Option<NodeId>)> = vec![(f64::INFINITY, None); k];
 
     for j in 1..n {
         let in_bytes = pipe.input_bytes(j);
         let work = pipe.compute_work(j);
-        let mut parent: Vec<Option<NodeId>> = vec![None; k];
-        // stay on the previous host (free intra-node hand-off)
-        for v in 0..k {
-            cur[v] = if prev[v].is_finite() {
-                parent[v] = Some(NodeId::from_index(v));
-                prev[v] + work / net.power(NodeId::from_index(v))
+        // the per-source trees this column consults, fetched in ascending
+        // source order (the exact queries the serial loop used to make)
+        let trees: Vec<Option<std::sync::Arc<elpc_netgraph::algo::ShortestPaths>>> = prev
+            .iter()
+            .enumerate()
+            .map(|(u, &p)| {
+                p.is_finite()
+                    .then(|| ctx.routed_from(NodeId::from_index(u), in_bytes))
+            })
+            .collect();
+        // one destination cell: stay on the same host, then relax every
+        // incoming routed edge in ascending source order — the same float
+        // comparison sequence whichever chunk the cell lands in
+        let prev_col = &prev;
+        crate::context::relax_columns_chunked(threads, &mut cur, |v, cell| {
+            let vid = NodeId::from_index(v);
+            let compute = work / net.power(vid);
+            let (mut best, mut par) = if prev_col[v].is_finite() {
+                (prev_col[v] + compute, Some(vid))
             } else {
-                f64::INFINITY
+                (f64::INFINITY, None)
             };
-        }
-        // or receive over the best route from any previous host u
-        for u in 0..k {
-            if !prev[u].is_finite() {
-                continue;
-            }
-            let du = ctx.routed_from(NodeId::from_index(u), in_bytes);
-            let du = &du.dist;
-            for v in 0..k {
-                if v == u || du[v].is_infinite() {
+            for (u, tree) in trees.iter().enumerate() {
+                let Some(tree) = tree else { continue };
+                if u == v || tree.dist[v].is_infinite() {
                     continue;
                 }
-                let t = prev[u] + du[v] + work / net.power(NodeId::from_index(v));
-                if t < cur[v] {
-                    cur[v] = t;
-                    parent[v] = Some(NodeId::from_index(u));
+                let t = prev_col[u] + tree.dist[v] + compute;
+                if t < best {
+                    best = t;
+                    par = Some(NodeId::from_index(u));
                 }
             }
+            *cell = (best, par);
+        });
+        parents.push(cur.iter().map(|&(_, par)| par).collect());
+        for (p, &(best, _)) in prev.iter_mut().zip(&cur) {
+            *p = best;
         }
-        parents.push(parent);
-        std::mem::swap(&mut prev, &mut cur);
     }
 
     let total = prev[inst.dst.index()];

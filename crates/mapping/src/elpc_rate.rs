@@ -205,7 +205,11 @@ pub fn solve_routed_with(
 }
 
 /// The routed rate DP over a shared [`SolveContext`]: all routed transfer
-/// trees come from the context's metric closure.
+/// trees come from the context's metric closure, and the `O(k²)` per-stage
+/// label relax runs on [`SolveContext::warm_threads`] chunked column
+/// workers (each worker owns a contiguous block of destination cells, so
+/// results are bit-for-bit identical at any thread count; `threads == 1`
+/// spawns nothing).
 pub fn solve_routed_with_ctx(
     ctx: &SolveContext<'_>,
     config: RateConfig,
@@ -234,6 +238,13 @@ pub fn solve_routed_with_ctx(
     // parallel tree pre-build on contexts configured for it (lazy no-op
     // otherwise); the label DP below then only reads the shared cache
     ctx.warm_routed_dp();
+    // below the crossover size a per-stage scope spawn costs more than the
+    // whole O(k²) relax; the serial path computes identical cells
+    let threads = if k >= crate::context::MIN_PARALLEL_RELAX_NODES_RATE {
+        crate::context::effective_threads(ctx.warm_threads())
+    } else {
+        1
+    };
     let words = k.div_ceil(64);
     let mut root_mask = vec![0u64; words].into_boxed_slice();
     root_mask[inst.src.index() / 64] |= 1 << (inst.src.index() % 64);
@@ -251,28 +262,36 @@ pub fn solve_routed_with_ctx(
         let work = pipe.compute_work(j);
         let prev = &columns[j - 1];
         let mut cur: Vec<Vec<Label>> = vec![Vec::new(); k];
-        for u in 0..k {
-            if prev[u].is_empty() {
-                continue;
+        // per-source trees in ascending order (the queries the serial
+        // source-major loop used to make lazily)
+        let trees: Vec<Option<std::sync::Arc<elpc_netgraph::algo::ShortestPaths>>> = prev
+            .iter()
+            .enumerate()
+            .map(|(u, labels)| {
+                (!labels.is_empty()).then(|| ctx.routed_from(NodeId::from_index(u), in_bytes))
+            })
+            .collect();
+        // one destination cell: extend every predecessor label in ascending
+        // (source, label-index) order — each cell's label set is built from
+        // the same insertion sequence whichever chunk it lands in
+        crate::context::relax_columns_chunked(threads, &mut cur, |v, cell| {
+            let vid = NodeId::from_index(v);
+            if vid == inst.dst && j != n - 1 {
+                return; // the destination may only host the final module
             }
-            let du = ctx.routed_from(NodeId::from_index(u), in_bytes);
-            let du = &du.dist;
-            for v in 0..k {
-                if v == u || du[v].is_infinite() {
+            let compute = work / net.power(vid);
+            for (u, tree) in trees.iter().enumerate() {
+                let Some(tree) = tree else { continue };
+                if u == v || tree.dist[v].is_infinite() {
                     continue;
                 }
-                let vid = NodeId::from_index(v);
-                if vid == inst.dst && j != n - 1 {
-                    continue;
-                }
-                let compute = work / net.power(vid);
                 for (idx, label) in prev[u].iter().enumerate() {
                     if label.mask_contains(v) {
                         continue;
                     }
-                    let bottleneck = label.bottleneck.max(compute).max(du[v]);
+                    let bottleneck = label.bottleneck.max(compute).max(tree.dist[v]);
                     insert_label(
-                        &mut cur[v],
+                        cell,
                         Label {
                             bottleneck,
                             mask: label.mask_with(v),
@@ -282,7 +301,7 @@ pub fn solve_routed_with_ctx(
                     );
                 }
             }
-        }
+        });
         columns.push(cur);
     }
 

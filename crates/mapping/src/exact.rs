@@ -14,7 +14,10 @@
 //! [`MappingError::BudgetExhausted`] rather than silently returning a
 //! non-optimal answer.
 
-use crate::{CostModel, DelaySolution, Instance, Mapping, MappingError, RateSolution, Result};
+use crate::{
+    AssignmentSolution, CostModel, DelaySolution, Instance, Mapping, MappingError, RateSolution,
+    Result, SolveContext,
+};
 use elpc_netgraph::algo::{for_each_simple_path_exact_nodes, hop_distances_rev, PathVisit};
 use elpc_netgraph::NodeId;
 
@@ -187,6 +190,131 @@ pub fn max_rate(
         }),
         None => Err(MappingError::Infeasible(format!(
             "no simple path of exactly {} nodes from {} to {}",
+            n, inst.src, inst.dst
+        ))),
+    }
+}
+
+/// Exhaustive maximum frame rate under **routed** transport: enumerates
+/// every assignment of pairwise-distinct hosts (endpoints pinned) and
+/// scores each stage transfer at the best multi-hop route from the
+/// context's shared metric closure. This is the ground truth for the
+/// search space the [`crate::metaheuristic`] solvers and the routed rate
+/// DP explore — `workloads::compare` uses it as the denominator of the
+/// rate `quality_gap` column.
+///
+/// The interior assignment count is `P(k-2, n-2)`; the search refuses to
+/// start (with [`MappingError::BudgetExhausted`]) when that product
+/// exceeds `limits.budget`, and branch-and-bound on the monotone
+/// bottleneck prunes the rest. Small instances only, by design.
+pub fn max_rate_routed(ctx: &SolveContext<'_>, limits: ExactLimits) -> Result<AssignmentSolution> {
+    let inst = ctx.instance();
+    let net = inst.network;
+    let pipe = inst.pipeline;
+    let n = pipe.len();
+    let k = net.node_count();
+    inst.ensure_distinct_hosts_feasible()?;
+    // refuse un-prunably large spaces up front: P(k-2, n-2) assignments
+    let mut count: usize = 1;
+    for i in 0..n.saturating_sub(2) {
+        count = count.saturating_mul(k - 2 - i);
+        if count > limits.budget {
+            return Err(MappingError::BudgetExhausted {
+                budget: limits.budget,
+            });
+        }
+    }
+
+    struct Search<'c, 's> {
+        ctx: &'c SolveContext<'s>,
+        n: usize,
+        k: usize,
+        dst: NodeId,
+        used: Vec<bool>,
+        current: Vec<NodeId>,
+        best: f64,
+        best_assignment: Option<Vec<NodeId>>,
+    }
+
+    impl Search<'_, '_> {
+        /// Extends the partial assignment ending at `node` (module `j - 1`)
+        /// with a host for module `j`, carrying the bottleneck so far.
+        fn dfs(&mut self, j: usize, node: NodeId, acc: f64) {
+            if acc >= self.best {
+                return; // the bottleneck only grows along a branch
+            }
+            let net = self.ctx.network();
+            let pipe = self.ctx.pipeline();
+            let bytes = pipe.module(j - 1).output_bytes;
+            let tree = self.ctx.routed_from(node, bytes);
+            if j == self.n - 1 {
+                let work = pipe.compute_work(j);
+                let t = tree.dist[self.dst.index()];
+                if t.is_infinite() {
+                    return;
+                }
+                let total = acc.max(t).max(if work > 0.0 {
+                    work / net.power(self.dst)
+                } else {
+                    0.0
+                });
+                if total < self.best {
+                    self.best = total;
+                    let mut a = self.current.clone();
+                    a.push(self.dst);
+                    self.best_assignment = Some(a);
+                }
+                return;
+            }
+            let work = pipe.compute_work(j);
+            for v in 0..self.k {
+                if self.used[v] {
+                    continue;
+                }
+                let vid = NodeId::from_index(v);
+                if vid == self.dst {
+                    continue; // the sink hosts only the final module
+                }
+                let t = tree.dist[v];
+                if t.is_infinite() {
+                    continue;
+                }
+                let b = acc.max(t).max(if work > 0.0 {
+                    work / net.power(vid)
+                } else {
+                    0.0
+                });
+                self.used[v] = true;
+                self.current.push(vid);
+                self.dfs(j + 1, vid, b);
+                self.current.pop();
+                self.used[v] = false;
+            }
+        }
+    }
+
+    let mut used = vec![false; k];
+    used[inst.src.index()] = true;
+    let mut search = Search {
+        ctx,
+        n,
+        k,
+        dst: inst.dst,
+        used,
+        current: vec![inst.src],
+        best: f64::INFINITY,
+        best_assignment: None,
+    };
+    // module 0 contributes no compute (input_bytes(0) is structurally 0);
+    // start directly at module 1, as min_delay does
+    search.dfs(1, inst.src, 0.0);
+    match search.best_assignment {
+        Some(assignment) => Ok(AssignmentSolution {
+            assignment,
+            objective_ms: search.best,
+        }),
+        None => Err(MappingError::Infeasible(format!(
+            "no routed placement of {} distinct hosts from {} to {}",
             n, inst.src, inst.dst
         ))),
     }
@@ -383,6 +511,49 @@ mod tests {
         let inst = Instance::new(&net, &pipe, s, d).unwrap();
         let sol = max_rate(&inst, &cost(), ExactLimits::default()).unwrap();
         assert_eq!(sol.mapping.path()[1], y);
+    }
+
+    #[test]
+    fn routed_rate_exact_lower_bounds_routed_heuristics() {
+        for seed in 200..230u64 {
+            let (net, pipe) = random_instance(seed);
+            let k = net.node_count();
+            let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((k - 1) as u32)).unwrap();
+            let ctx = SolveContext::new(inst, cost());
+            let ex = max_rate_routed(&ctx, ExactLimits::default());
+            let Ok(ex) = ex else { continue };
+            // brute force agrees with the routed re-evaluation of its answer
+            let re = crate::routed::routed_bottleneck_ms_ctx(&ctx, &ex.assignment, true).unwrap();
+            assert!((re - ex.objective_ms).abs() <= 1e-9 * ex.objective_ms.max(1.0));
+            // the DP heuristic explores the same space: never better
+            if let Ok(dp) = crate::elpc_rate::solve_routed(&inst, &cost()) {
+                assert!(
+                    ex.objective_ms <= dp.objective_ms + 1e-9,
+                    "seed {seed}: exact {} > DP {}",
+                    ex.objective_ms,
+                    dp.objective_ms
+                );
+            }
+            // the strict exact optimum is a restriction of the routed space
+            if let Ok(strict) = max_rate(&inst, &cost(), ExactLimits::default()) {
+                assert!(ex.objective_ms <= strict.bottleneck_ms + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn routed_rate_exact_refuses_oversized_spaces() {
+        let (net, pipe) = random_instance(3);
+        let k = net.node_count();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((k - 1) as u32)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        // any pipeline of ≥ 3 modules on a >3-node network has an interior
+        // assignment count above 1, so the budget guard must refuse
+        assert!(pipe.len() >= 3 && k > 3, "fixture must exercise the guard");
+        assert!(matches!(
+            max_rate_routed(&ctx, ExactLimits { budget: 1 }),
+            Err(MappingError::BudgetExhausted { budget: 1 })
+        ));
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! | [`exact`]      | exhaustive search                | — | optimal, exponential; small instances only |
 //! | [`streamline`] | Streamline [Agarwalla et al. 2006] adapted to linear pipelines | §3.2 | heuristic, `O(m·n²)` |
 //! | [`greedy`]     | local greedy                     | §3.3 | heuristic, `O(m·n)` |
+//! | [`metaheuristic`] | simulated annealing + genetic search over free assignments | related work | heuristic, seeded-deterministic |
 //!
 //! ## The `Solver` registry and `SolveContext`
 //!
-//! All ten solver entry points (the five algorithms × two objectives,
-//! strict and routed variants) are registered behind the [`Solver`] trait;
+//! All fourteen solver entry points (the algorithms × two objectives,
+//! strict, routed, and metaheuristic variants) are registered behind the [`Solver`] trait;
 //! [`registry()`] enumerates them and [`solver()`] looks one up by name.
 //! Every solver receives a [`SolveContext`] — the instance, the cost model,
 //! and a shared [`MetricClosure`] that lazily caches the routed all-pairs
@@ -78,6 +79,7 @@ mod error;
 pub mod exact;
 pub mod greedy;
 mod mapping;
+pub mod metaheuristic;
 pub mod routed;
 mod solver;
 pub mod streamline;
@@ -86,6 +88,7 @@ pub use context::{CachedTree, ClosureStats, MetricClosure, SolveContext, TreeKey
 pub use cost::{CostModel, Stage};
 pub use error::MappingError;
 pub use mapping::{AssignmentSolution, DelaySolution, Mapping, RateSolution};
+pub use metaheuristic::{AnnealConfig, GeneticConfig};
 pub use solver::{registry, solver, solvers_for, Objective, Solution, Solver};
 
 pub use elpc_netgraph::{EdgeId, NodeId};
@@ -139,6 +142,25 @@ impl<'a> Instance<'a> {
     /// Number of modules `n`.
     pub fn n_modules(&self) -> usize {
         self.pipeline.len()
+    }
+
+    /// The structural screens every distinct-host (no node reuse) solver
+    /// shares: `n ≤ k` and `src ≠ dst`. One definition so the routed-exact
+    /// enumeration and the metaheuristics cannot drift apart.
+    pub(crate) fn ensure_distinct_hosts_feasible(&self) -> Result<()> {
+        let n = self.n_modules();
+        let k = self.network.node_count();
+        if n > k {
+            return Err(MappingError::Infeasible(format!(
+                "{n} modules need {n} distinct hosts, network has {k}"
+            )));
+        }
+        if self.src == self.dst {
+            return Err(MappingError::Infeasible(
+                "source and destination coincide; distinct hosts are impossible".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Necessary feasibility conditions (§4.3): with node reuse the hop

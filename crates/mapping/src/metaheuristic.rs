@@ -1,0 +1,738 @@
+//! Metaheuristic mapping solvers: simulated annealing and a genetic
+//! algorithm over free stage→node assignments.
+//!
+//! The ELPC DPs are exact for their path-structured formulations, but the
+//! dispersed-computing literature (Zhao et al., *Design and Experimental
+//! Evaluation of Algorithms for Optimizing the Throughput of Dispersed
+//! Computing*; Benoit et al., *Multi-criteria scheduling of pipeline
+//! workflows*) measures mapping quality against metaheuristic baselines
+//! that search the unstructured assignment space directly. This module
+//! supplies both standard baselines behind the [`crate::Solver`] registry:
+//!
+//! * [`solve_anneal`] — simulated annealing with a geometric temperature
+//!   schedule and two neighborhood moves, *reassign one stage* and *swap
+//!   two stages*;
+//! * [`solve_genetic`] — a generational genetic algorithm with tournament
+//!   selection, one-point crossover on the interior stage vector, and
+//!   random-reassignment mutation.
+//!
+//! ## Search space and evaluation semantics
+//!
+//! Both solvers search per-module host assignments with the endpoints
+//! pinned (`assignment[0] = src`, `assignment[n-1] = dst`) and evaluate
+//! every candidate under **routed transport** through the context's shared
+//! [`crate::MetricClosure`] — the same semantics the routed DP overlays and
+//! the Streamline baseline are scored under, so `workloads::compare` can
+//! rank all of them on one axis. Reusing the closure means a candidate
+//! evaluation is a handful of hash lookups once the per-source transfer
+//! trees exist; the all-pairs Dijkstra work is shared with every other
+//! solver that ran on the same context.
+//!
+//! * **MinDelay** candidates may reuse nodes (the §3.1.1 relaxation);
+//!   the exact optimum of this space is `elpc_delay_routed`, which makes
+//!   the *quality gap* `metaheuristic / exact` well-defined and ≥ 1.
+//! * **MaxRate** candidates must use pairwise-distinct hosts (the §3.1.2
+//!   streaming constraint); the exact reference on small instances is
+//!   [`crate::exact::max_rate_routed`].
+//!
+//! ## Determinism
+//!
+//! All randomness flows from one seeded [`rand_chacha::ChaCha8Rng`] per
+//! solve: the same [`AnnealConfig`]/[`GeneticConfig`] on the same instance
+//! produces the same mapping on every run and at every
+//! [`crate::SolveContext`] thread count. (Across *platforms* the annealer's
+//! acceptance test calls `exp`/`powf`, whose last-ulp rounding may differ
+//! between libm implementations, so cross-machine reproducibility is
+//! per-platform rather than universal.) The registry entries
+//! (`anneal_{delay,rate}`, `genetic_{delay,rate}`) use the default configs
+//! and are therefore fully reproducible within a platform.
+
+use crate::{routed, AssignmentSolution, MappingError, Objective, Result, SolveContext};
+use elpc_netgraph::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The default RNG seed shared by the registry entries (`b"ELPC"` as a
+/// 32-bit integer).
+pub const DEFAULT_SEED: u64 = 0x454C_5043;
+
+/// Configuration of the simulated-annealing solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// RNG seed; equal seeds reproduce the search exactly.
+    pub seed: u64,
+    /// Proposed moves per restart.
+    pub iterations: usize,
+    /// Independent restarts (the best mapping across restarts wins).
+    pub restarts: usize,
+    /// Initial temperature, relative to the current objective (a move that
+    /// worsens the objective by fraction `d` is accepted with probability
+    /// `exp(-d / T)`).
+    pub initial_temp: f64,
+    /// Final temperature of the geometric cooling schedule.
+    pub final_temp: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            seed: DEFAULT_SEED,
+            iterations: 2500,
+            restarts: 2,
+            initial_temp: 0.3,
+            final_temp: 1e-3,
+        }
+    }
+}
+
+impl AnnealConfig {
+    fn validate(&self) -> Result<()> {
+        if self.iterations == 0 || self.restarts == 0 {
+            return Err(MappingError::BadConfig(
+                "annealing needs at least one iteration and one restart".into(),
+            ));
+        }
+        if !(self.initial_temp > 0.0)
+            || !(self.final_temp > 0.0)
+            || !self.initial_temp.is_finite()
+            || !self.final_temp.is_finite()
+        {
+            return Err(MappingError::BadConfig(
+                "annealing temperatures must be positive and finite".into(),
+            ));
+        }
+        if self.final_temp > self.initial_temp {
+            return Err(MappingError::BadConfig(
+                "final_temp must not exceed initial_temp (the schedule cools)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the genetic-algorithm solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticConfig {
+    /// RNG seed; equal seeds reproduce the search exactly.
+    pub seed: u64,
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability of one-point crossover (otherwise the fitter parent is
+    /// cloned).
+    pub crossover_rate: f64,
+    /// Per-gene probability of a random-reassignment mutation.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elite: usize,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        GeneticConfig {
+            seed: DEFAULT_SEED,
+            population: 32,
+            generations: 80,
+            tournament: 3,
+            crossover_rate: 0.9,
+            mutation_rate: 0.1,
+            elite: 2,
+        }
+    }
+}
+
+impl GeneticConfig {
+    fn validate(&self) -> Result<()> {
+        if self.population < 2 || self.generations == 0 || self.tournament == 0 {
+            return Err(MappingError::BadConfig(
+                "genetic search needs population ≥ 2, generations ≥ 1, tournament ≥ 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) || !(0.0..=1.0).contains(&self.mutation_rate)
+        {
+            return Err(MappingError::BadConfig(
+                "crossover and mutation rates must lie in [0, 1]".into(),
+            ));
+        }
+        if self.elite >= self.population {
+            return Err(MappingError::BadConfig(
+                "elite count must be smaller than the population".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Shared search state: the instance view plus the objective's evaluation
+/// and feasibility rules.
+struct Search<'c, 'a> {
+    ctx: &'c SolveContext<'a>,
+    objective: Objective,
+    n: usize,
+    k: usize,
+    src: NodeId,
+    dst: NodeId,
+}
+
+impl<'c, 'a> Search<'c, 'a> {
+    fn new(ctx: &'c SolveContext<'a>, objective: Objective) -> Result<Self> {
+        let inst = ctx.instance();
+        let n = inst.n_modules();
+        let k = inst.network.node_count();
+        if objective == Objective::MaxRate {
+            inst.ensure_distinct_hosts_feasible()?;
+        }
+        Ok(Search {
+            ctx,
+            objective,
+            n,
+            k,
+            src: inst.src,
+            dst: inst.dst,
+        })
+    }
+
+    /// True when node reuse is forbidden (the streaming objective).
+    fn distinct(&self) -> bool {
+        self.objective == Objective::MaxRate
+    }
+
+    /// Routed objective of a full assignment; `None` when the assignment is
+    /// infeasible (an unreachable transfer or a violated constraint).
+    fn evaluate(&self, assignment: &[NodeId]) -> Option<f64> {
+        let r = match self.objective {
+            Objective::MinDelay => routed::routed_delay_ms_ctx(self.ctx, assignment),
+            Objective::MaxRate => routed::routed_bottleneck_ms_ctx(self.ctx, assignment, true),
+        };
+        r.ok().filter(|ms| ms.is_finite())
+    }
+
+    /// A deterministic baseline assignment: everything on the source until
+    /// the pinned sink (MinDelay), or the lowest-index distinct hosts
+    /// (MaxRate). May be infeasible; the caller falls back to random draws.
+    fn baseline(&self) -> Vec<NodeId> {
+        let mut a = vec![self.src; self.n];
+        *a.last_mut().expect("n >= 2") = self.dst;
+        if self.distinct() {
+            let mut next = 0usize;
+            for slot in a.iter_mut().take(self.n - 1).skip(1) {
+                while next < self.k {
+                    let cand = NodeId::from_index(next);
+                    next += 1;
+                    if cand != self.src && cand != self.dst {
+                        *slot = cand;
+                        break;
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    /// A uniformly random assignment respecting the objective's
+    /// constraints (endpoints pinned; distinct hosts for MaxRate).
+    fn random_assignment(&self, rng: &mut ChaCha8Rng) -> Vec<NodeId> {
+        let mut a = vec![self.src; self.n];
+        *a.last_mut().expect("n >= 2") = self.dst;
+        if self.distinct() {
+            let mut pool: Vec<NodeId> = (0..self.k)
+                .map(NodeId::from_index)
+                .filter(|&v| v != self.src && v != self.dst)
+                .collect();
+            // partial Fisher–Yates: draw n-2 distinct interior hosts
+            for j in 1..self.n - 1 {
+                let pick = rng.gen_range(0..pool.len() - (j - 1)) + (j - 1);
+                pool.swap(j - 1, pick);
+                a[j] = pool[j - 1];
+            }
+        } else {
+            for slot in a.iter_mut().take(self.n - 1).skip(1) {
+                *slot = NodeId::from_index(rng.gen_range(0..self.k));
+            }
+        }
+        a
+    }
+
+    /// An initial feasible assignment: the deterministic baseline when
+    /// `use_baseline` (and it evaluates), otherwise up to `attempts` random
+    /// draws. Restarts after the first pass `use_baseline = false` so they
+    /// diversify from genuinely different starting points.
+    fn initial(
+        &self,
+        rng: &mut ChaCha8Rng,
+        attempts: usize,
+        use_baseline: bool,
+    ) -> Option<(Vec<NodeId>, f64)> {
+        if use_baseline {
+            let base = self.baseline();
+            if let Some(cost) = self.evaluate(&base) {
+                return Some((base, cost));
+            }
+        }
+        for _ in 0..attempts {
+            let a = self.random_assignment(rng);
+            if let Some(cost) = self.evaluate(&a) {
+                return Some((a, cost));
+            }
+        }
+        None
+    }
+
+    /// Mutates `a` in place with one neighborhood move — reassign-one-stage
+    /// or swap-two-stages — honoring the distinctness constraint. Returns
+    /// `false` when the instance admits no move (nothing was changed).
+    fn propose_move(&self, a: &mut [NodeId], rng: &mut ChaCha8Rng) -> bool {
+        let interior = self.n.saturating_sub(2);
+        if interior == 0 {
+            return false;
+        }
+        let can_swap = interior >= 2;
+        // for MaxRate, reassignment needs a currently unused host
+        let can_reassign = !self.distinct() || self.k > self.n;
+        let do_swap = match (can_swap, can_reassign) {
+            (true, true) => rng.gen_bool(0.5),
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => return false,
+        };
+        if do_swap {
+            let j1 = 1 + rng.gen_range(0..interior);
+            let mut j2 = 1 + rng.gen_range(0..interior - 1);
+            if j2 >= j1 {
+                j2 += 1;
+            }
+            a.swap(j1, j2);
+        } else {
+            let j = 1 + rng.gen_range(0..interior);
+            let v = if self.distinct() {
+                let unused: Vec<NodeId> = (0..self.k)
+                    .map(NodeId::from_index)
+                    .filter(|v| !a.contains(v))
+                    .collect();
+                debug_assert!(!unused.is_empty(), "k > n guarantees an unused host");
+                unused[rng.gen_range(0..unused.len())]
+            } else {
+                NodeId::from_index(rng.gen_range(0..self.k))
+            };
+            a[j] = v;
+        }
+        true
+    }
+
+    fn finish(&self, best: Option<(Vec<NodeId>, f64)>) -> Result<AssignmentSolution> {
+        match best {
+            Some((assignment, objective_ms)) => Ok(AssignmentSolution {
+                assignment,
+                objective_ms,
+            }),
+            None => Err(MappingError::Infeasible(format!(
+                "no feasible assignment of {} modules from {} to {} was found",
+                self.n, self.src, self.dst
+            ))),
+        }
+    }
+}
+
+/// Keeps `best` pointing at the lowest-objective assignment seen so far.
+fn track_best(best: &mut Option<(Vec<NodeId>, f64)>, cand: &[NodeId], cost: f64) {
+    if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+        *best = Some((cand.to_vec(), cost));
+    }
+}
+
+/// Simulated annealing over stage→node assignments.
+///
+/// Each restart walks from a feasible initial assignment, proposing
+/// reassign/swap moves and accepting a worsening move of relative size `d`
+/// with probability `exp(-d / T)` under the geometric schedule
+/// `T: initial_temp → final_temp`. All candidates are scored through the
+/// context's shared metric closure, so on a context other solvers already
+/// used the per-candidate cost is a few hash lookups. Deterministic for a
+/// fixed `(instance, cost model, config)` at any thread count.
+pub fn solve_anneal(
+    ctx: &SolveContext<'_>,
+    objective: Objective,
+    config: &AnnealConfig,
+) -> Result<AssignmentSolution> {
+    config.validate()?;
+    let search = Search::new(ctx, objective)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut best: Option<(Vec<NodeId>, f64)> = None;
+    let cooling =
+        (config.final_temp / config.initial_temp).powf(1.0 / config.iterations.max(1) as f64);
+
+    for restart in 0..config.restarts {
+        let Some((mut current, mut cur_cost)) = search.initial(&mut rng, 50, restart == 0) else {
+            continue;
+        };
+        track_best(&mut best, &current, cur_cost);
+        let mut temp = config.initial_temp;
+        let mut candidate = current.clone();
+        for _ in 0..config.iterations {
+            candidate.copy_from_slice(&current);
+            if !search.propose_move(&mut candidate, &mut rng) {
+                break; // a 2-module instance has exactly one assignment
+            }
+            if let Some(cand_cost) = search.evaluate(&candidate) {
+                let accept = if cand_cost <= cur_cost {
+                    true
+                } else {
+                    let d = (cand_cost - cur_cost) / cur_cost.max(f64::MIN_POSITIVE);
+                    rng.gen::<f64>() < (-d / temp).exp()
+                };
+                if accept {
+                    current.copy_from_slice(&candidate);
+                    cur_cost = cand_cost;
+                    track_best(&mut best, &current, cur_cost);
+                }
+            }
+            temp *= cooling;
+        }
+    }
+    search.finish(best)
+}
+
+/// Genetic search over stage→node assignments.
+///
+/// A generational GA: tournament selection picks parents, one-point
+/// crossover on the interior stage vector recombines them (with a
+/// duplicate-repair pass under the MaxRate distinctness constraint),
+/// per-gene mutation reassigns a stage to a random host, and the `elite`
+/// best individuals survive unchanged. Fitness is the routed objective
+/// through the shared metric closure; infeasible individuals score
+/// `+∞` and die out. Deterministic for a fixed `(instance, cost model,
+/// config)` at any thread count.
+pub fn solve_genetic(
+    ctx: &SolveContext<'_>,
+    objective: Objective,
+    config: &GeneticConfig,
+) -> Result<AssignmentSolution> {
+    config.validate()?;
+    let search = Search::new(ctx, objective)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let n = search.n;
+
+    // seed the population: the deterministic baseline plus random draws
+    let mut population: Vec<Vec<NodeId>> = Vec::with_capacity(config.population);
+    population.push(search.baseline());
+    while population.len() < config.population {
+        population.push(search.random_assignment(&mut rng));
+    }
+    let mut fitness: Vec<f64> = population
+        .iter()
+        .map(|a| search.evaluate(a).unwrap_or(f64::INFINITY))
+        .collect();
+    let mut best: Option<(Vec<NodeId>, f64)> = None;
+    for (a, &f) in population.iter().zip(&fitness) {
+        if f.is_finite() {
+            track_best(&mut best, a, f);
+        }
+    }
+
+    let tournament = |rng: &mut ChaCha8Rng, fitness: &[f64]| -> usize {
+        let mut winner = rng.gen_range(0..fitness.len());
+        for _ in 1..config.tournament {
+            let c = rng.gen_range(0..fitness.len());
+            if fitness[c] < fitness[winner] {
+                winner = c;
+            }
+        }
+        winner
+    };
+
+    for _ in 0..config.generations {
+        // elitism: index sort by fitness, ties broken by position
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| {
+            fitness[a]
+                .partial_cmp(&fitness[b])
+                .expect("fitness is never NaN")
+                .then(a.cmp(&b))
+        });
+        let mut next: Vec<Vec<NodeId>> = order
+            .iter()
+            .take(config.elite)
+            .map(|&i| population[i].clone())
+            .collect();
+
+        while next.len() < config.population {
+            let pa = tournament(&mut rng, &fitness);
+            let pb = tournament(&mut rng, &fitness);
+            let mut child = if n > 3 && rng.gen_bool(config.crossover_rate) {
+                // one-point crossover on the interior stage vector
+                let cut = 1 + rng.gen_range(1..n - 2);
+                let mut c = population[pa][..cut].to_vec();
+                c.extend_from_slice(&population[pb][cut..]);
+                c
+            } else if fitness[pa] <= fitness[pb] {
+                population[pa].clone()
+            } else {
+                population[pb].clone()
+            };
+            // mutation: random reassignment per interior gene
+            for j in 1..n - 1 {
+                if rng.gen_bool(config.mutation_rate) {
+                    child[j] = NodeId::from_index(rng.gen_range(0..search.k));
+                }
+            }
+            if search.distinct() {
+                repair_duplicates(&mut child, search.k, &mut rng);
+            }
+            next.push(child);
+        }
+        population = next;
+        fitness = population
+            .iter()
+            .map(|a| search.evaluate(a).unwrap_or(f64::INFINITY))
+            .collect();
+        for (a, &f) in population.iter().zip(&fitness) {
+            if f.is_finite() {
+                track_best(&mut best, a, f);
+            }
+        }
+    }
+    search.finish(best)
+}
+
+/// Repairs a MaxRate genome after crossover/mutation: later duplicates are
+/// replaced by deterministic-random unused hosts, so every individual in
+/// the population satisfies the distinctness constraint by construction.
+fn repair_duplicates(a: &mut [NodeId], k: usize, rng: &mut ChaCha8Rng) {
+    let n = a.len();
+    let mut used = vec![false; k];
+    used[a[0].index()] = true;
+    used[a[n - 1].index()] = true;
+    for j in 1..n - 1 {
+        if !used[a[j].index()] {
+            used[a[j].index()] = true;
+            continue;
+        }
+        let unused: Vec<usize> = (0..k).filter(|&v| !used[v]).collect();
+        debug_assert!(!unused.is_empty(), "n ≤ k guarantees a free host");
+        let pick = unused[rng.gen_range(0..unused.len())];
+        a[j] = NodeId::from_index(pick);
+        used[pick] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{elpc_delay, CostModel, Instance};
+    use elpc_netsim::Network;
+    use elpc_pipeline::Pipeline;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Complete 5-node network with one strong relay.
+    fn k5() -> Network {
+        let mut b = Network::builder();
+        let powers = [100.0, 10.0, 1000.0, 10.0, 100.0];
+        let ns: Vec<NodeId> = powers.iter().map(|&p| b.add_node(p).unwrap()).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_link(ns[i], ns[j], 100.0, 0.5).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn pipe4() -> Pipeline {
+        Pipeline::from_stages(1e6, &[(2.0, 1e5), (1.0, 5e4)], 1.0).unwrap()
+    }
+
+    #[test]
+    fn anneal_is_seed_deterministic() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let a = solve_anneal(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &AnnealConfig::default(),
+            )
+            .unwrap();
+            let b = solve_anneal(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &AnnealConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.objective_ms.to_bits(), b.objective_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn genetic_is_seed_deterministic() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let a = solve_genetic(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &GeneticConfig::default(),
+            )
+            .unwrap();
+            let b = solve_genetic(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &GeneticConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.objective_ms.to_bits(), b.objective_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn anneal_delay_matches_the_routed_optimum_on_a_small_instance() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let exact = elpc_delay::solve_routed_ctx(&ctx).unwrap();
+        let sa = solve_anneal(&ctx, Objective::MinDelay, &AnnealConfig::default()).unwrap();
+        // never better than the routed optimum; on K5 it should find it
+        assert!(sa.objective_ms >= exact.objective_ms - 1e-9);
+        assert!(
+            (sa.objective_ms - exact.objective_ms).abs() <= 1e-6 * exact.objective_ms,
+            "annealing missed the optimum on a trivial instance: {} vs {}",
+            sa.objective_ms,
+            exact.objective_ms
+        );
+    }
+
+    #[test]
+    fn rate_solutions_respect_the_distinctness_constraint() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        for sol in [
+            solve_anneal(&ctx, Objective::MaxRate, &AnnealConfig::default()).unwrap(),
+            solve_genetic(&ctx, Objective::MaxRate, &GeneticConfig::default()).unwrap(),
+        ] {
+            let mut seen = std::collections::BTreeSet::new();
+            for &h in &sol.assignment {
+                assert!(seen.insert(h), "host {h} reused in a MaxRate mapping");
+            }
+            assert_eq!(sol.assignment[0], NodeId(0));
+            assert_eq!(*sol.assignment.last().unwrap(), NodeId(4));
+            // the reported objective re-evaluates exactly
+            let re = routed::routed_bottleneck_ms_ctx(&ctx, &sol.assignment, true).unwrap();
+            assert_eq!(re.to_bits(), sol.objective_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn infeasible_instances_are_reported() {
+        let net = k5();
+        // 6 modules on 5 nodes: MaxRate is structurally infeasible
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4); 4], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        assert!(matches!(
+            solve_anneal(&ctx, Objective::MaxRate, &AnnealConfig::default()),
+            Err(MappingError::Infeasible(_))
+        ));
+        assert!(matches!(
+            solve_genetic(&ctx, Objective::MaxRate, &GeneticConfig::default()),
+            Err(MappingError::Infeasible(_))
+        ));
+        // coincident endpoints likewise
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(1), NodeId(1)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        assert!(matches!(
+            solve_anneal(&ctx, Objective::MaxRate, &AnnealConfig::default()),
+            Err(MappingError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let bad = AnnealConfig {
+            iterations: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_anneal(&ctx, Objective::MinDelay, &bad),
+            Err(MappingError::BadConfig(_))
+        ));
+        let bad = AnnealConfig {
+            initial_temp: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_anneal(&ctx, Objective::MinDelay, &bad),
+            Err(MappingError::BadConfig(_))
+        ));
+        // a heating schedule (final above initial) is a misconfiguration
+        let bad = AnnealConfig {
+            initial_temp: 1e-3,
+            final_temp: 0.3,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_anneal(&ctx, Objective::MinDelay, &bad),
+            Err(MappingError::BadConfig(_))
+        ));
+        // an infinite temperature would poison the cooling factor into NaN
+        let bad = AnnealConfig {
+            initial_temp: f64::INFINITY,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_anneal(&ctx, Objective::MinDelay, &bad),
+            Err(MappingError::BadConfig(_))
+        ));
+        let bad = GeneticConfig {
+            population: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_genetic(&ctx, Objective::MinDelay, &bad),
+            Err(MappingError::BadConfig(_))
+        ));
+        let bad = GeneticConfig {
+            mutation_rate: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_genetic(&ctx, Objective::MinDelay, &bad),
+            Err(MappingError::BadConfig(_))
+        ));
+        let bad = GeneticConfig {
+            elite: 32,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_genetic(&ctx, Objective::MinDelay, &bad),
+            Err(MappingError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn two_module_pipelines_have_one_assignment() {
+        let net = k5();
+        let pipe = Pipeline::from_stages(1e5, &[], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let sa = solve_anneal(&ctx, Objective::MinDelay, &AnnealConfig::default()).unwrap();
+        assert_eq!(sa.assignment, vec![NodeId(0), NodeId(4)]);
+        let ga = solve_genetic(&ctx, Objective::MaxRate, &GeneticConfig::default()).unwrap();
+        assert_eq!(ga.assignment, vec![NodeId(0), NodeId(4)]);
+    }
+}

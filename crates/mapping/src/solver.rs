@@ -21,10 +21,44 @@
 //! | `greedy_rate` | max rate | local greedy walk (strict) |
 //! | `exact_delay` | min delay | budgeted exhaustive search |
 //! | `exact_rate` | max rate | budgeted exhaustive enumeration |
+//! | `anneal_delay` | min delay | simulated annealing, routed evaluation |
+//! | `anneal_rate` | max rate | simulated annealing, routed evaluation |
+//! | `genetic_delay` | min delay | genetic algorithm, routed evaluation |
+//! | `genetic_rate` | max rate | genetic algorithm, routed evaluation |
+//!
+//! The metaheuristic entries (see [`crate::metaheuristic`]) are seeded and
+//! fully deterministic; `workloads::compare` reports their *quality gap*
+//! against the exact solver of the same semantics.
+//!
+//! # Examples
+//!
+//! Run every registered algorithm on one instance through a shared context
+//! (the routed solvers then share one metric closure), or pick a solver by
+//! name:
+//!
+//! ```
+//! use elpc_mapping::{registry, solver, CostModel, Instance, SolveContext};
+//! # let mut b = elpc_netsim::Network::builder();
+//! # let s = b.add_node(100.0).unwrap();
+//! # let m = b.add_node(1000.0).unwrap();
+//! # let d = b.add_node(100.0).unwrap();
+//! # b.add_link(s, m, 100.0, 0.5).unwrap();
+//! # b.add_link(m, d, 100.0, 0.5).unwrap();
+//! # let network = b.build().unwrap();
+//! # let pipeline = elpc_pipeline::Pipeline::from_stages(1e6, &[(2.0, 1e5)], 1.0).unwrap();
+//! let inst = Instance::new(&network, &pipeline, s, d).unwrap();
+//! let ctx = SolveContext::new(inst, CostModel::default());
+//! for entry in registry() {
+//!     let _ = entry.solve(&ctx); // Ok(Solution) or a typed error
+//! }
+//! let optimal = solver("elpc_delay").unwrap();
+//! assert!(optimal.is_exact());
+//! assert!(optimal.solve(&ctx).unwrap().objective_ms > 0.0);
+//! ```
 
 use crate::{
-    elpc_delay, elpc_rate, exact, greedy, streamline, AssignmentSolution, DelaySolution, Mapping,
-    RateSolution, Result, SolveContext,
+    elpc_delay, elpc_rate, exact, greedy, metaheuristic, streamline, AssignmentSolution,
+    DelaySolution, Mapping, RateSolution, Result, SolveContext,
 };
 use elpc_netgraph::NodeId;
 
@@ -86,6 +120,27 @@ impl Solution {
 }
 
 /// A registered mapping algorithm.
+///
+/// # Examples
+///
+/// Implementors are looked up by [`solver`] and run against a shared
+/// [`SolveContext`]:
+///
+/// ```
+/// use elpc_mapping::{solver, CostModel, Instance, Objective, SolveContext};
+/// # let mut b = elpc_netsim::Network::builder();
+/// # let s = b.add_node(100.0).unwrap();
+/// # let d = b.add_node(100.0).unwrap();
+/// # b.add_link(s, d, 100.0, 0.5).unwrap();
+/// # let network = b.build().unwrap();
+/// # let pipeline = elpc_pipeline::Pipeline::from_stages(1e5, &[], 1.0).unwrap();
+/// let inst = Instance::new(&network, &pipeline, s, d).unwrap();
+/// let ctx = SolveContext::new(inst, CostModel::default());
+/// let entry = solver("greedy_delay").expect("registered");
+/// assert_eq!(entry.objective(), Objective::MinDelay);
+/// let solution = entry.solve(&ctx).unwrap();
+/// assert_eq!(solution.assignment.len(), pipeline.len());
+/// ```
 pub trait Solver: Sync {
     /// Stable registry name (snake_case, unique).
     fn name(&self) -> &'static str;
@@ -195,7 +250,67 @@ declare_solver!(ExactRate, "exact_rate", Objective::MaxRate, true, |ctx| {
         .map(Solution::from_rate)
 });
 
-static REGISTRY: [&dyn Solver; 10] = [
+declare_solver!(
+    AnnealDelay,
+    "anneal_delay",
+    Objective::MinDelay,
+    false,
+    |ctx| {
+        metaheuristic::solve_anneal(
+            ctx,
+            Objective::MinDelay,
+            &metaheuristic::AnnealConfig::default(),
+        )
+        .map(Solution::from_assignment)
+    }
+);
+
+declare_solver!(
+    AnnealRate,
+    "anneal_rate",
+    Objective::MaxRate,
+    false,
+    |ctx| {
+        metaheuristic::solve_anneal(
+            ctx,
+            Objective::MaxRate,
+            &metaheuristic::AnnealConfig::default(),
+        )
+        .map(Solution::from_assignment)
+    }
+);
+
+declare_solver!(
+    GeneticDelay,
+    "genetic_delay",
+    Objective::MinDelay,
+    false,
+    |ctx| {
+        metaheuristic::solve_genetic(
+            ctx,
+            Objective::MinDelay,
+            &metaheuristic::GeneticConfig::default(),
+        )
+        .map(Solution::from_assignment)
+    }
+);
+
+declare_solver!(
+    GeneticRate,
+    "genetic_rate",
+    Objective::MaxRate,
+    false,
+    |ctx| {
+        metaheuristic::solve_genetic(
+            ctx,
+            Objective::MaxRate,
+            &metaheuristic::GeneticConfig::default(),
+        )
+        .map(Solution::from_assignment)
+    }
+);
+
+static REGISTRY: [&dyn Solver; 14] = [
     &ElpcDelay,
     &ElpcDelayRouted,
     &ElpcRate,
@@ -206,6 +321,10 @@ static REGISTRY: [&dyn Solver; 10] = [
     &GreedyRate,
     &ExactDelay,
     &ExactRate,
+    &AnnealDelay,
+    &AnnealRate,
+    &GeneticDelay,
+    &GeneticRate,
 ];
 
 /// Every registered solver, in registration order.
@@ -266,6 +385,10 @@ mod tests {
             "greedy_rate",
             "exact_delay",
             "exact_rate",
+            "anneal_delay",
+            "anneal_rate",
+            "genetic_delay",
+            "genetic_rate",
         ] {
             assert!(
                 solver(required).is_some(),
@@ -277,8 +400,8 @@ mod tests {
 
     #[test]
     fn objectives_split_the_registry_in_half() {
-        assert_eq!(solvers_for(Objective::MinDelay).len(), 5);
-        assert_eq!(solvers_for(Objective::MaxRate).len(), 5);
+        assert_eq!(solvers_for(Objective::MinDelay).len(), 7);
+        assert_eq!(solvers_for(Objective::MaxRate).len(), 7);
     }
 
     #[test]

@@ -12,13 +12,13 @@
 //!   provides the two primitive cost quantities of §2.2:
 //!   `T_transport(m, L) = m/b + d` ([`Link::transfer_time_ms`]) and the
 //!   per-node compute rate used in `T_computing = m·c / p`.
-//! * [`measure`] simulates the active-probing estimator of Wu & Rao [14]:
+//! * [`measure`] simulates the active-probing estimator of Wu & Rao \[14\]:
 //!   linear regression over (message size, transfer time) samples recovers
 //!   `(b, d)` — the substitution for the paper's real WAN probes (see
 //!   DESIGN.md §4).
 //! * [`dynamics`] models the time-varying resource availability that §5
 //!   flags as future work; it drives the adaptive-remapping extension.
-//! * [`format`] reads/writes a plain-text network description matching the
+//! * [`mod@format`] reads/writes a plain-text network description matching the
 //!   paper's parameter tables, and serde/JSON works on all model types.
 //!
 //! ## Units

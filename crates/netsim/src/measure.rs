@@ -1,4 +1,4 @@
-//! Active link measurement via linear regression (Wu & Rao [14]).
+//! Active link measurement via linear regression (Wu & Rao \[14\]).
 //!
 //! §1/§2.2 of the paper: "the bandwidth of a network transport path can be
 //! measured using active traffic measurement technique based on a linear
@@ -168,7 +168,7 @@ pub fn fit_link(samples: &[ProbeSample]) -> Result<LinkEstimate> {
     })
 }
 
-/// Convenience: probe a link and fit in one step, as the [14] daemon does.
+/// Convenience: probe a link and fit in one step, as the \[14\] daemon does.
 pub fn estimate_link<R: Rng>(link: &Link, plan: &ProbePlan, rng: &mut R) -> Result<LinkEstimate> {
     fit_link(&plan.run(link, rng)?)
 }

@@ -115,6 +115,34 @@ impl ClosureBank {
     }
 
     /// An empty bank evicting beyond `capacity` keys (min 1).
+    ///
+    /// Eviction is **first-in, first-out on first deposit**: once
+    /// `capacity` distinct keys are on deposit, the next *new* key evicts
+    /// the oldest-deposited one. Re-depositing an existing key (even with a
+    /// richer closure) keeps its original eviction slot, and an evicted
+    /// topology simply solves cold and re-deposits at the back of the
+    /// queue.
+    ///
+    /// ```
+    /// use elpc_mapping::solver;
+    /// use elpc_workloads::{ClosureBank, InstanceSpec};
+    /// let cost = elpc_mapping::CostModel::default();
+    /// let spec = InstanceSpec::sized(4, 8, 14);
+    /// let bank = ClosureBank::with_capacity(2);
+    /// // deposit three distinct topologies into a 2-slot bank
+    /// let instances: Vec<_> = (0..3).map(|s| spec.generate(s).unwrap()).collect();
+    /// for inst in &instances {
+    ///     let ctx = bank.context_for(inst.as_instance(), cost, 1);
+    ///     solver("elpc_delay_routed").unwrap().solve(&ctx).unwrap();
+    ///     bank.deposit(&ctx);
+    /// }
+    /// assert_eq!(bank.len(), 2);
+    /// // the oldest deposit (seed 0) was evicted; the youngest two remain
+    /// let cold = bank.context_for(instances[0].as_instance(), cost, 1);
+    /// assert_eq!(cold.closure().cached_trees(), 0);
+    /// let warm = bank.context_for(instances[2].as_instance(), cost, 1);
+    /// assert!(warm.closure().cached_trees() > 0);
+    /// ```
     pub fn with_capacity(capacity: usize) -> Self {
         ClosureBank {
             store: Mutex::new(BankStore::default()),
@@ -134,6 +162,31 @@ impl ClosureBank {
     /// instance's topology/cost/payload key is on deposit (a hit), cold
     /// otherwise (a miss). `threads` configures the context's parallel
     /// warm-up exactly as [`SolveContext::with_threads`] does.
+    ///
+    /// # Examples
+    ///
+    /// Checkout → solve → deposit; the next instance with the same
+    /// topology/cost/payload key starts with every tree already built:
+    ///
+    /// ```
+    /// use elpc_mapping::solver;
+    /// use elpc_workloads::{ClosureBank, InstanceSpec};
+    /// let cost = elpc_mapping::CostModel::default();
+    /// let inst = InstanceSpec::sized(5, 10, 20).generate(7).unwrap();
+    /// let bank = ClosureBank::new();
+    ///
+    /// let ctx = bank.context_for(inst.as_instance(), cost, 1); // miss
+    /// solver("elpc_delay_routed").unwrap().solve(&ctx).unwrap();
+    /// bank.deposit(&ctx);
+    ///
+    /// let warm = bank.context_for(inst.as_instance(), cost, 1); // hit
+    /// let stats = bank.stats();
+    /// assert_eq!((stats.hits, stats.misses), (1, 1));
+    /// assert!(warm.closure().cached_trees() > 0);
+    /// // the warm solve never runs a Dijkstra
+    /// solver("elpc_delay_routed").unwrap().solve(&warm).unwrap();
+    /// assert_eq!(warm.closure().stats().misses, 0);
+    /// ```
     pub fn context_for<'a>(
         &self,
         inst: Instance<'a>,

@@ -15,9 +15,18 @@
 //! network's metric closure. The strict Eq. 1/2 values of the published DPs
 //! are recorded alongside (`delay_elpc_strict` / `rate_elpc_strict`);
 //! Greedy walks real edges, so its strict and routed values coincide.
+//!
+//! The metaheuristic columns (`delay_anneal`, `delay_genetic`,
+//! `rate_anneal`, `rate_genetic` — `elpc_mapping::metaheuristic`) search
+//! the same routed free-assignment space, and the **`quality_gap`**
+//! columns divide the best metaheuristic objective by the exact optimum of
+//! that space: `elpc_delay_routed` for delay (optimal by construction) and
+//! the budgeted exhaustive `exact::max_rate_routed` for rate. A gap of 1.0
+//! means the metaheuristic matched the optimum; the value is ≥ 1 whenever
+//! both sides solved.
 
 use crate::{ClosureBank, ProblemInstance};
-use elpc_mapping::{solver, CostModel, Instance, MappingError, SolveContext};
+use elpc_mapping::{exact, solver, CostModel, Instance, MappingError, SolveContext};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one algorithm on one objective.
@@ -86,6 +95,24 @@ pub struct CaseResult {
     pub rate_streamline: Outcome,
     /// Greedy bottleneck.
     pub rate_greedy: Outcome,
+    /// Simulated-annealing delay (routed evaluation, seeded-deterministic).
+    pub delay_anneal: Outcome,
+    /// Genetic-algorithm delay (routed evaluation, seeded-deterministic).
+    pub delay_genetic: Outcome,
+    /// Simulated-annealing bottleneck (routed, distinct hosts).
+    pub rate_anneal: Outcome,
+    /// Genetic-algorithm bottleneck (routed, distinct hosts).
+    pub rate_genetic: Outcome,
+    /// The delay **quality gap**: best metaheuristic delay divided by the
+    /// exact optimum of the same (routed) search space, `elpc_delay_routed`.
+    /// Always ≥ 1 when present; `None` when either side failed to solve.
+    pub quality_gap_delay: Option<f64>,
+    /// The rate **quality gap**: best metaheuristic bottleneck divided by
+    /// the exhaustive routed optimum ([`exact::max_rate_routed`]). Always
+    /// ≥ 1 when present; `None` when either side failed — in particular
+    /// when the exhaustive reference would exceed its enumeration budget
+    /// (large instances).
+    pub quality_gap_rate: Option<f64>,
 }
 
 impl CaseResult {
@@ -113,16 +140,33 @@ impl CaseResult {
 }
 
 /// The registry names behind the [`CaseResult`] columns, in column order.
-pub const CASE_COLUMNS: [&str; 8] = [
+pub const CASE_COLUMNS: [&str; 12] = [
     "elpc_delay_routed",
     "elpc_delay",
     "streamline_delay",
     "greedy_delay",
+    "anneal_delay",
+    "genetic_delay",
     "elpc_rate_routed",
     "elpc_rate",
     "streamline_rate",
     "greedy_rate",
+    "anneal_rate",
+    "genetic_rate",
 ];
+
+/// Enumeration budget for the exhaustive routed-rate reference behind the
+/// [`CaseResult::quality_gap_rate`] column: interior assignment spaces
+/// larger than this are skipped (the column reads `None`).
+pub const QUALITY_GAP_RATE_BUDGET: usize = 50_000;
+
+/// The smaller objective of two metaheuristic outcomes, when any solved.
+fn best_ms(a: &Outcome, b: &Outcome) -> Option<f64> {
+    match (a.ms(), b.ms()) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
 
 /// Runs one registered solver on a shared context, as an [`Outcome`].
 pub fn run_solver(ctx: &SolveContext<'_>, name: &str) -> Outcome {
@@ -212,8 +256,10 @@ pub fn run_solvers_opts(
     out
 }
 
-/// Runs all eight solver×objective combinations on one instance through the
-/// registry, sharing one metric-closure context across all of them.
+/// Runs all twelve [`CASE_COLUMNS`] solver×objective combinations on one
+/// instance through the registry — plus the exhaustive routed-rate
+/// reference behind the `quality_gap` columns — sharing one metric-closure
+/// context across all of them.
 pub fn run_case(inst: &ProblemInstance, cost: &CostModel) -> CaseResult {
     run_case_opts(inst, cost, CompareOptions::default())
 }
@@ -226,7 +272,9 @@ pub fn run_case_opts(
 ) -> CaseResult {
     let view = inst.as_instance();
     let ctx = opts.context_for(view, cost);
-    let row = CaseResult {
+    // the metaheuristics run after the DPs so every candidate evaluation
+    // hits an already-warm metric closure
+    let mut row = CaseResult {
         label: inst.label.clone(),
         dims: inst.dims(),
         delay_elpc: run_solver(&ctx, "elpc_delay_routed"),
@@ -237,7 +285,32 @@ pub fn run_case_opts(
         rate_elpc_strict: run_solver(&ctx, "elpc_rate"),
         rate_streamline: run_solver(&ctx, "streamline_rate"),
         rate_greedy: run_solver(&ctx, "greedy_rate"),
+        delay_anneal: run_solver(&ctx, "anneal_delay"),
+        delay_genetic: run_solver(&ctx, "genetic_delay"),
+        rate_anneal: run_solver(&ctx, "anneal_rate"),
+        rate_genetic: run_solver(&ctx, "genetic_rate"),
+        quality_gap_delay: None,
+        quality_gap_rate: None,
     };
+    // delay gap: `elpc_delay_routed` is the exact optimum of the routed
+    // free-assignment space the metaheuristics search, so the ratio is a
+    // true optimality gap (≥ 1 up to float noise)
+    row.quality_gap_delay = best_ms(&row.delay_anneal, &row.delay_genetic)
+        .zip(row.delay_elpc.ms())
+        .map(|(meta, exact)| meta / exact);
+    // rate gap: the exhaustive routed reference, skipped (None) beyond the
+    // enumeration budget — and not run at all when no metaheuristic found
+    // a feasible rate assignment (the numerator drives the enumeration)
+    row.quality_gap_rate = best_ms(&row.rate_anneal, &row.rate_genetic).and_then(|meta| {
+        exact::max_rate_routed(
+            &ctx,
+            exact::ExactLimits {
+                budget: QUALITY_GAP_RATE_BUDGET,
+            },
+        )
+        .ok()
+        .map(|s| meta / s.objective_ms)
+    });
     opts.finish(&ctx);
     row
 }
@@ -314,6 +387,36 @@ mod tests {
         // unknown names surface as reported errors, never panics
         let rows = run_solvers(&inst, &cost, &["nonexistent_algorithm"]);
         assert!(matches!(rows[0].1, Outcome::Error(_)));
+    }
+
+    #[test]
+    fn quality_gap_is_at_least_one_on_the_suite_prefix() {
+        let cost = CostModel::default();
+        for case in &paper_cases()[..3] {
+            let inst = case.generate().unwrap();
+            let row = run_case(&inst, &cost);
+            let gap = row
+                .quality_gap_delay
+                .expect("small cases always produce a delay gap");
+            assert!(
+                gap >= 1.0 - 1e-9,
+                "case {}: delay gap {gap} < 1 — metaheuristic beat the routed optimum",
+                case.number
+            );
+            if let Some(gap) = row.quality_gap_rate {
+                assert!(
+                    gap >= 1.0 - 1e-9,
+                    "case {}: rate gap {gap} < 1",
+                    case.number
+                );
+            } else {
+                assert!(
+                    case.nodes > 8,
+                    "case {}: rate gap missing on a tiny instance",
+                    case.number
+                );
+            }
+        }
     }
 
     #[test]

@@ -70,7 +70,9 @@ fn determinism_par_warm_thread_counts_are_bit_identical() {
 }
 
 /// Every solver produces identical output on lazy-serial, serial-warm, and
-/// all-CPU-warm contexts, on ≥ 20 generated instances.
+/// all-CPU-warm contexts, on ≥ 20 generated instances. For the routed DPs
+/// the thread count also drives the chunked column relax, and for the
+/// metaheuristics it must not perturb the seeded search.
 #[test]
 fn determinism_solver_outputs_are_warm_up_invariant() {
     let names = [
@@ -78,6 +80,8 @@ fn determinism_solver_outputs_are_warm_up_invariant() {
         "elpc_rate_routed",
         "streamline_delay",
         "streamline_rate",
+        "anneal_delay",
+        "genetic_rate",
     ];
     for seed in 100..120u64 {
         let owned = InstanceSpec::sized(5, 9, 20).generate(seed).unwrap();
@@ -103,6 +107,58 @@ fn determinism_solver_outputs_are_warm_up_invariant() {
                     assert_eq!(a.to_string(), c.to_string());
                 }
                 other => panic!("seed {seed}, solver {name}: divergent feasibility {other:?}"),
+            }
+        }
+    }
+}
+
+/// The chunked per-stage relax loops of the routed DPs: `threads = 1`
+/// (serial, no workers) and `threads = 0` (all CPUs, chunked columns)
+/// produce bit-for-bit identical DP outputs — objective *and* assignment —
+/// on instances large enough that every chunk boundary shape occurs. Node
+/// counts cover both parallel-relax crossover bands: ≥ 64 chunks both DPs,
+/// and the 30-node case chunks only the (heavier) rate DP.
+#[test]
+fn determinism_parallel_relax_is_bit_identical_to_serial() {
+    for (seed, (m, n, l)) in [
+        (31u64, (8, 70, 220)),
+        (32, (6, 64, 160)),
+        (33, (10, 90, 300)),
+        (34, (7, 30, 100)),
+    ]
+    .into_iter()
+    .cycle()
+    .take(8)
+    .enumerate()
+    .map(|(i, (s, dims))| (s + 100 * i as u64, dims))
+    {
+        let owned = InstanceSpec::sized(m, n, l).generate(seed).unwrap();
+        let inst = owned.as_instance();
+        for name in ["elpc_delay_routed", "elpc_rate_routed"] {
+            let s = solver(name).expect("registered");
+            let serial = s.solve(&SolveContext::with_threads(inst, cost(), 1));
+            let two = s.solve(&SolveContext::with_threads(inst, cost(), 2));
+            let all = s.solve(&SolveContext::with_threads(inst, cost(), 0));
+            match (serial, two, all) {
+                (Ok(a), Ok(b), Ok(c)) => {
+                    assert_eq!(
+                        a.objective_ms.to_bits(),
+                        b.objective_ms.to_bits(),
+                        "seed {seed}, {name}: t1 vs t2"
+                    );
+                    assert_eq!(
+                        a.objective_ms.to_bits(),
+                        c.objective_ms.to_bits(),
+                        "seed {seed}, {name}: t1 vs t0"
+                    );
+                    assert_eq!(a.assignment, b.assignment, "seed {seed}, {name}");
+                    assert_eq!(a.assignment, c.assignment, "seed {seed}, {name}");
+                }
+                (Err(a), Err(b), Err(c)) => {
+                    assert_eq!(a.to_string(), b.to_string(), "seed {seed}, {name}");
+                    assert_eq!(a.to_string(), c.to_string(), "seed {seed}, {name}");
+                }
+                other => panic!("seed {seed}, {name}: divergent feasibility {other:?}"),
             }
         }
     }
