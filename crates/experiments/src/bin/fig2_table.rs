@@ -22,11 +22,15 @@ fn main() {
         "Greedy delay (ms)",
         "Anneal delay (ms)",
         "GA delay (ms)",
+        "Tabu delay (ms)",
+        "Portfolio delay (ms)",
         "ELPC rate (fps)",
         "Streamline rate (fps)",
         "Greedy rate (fps)",
         "Anneal rate (fps)",
         "GA rate (fps)",
+        "Tabu rate (fps)",
+        "Portfolio rate (fps)",
         "quality gap (delay)",
         "quality gap (rate)",
     ];
@@ -49,11 +53,15 @@ fn main() {
             fmt_ms(&r.delay_greedy),
             fmt_ms(&r.delay_anneal),
             fmt_ms(&r.delay_genetic),
+            fmt_ms(&r.delay_tabu),
+            fmt_ms(&r.delay_portfolio),
             fmt_fps(&r.rate_elpc),
             fmt_fps(&r.rate_streamline),
             fmt_fps(&r.rate_greedy),
             fmt_fps(&r.rate_anneal),
             fmt_fps(&r.rate_genetic),
+            fmt_fps(&r.rate_tabu),
+            fmt_fps(&r.rate_portfolio),
             fmt_gap(r.quality_gap_delay),
             fmt_gap(r.quality_gap_rate),
         ]);

@@ -113,6 +113,34 @@ pub fn run_delay_adaptation(
     )
 }
 
+/// Runs the adaptive control loop re-mapping through the **portfolio**
+/// meta-solver (`portfolio_delay`): each epoch races the default delay
+/// slate on the snapshot's shared context and adopts the best member's
+/// mapping. Because the routed-optimal `elpc_delay_routed` leads the
+/// slate, every epoch's candidate is the routed-space optimum of its
+/// snapshot — the portfolio adds the attribution of how the heuristics
+/// compare without ever degrading the control loop's choice.
+pub fn run_portfolio_adaptation(
+    dyn_net: &DynamicNetwork,
+    pipeline: &Pipeline,
+    src: NodeId,
+    dst: NodeId,
+    cost: &CostModel,
+    config: AdaptiveConfig,
+    horizon_ms: f64,
+) -> crate::Result<AdaptiveReport> {
+    run_adaptation(
+        dyn_net,
+        pipeline,
+        src,
+        dst,
+        cost,
+        config,
+        horizon_ms,
+        solver("portfolio_delay").expect("portfolio_delay is registered"),
+    )
+}
+
 /// Evaluates a retained solution's delay on the current snapshot: strict
 /// Eq. 1 when the solver produced an adjacent-path mapping, routed
 /// semantics otherwise — the same semantics its `objective_ms` was
@@ -460,6 +488,42 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 10, "one checkout per epoch");
         assert_eq!(stats.misses, 1, "only epoch 0 should solve cold");
         assert_eq!(bank.len(), 1, "steady snapshots share one key");
+    }
+
+    /// The portfolio control loop equals the routed-optimal DP loop
+    /// exactly: `elpc_delay_routed` leads the slate and no slate member
+    /// can beat the routed optimum, so ties resolve to the DP's mapping
+    /// every epoch.
+    #[test]
+    fn portfolio_adaptation_equals_the_routed_dp_loop() {
+        let config = AdaptiveConfig {
+            period_ms: 500.0,
+            hysteresis: 0.05,
+            switch_cost_ms: 0.0,
+        };
+        let via_portfolio = run_portfolio_adaptation(
+            &degrading(),
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            config,
+            8_000.0,
+        )
+        .unwrap();
+        let via_dp = run_adaptation(
+            &degrading(),
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            config,
+            8_000.0,
+            solver("elpc_delay_routed").expect("registered"),
+        )
+        .unwrap();
+        assert_eq!(via_portfolio, via_dp);
+        assert!(via_portfolio.switches >= 1, "drift must trigger a remap");
     }
 
     #[test]

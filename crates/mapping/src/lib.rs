@@ -15,11 +15,13 @@
 //! | [`streamline`] | Streamline [Agarwalla et al. 2006] adapted to linear pipelines | §3.2 | heuristic, `O(m·n²)` |
 //! | [`greedy`]     | local greedy                     | §3.3 | heuristic, `O(m·n)` |
 //! | [`metaheuristic`] | simulated annealing + genetic search over free assignments | related work | heuristic, seeded-deterministic |
+//! | [`tabu`]       | tabu search over free assignments | related work | heuristic, seeded-deterministic |
+//! | [`portfolio`]  | concurrent slate race over registry members | — | best member wins, deterministic tie-break |
 //!
 //! ## The `Solver` registry and `SolveContext`
 //!
-//! All fourteen solver entry points (the algorithms × two objectives,
-//! strict, routed, and metaheuristic variants) are registered behind the [`Solver`] trait;
+//! All eighteen solver entry points (the algorithms × two objectives —
+//! strict, routed, metaheuristic, and portfolio variants) are registered behind the [`Solver`] trait;
 //! [`registry()`] enumerates them and [`solver()`] looks one up by name.
 //! Every solver receives a [`SolveContext`] — the instance, the cost model,
 //! and a shared [`MetricClosure`] that lazily caches the routed all-pairs
@@ -80,16 +82,22 @@ pub mod exact;
 pub mod greedy;
 mod mapping;
 pub mod metaheuristic;
+pub mod portfolio;
 pub mod routed;
 mod solver;
 pub mod streamline;
+pub mod tabu;
+#[cfg(test)]
+mod test_fixtures;
 
 pub use context::{CachedTree, ClosureStats, MetricClosure, SolveContext, TreeKey};
 pub use cost::{CostModel, Stage};
 pub use error::MappingError;
 pub use mapping::{AssignmentSolution, DelaySolution, Mapping, RateSolution};
 pub use metaheuristic::{AnnealConfig, GeneticConfig};
+pub use portfolio::{MemberReport, PortfolioConfig, PortfolioSolution};
 pub use solver::{registry, solver, solvers_for, Objective, Solution, Solver};
+pub use tabu::TabuConfig;
 
 pub use elpc_netgraph::{EdgeId, NodeId};
 

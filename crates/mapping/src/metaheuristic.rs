@@ -167,18 +167,19 @@ impl GeneticConfig {
 }
 
 /// Shared search state: the instance view plus the objective's evaluation
-/// and feasibility rules.
-struct Search<'c, 'a> {
+/// and feasibility rules. Shared with [`crate::tabu`], which drives the same
+/// reassign/swap neighborhood from a different acceptance rule.
+pub(crate) struct Search<'c, 'a> {
     ctx: &'c SolveContext<'a>,
     objective: Objective,
-    n: usize,
-    k: usize,
+    pub(crate) n: usize,
+    pub(crate) k: usize,
     src: NodeId,
     dst: NodeId,
 }
 
 impl<'c, 'a> Search<'c, 'a> {
-    fn new(ctx: &'c SolveContext<'a>, objective: Objective) -> Result<Self> {
+    pub(crate) fn new(ctx: &'c SolveContext<'a>, objective: Objective) -> Result<Self> {
         let inst = ctx.instance();
         let n = inst.n_modules();
         let k = inst.network.node_count();
@@ -196,13 +197,13 @@ impl<'c, 'a> Search<'c, 'a> {
     }
 
     /// True when node reuse is forbidden (the streaming objective).
-    fn distinct(&self) -> bool {
+    pub(crate) fn distinct(&self) -> bool {
         self.objective == Objective::MaxRate
     }
 
     /// Routed objective of a full assignment; `None` when the assignment is
     /// infeasible (an unreachable transfer or a violated constraint).
-    fn evaluate(&self, assignment: &[NodeId]) -> Option<f64> {
+    pub(crate) fn evaluate(&self, assignment: &[NodeId]) -> Option<f64> {
         let r = match self.objective {
             Objective::MinDelay => routed::routed_delay_ms_ctx(self.ctx, assignment),
             Objective::MaxRate => routed::routed_bottleneck_ms_ctx(self.ctx, assignment, true),
@@ -213,7 +214,7 @@ impl<'c, 'a> Search<'c, 'a> {
     /// A deterministic baseline assignment: everything on the source until
     /// the pinned sink (MinDelay), or the lowest-index distinct hosts
     /// (MaxRate). May be infeasible; the caller falls back to random draws.
-    fn baseline(&self) -> Vec<NodeId> {
+    pub(crate) fn baseline(&self) -> Vec<NodeId> {
         let mut a = vec![self.src; self.n];
         *a.last_mut().expect("n >= 2") = self.dst;
         if self.distinct() {
@@ -234,7 +235,7 @@ impl<'c, 'a> Search<'c, 'a> {
 
     /// A uniformly random assignment respecting the objective's
     /// constraints (endpoints pinned; distinct hosts for MaxRate).
-    fn random_assignment(&self, rng: &mut ChaCha8Rng) -> Vec<NodeId> {
+    pub(crate) fn random_assignment(&self, rng: &mut ChaCha8Rng) -> Vec<NodeId> {
         let mut a = vec![self.src; self.n];
         *a.last_mut().expect("n >= 2") = self.dst;
         if self.distinct() {
@@ -260,7 +261,7 @@ impl<'c, 'a> Search<'c, 'a> {
     /// `use_baseline` (and it evaluates), otherwise up to `attempts` random
     /// draws. Restarts after the first pass `use_baseline = false` so they
     /// diversify from genuinely different starting points.
-    fn initial(
+    pub(crate) fn initial(
         &self,
         rng: &mut ChaCha8Rng,
         attempts: usize,
@@ -284,7 +285,7 @@ impl<'c, 'a> Search<'c, 'a> {
     /// Mutates `a` in place with one neighborhood move — reassign-one-stage
     /// or swap-two-stages — honoring the distinctness constraint. Returns
     /// `false` when the instance admits no move (nothing was changed).
-    fn propose_move(&self, a: &mut [NodeId], rng: &mut ChaCha8Rng) -> bool {
+    pub(crate) fn propose_move(&self, a: &mut [NodeId], rng: &mut ChaCha8Rng) -> bool {
         let interior = self.n.saturating_sub(2);
         if interior == 0 {
             return false;
@@ -322,7 +323,7 @@ impl<'c, 'a> Search<'c, 'a> {
         true
     }
 
-    fn finish(&self, best: Option<(Vec<NodeId>, f64)>) -> Result<AssignmentSolution> {
+    pub(crate) fn finish(&self, best: Option<(Vec<NodeId>, f64)>) -> Result<AssignmentSolution> {
         match best {
             Some((assignment, objective_ms)) => Ok(AssignmentSolution {
                 assignment,
@@ -337,7 +338,7 @@ impl<'c, 'a> Search<'c, 'a> {
 }
 
 /// Keeps `best` pointing at the lowest-objective assignment seen so far.
-fn track_best(best: &mut Option<(Vec<NodeId>, f64)>, cand: &[NodeId], cost: f64) {
+pub(crate) fn track_best(best: &mut Option<(Vec<NodeId>, f64)>, cand: &[NodeId], cost: f64) {
     if best.as_ref().is_none_or(|(_, b)| cost < *b) {
         *best = Some((cand.to_vec(), cost));
     }
@@ -521,29 +522,12 @@ fn repair_duplicates(a: &mut [NodeId], k: usize, rng: &mut ChaCha8Rng) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_fixtures::{k5, pipe4};
     use crate::{elpc_delay, CostModel, Instance};
-    use elpc_netsim::Network;
     use elpc_pipeline::Pipeline;
 
     fn cost() -> CostModel {
         CostModel::default()
-    }
-
-    /// Complete 5-node network with one strong relay.
-    fn k5() -> Network {
-        let mut b = Network::builder();
-        let powers = [100.0, 10.0, 1000.0, 10.0, 100.0];
-        let ns: Vec<NodeId> = powers.iter().map(|&p| b.add_node(p).unwrap()).collect();
-        for i in 0..5 {
-            for j in (i + 1)..5 {
-                b.add_link(ns[i], ns[j], 100.0, 0.5).unwrap();
-            }
-        }
-        b.build().unwrap()
-    }
-
-    fn pipe4() -> Pipeline {
-        Pipeline::from_stages(1e6, &[(2.0, 1e5), (1.0, 5e4)], 1.0).unwrap()
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! The portfolio meta-solver: a slate of registry members racing on one
+//! shared context.
+//!
+//! The registry makes every algorithm callable by name against a shared
+//! [`SolveContext`]; the portfolio turns that into a self-racing ensemble.
+//! [`solve_portfolio`] runs a configurable slate of registered solvers —
+//! concurrently on crossbeam scoped threads when the config asks for more
+//! than one worker — against **one** shared metric closure, then returns
+//! the best result with per-member timing/quality attribution.
+//!
+//! ## Determinism
+//!
+//! The winner is chosen **by value, never by finish order**: every member
+//! is deterministic (the seeded metaheuristics included) and a member's
+//! result cannot depend on what the closure already contains (caching
+//! changes *when* trees are built, never what a query returns), so the
+//! member outcomes are identical at any thread count. Ties on the
+//! objective are broken by slate order — the earliest member with the
+//! minimal objective wins — so the portfolio's solution is bit-identical
+//! whether the slate ran serially, on two threads, or on all CPUs.
+//!
+//! The registry entries (`portfolio_delay` / `portfolio_rate`) run the
+//! default slates below with the context's
+//! [`SolveContext::warm_threads`] as the worker count: a plain
+//! [`SolveContext::new`] context races the slate serially, a
+//! `with_threads(inst, cost, 0)` context races it on all CPUs. Because
+//! `elpc_delay_routed` — provably optimal for the routed delay space —
+//! leads the delay slate, `portfolio_delay` inherits its optimality while
+//! attributing how close every heuristic came.
+//!
+//! N members hammering one sharded closure is also the strongest
+//! concurrency stress in the workspace; `tests/context_concurrency.rs`
+//! pins that the `hits + misses == queries` statistics invariant and the
+//! closure contents survive it bit-for-bit.
+
+use crate::context::effective_threads;
+use crate::{solver, MappingError, Objective, Result, Solution, SolveContext, Solver};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default delay slate, in tie-break priority order. Leads with the
+/// routed-optimal DP, then the polynomial baselines, then the
+/// metaheuristics (the budgeted `exact_*` solvers are exponential and stay
+/// out of the default race).
+pub const DELAY_SLATE: [&str; 6] = [
+    "elpc_delay_routed",
+    "streamline_delay",
+    "greedy_delay",
+    "tabu_delay",
+    "anneal_delay",
+    "genetic_delay",
+];
+
+/// The default rate slate, in tie-break priority order.
+pub const RATE_SLATE: [&str; 6] = [
+    "elpc_rate_routed",
+    "streamline_rate",
+    "greedy_rate",
+    "tabu_rate",
+    "anneal_rate",
+    "genetic_rate",
+];
+
+/// Configuration of the portfolio meta-solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Registry names to race, in tie-break priority order (the earliest
+    /// member with the minimal objective wins). Members must all optimize
+    /// the portfolio's objective and may not themselves be portfolios.
+    pub members: Vec<&'static str>,
+    /// Worker threads: `0` = all CPUs, `1` = serial (the default).
+    pub threads: usize,
+}
+
+impl PortfolioConfig {
+    /// The default slate for `objective`, serial.
+    pub fn for_objective(objective: Objective) -> Self {
+        let members = match objective {
+            Objective::MinDelay => DELAY_SLATE.to_vec(),
+            Objective::MaxRate => RATE_SLATE.to_vec(),
+        };
+        PortfolioConfig {
+            members,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = all CPUs).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn resolve(&self, objective: Objective) -> Result<Vec<&'static dyn Solver>> {
+        if self.members.is_empty() {
+            return Err(MappingError::BadConfig(
+                "portfolio slate must name at least one solver".into(),
+            ));
+        }
+        self.members
+            .iter()
+            .map(|&name| {
+                if name.starts_with("portfolio") {
+                    return Err(MappingError::BadConfig(format!(
+                        "portfolio slates cannot nest portfolios (`{name}`)"
+                    )));
+                }
+                let s = solver(name).ok_or_else(|| {
+                    MappingError::BadConfig(format!("no solver named `{name}` in the registry"))
+                })?;
+                if s.objective() != objective {
+                    return Err(MappingError::BadConfig(format!(
+                        "slate member `{name}` optimizes {:?}, portfolio wants {objective:?}",
+                        s.objective()
+                    )));
+                }
+                Ok(s)
+            })
+            .collect()
+    }
+}
+
+/// One slate member's outcome: what it scored, how long it took, whether it
+/// won. The attribution record `workloads::compare` surfaces per case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberReport {
+    /// The member's registry name.
+    pub name: &'static str,
+    /// Objective in ms when the member solved.
+    pub objective_ms: Option<f64>,
+    /// The member's error when it failed.
+    pub error: Option<MappingError>,
+    /// Wall time the member's solve took (ms). Informational only — the
+    /// winner is chosen by objective value, never by speed.
+    pub elapsed_ms: f64,
+    /// True for the member whose solution the portfolio returned.
+    pub won: bool,
+}
+
+/// A portfolio run: the winning solution plus per-member attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioSolution {
+    /// The winning member's solution.
+    pub solution: Solution,
+    /// The winning member's registry name.
+    pub winner: &'static str,
+    /// Every member's outcome, in slate order.
+    pub members: Vec<MemberReport>,
+}
+
+/// Races `config.members` on `ctx` and returns the best result.
+///
+/// Members run concurrently on crossbeam scoped threads when
+/// `config.threads != 1` (`0` = all CPUs), all sharing `ctx`'s metric
+/// closure, so the all-pairs transfer trees are built once for the whole
+/// slate. The winner is the member with the lowest `objective_ms`, ties
+/// broken by slate order; the result is therefore identical at every
+/// thread count. When no member solves, the slate's errors collapse to one:
+/// [`MappingError::Infeasible`] when every member reported infeasibility,
+/// otherwise the first non-infeasibility error in slate order.
+///
+/// # Examples
+///
+/// ```
+/// use elpc_mapping::{portfolio, CostModel, Instance, Objective, SolveContext};
+/// # let mut b = elpc_netsim::Network::builder();
+/// # let s = b.add_node(100.0).unwrap();
+/// # let m = b.add_node(1000.0).unwrap();
+/// # let d = b.add_node(100.0).unwrap();
+/// # b.add_link(s, m, 100.0, 0.5).unwrap();
+/// # b.add_link(m, d, 100.0, 0.5).unwrap();
+/// # let network = b.build().unwrap();
+/// # let pipeline = elpc_pipeline::Pipeline::from_stages(1e6, &[(2.0, 1e5)], 1.0).unwrap();
+/// let inst = Instance::new(&network, &pipeline, s, d).unwrap();
+/// let ctx = SolveContext::new(inst, CostModel::default());
+/// let config = portfolio::PortfolioConfig::for_objective(Objective::MinDelay);
+/// let race = portfolio::solve_portfolio(&ctx, Objective::MinDelay, &config).unwrap();
+/// // the routed-optimal DP leads the slate, so it wins every tie
+/// assert_eq!(race.winner, "elpc_delay_routed");
+/// assert_eq!(race.members.len(), portfolio::DELAY_SLATE.len());
+/// assert!(race.members.iter().all(|m| m.objective_ms.unwrap() >= race.solution.objective_ms));
+/// ```
+pub fn solve_portfolio(
+    ctx: &SolveContext<'_>,
+    objective: Objective,
+    config: &PortfolioConfig,
+) -> Result<PortfolioSolution> {
+    let slate = config.resolve(objective)?;
+    let outcomes = race(ctx, &slate, config.threads);
+
+    // winner by value, ties by slate order — finish order never enters
+    let mut winner: Option<(usize, f64)> = None;
+    for (i, (result, _)) in outcomes.iter().enumerate() {
+        if let Ok(sol) = result {
+            if winner.is_none_or(|(_, best)| sol.objective_ms < best) {
+                winner = Some((i, sol.objective_ms));
+            }
+        }
+    }
+
+    let Some((win_idx, _)) = winner else {
+        let mut first_error: Option<MappingError> = None;
+        for (result, _) in outcomes {
+            match result {
+                Err(e @ MappingError::Infeasible(_)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(e) => return Err(e),
+                Ok(_) => unreachable!("no winner means no Ok outcome"),
+            }
+        }
+        return Err(first_error.expect("slate is non-empty"));
+    };
+
+    let members: Vec<MemberReport> = slate
+        .iter()
+        .zip(&outcomes)
+        .enumerate()
+        .map(|(i, (s, (result, elapsed_ms)))| MemberReport {
+            name: s.name(),
+            objective_ms: result.as_ref().ok().map(|sol| sol.objective_ms),
+            error: result.as_ref().err().cloned(),
+            elapsed_ms: *elapsed_ms,
+            won: i == win_idx,
+        })
+        .collect();
+    let (result, _) = outcomes.into_iter().nth(win_idx).expect("winner index");
+    Ok(PortfolioSolution {
+        solution: result.expect("winner solved"),
+        winner: slate[win_idx].name(),
+        members,
+    })
+}
+
+/// One member's raw outcome: the solve result and its wall time in ms.
+type TimedOutcome = (Result<Solution>, f64);
+
+/// Runs every slate member once, returning `(result, elapsed_ms)` in slate
+/// order — serially when `threads <= 1`, otherwise work-pulled onto scoped
+/// worker threads all sharing `ctx`.
+fn race(
+    ctx: &SolveContext<'_>,
+    slate: &[&'static dyn Solver],
+    threads: usize,
+) -> Vec<TimedOutcome> {
+    let timed_solve = |s: &'static dyn Solver| {
+        let start = std::time::Instant::now();
+        let result = s.solve(ctx);
+        (result, start.elapsed().as_secs_f64() * 1e3)
+    };
+    let threads = effective_threads(threads).min(slate.len());
+    if threads <= 1 {
+        return slate.iter().map(|&s| timed_solve(s)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TimedOutcome>>> = slate.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slate.len() {
+                    break;
+                }
+                *slots[i].lock() = Some(timed_solve(slate[i]));
+            });
+        }
+    })
+    .expect("portfolio members must not panic");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slate slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{k5, pipe4};
+    use crate::{CostModel, Instance, NodeId};
+    use elpc_pipeline::Pipeline;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn portfolio_is_thread_count_invariant() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let base = PortfolioConfig::for_objective(objective);
+            let serial = solve_portfolio(&ctx, objective, &base.clone().threads(1)).unwrap();
+            let two = solve_portfolio(&ctx, objective, &base.clone().threads(2)).unwrap();
+            let all = solve_portfolio(&ctx, objective, &base.threads(0)).unwrap();
+            for other in [&two, &all] {
+                assert_eq!(serial.winner, other.winner);
+                assert_eq!(serial.solution.assignment, other.solution.assignment);
+                assert_eq!(
+                    serial.solution.objective_ms.to_bits(),
+                    other.solution.objective_ms.to_bits()
+                );
+                for (a, b) in serial.members.iter().zip(&other.members) {
+                    assert_eq!(a.name, b.name);
+                    assert_eq!(a.objective_ms, b.objective_ms);
+                    assert_eq!(a.error, b.error);
+                    assert_eq!(a.won, b.won);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn winner_is_never_beaten_by_any_member() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let race = solve_portfolio(
+                &ctx,
+                objective,
+                &PortfolioConfig::for_objective(objective).threads(0),
+            )
+            .unwrap();
+            assert_eq!(race.members.iter().filter(|m| m.won).count(), 1);
+            for m in &race.members {
+                if let Some(ms) = m.objective_ms {
+                    assert!(
+                        race.solution.objective_ms <= ms + 1e-12,
+                        "{} beat the declared winner {}",
+                        m.name,
+                        race.winner
+                    );
+                }
+                assert!(m.elapsed_ms >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_by_slate_order() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        // the same solver twice: identical values, the first listing wins
+        let race = solve_portfolio(
+            &ctx,
+            Objective::MinDelay,
+            &PortfolioConfig {
+                members: vec!["greedy_delay", "greedy_delay"],
+                threads: 0,
+            },
+        )
+        .unwrap();
+        assert!(race.members[0].won && !race.members[1].won);
+    }
+
+    #[test]
+    fn bad_slates_are_rejected() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        for members in [
+            vec![],
+            vec!["no_such_solver"],
+            vec!["elpc_rate_routed"], // wrong objective
+            vec!["portfolio_delay"],  // no nesting
+        ] {
+            assert!(matches!(
+                solve_portfolio(
+                    &ctx,
+                    Objective::MinDelay,
+                    &PortfolioConfig {
+                        members,
+                        threads: 1
+                    }
+                ),
+                Err(MappingError::BadConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn infeasible_when_every_member_is_infeasible() {
+        let net = k5();
+        // 6 modules on 5 nodes: the whole rate slate is infeasible
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4); 4], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        assert!(matches!(
+            solve_portfolio(
+                &ctx,
+                Objective::MaxRate,
+                &PortfolioConfig::for_objective(Objective::MaxRate)
+            ),
+            Err(MappingError::Infeasible(_))
+        ));
+    }
+}

@@ -25,10 +25,18 @@
 //! | `anneal_rate` | max rate | simulated annealing, routed evaluation |
 //! | `genetic_delay` | min delay | genetic algorithm, routed evaluation |
 //! | `genetic_rate` | max rate | genetic algorithm, routed evaluation |
+//! | `tabu_delay` | min delay | tabu search, routed evaluation |
+//! | `tabu_rate` | max rate | tabu search, routed evaluation |
+//! | `portfolio_delay` | min delay | concurrent slate race over the registry |
+//! | `portfolio_rate` | max rate | concurrent slate race over the registry |
 //!
-//! The metaheuristic entries (see [`crate::metaheuristic`]) are seeded and
-//! fully deterministic; `workloads::compare` reports their *quality gap*
-//! against the exact solver of the same semantics.
+//! The metaheuristic entries (see [`crate::metaheuristic`] and
+//! [`crate::tabu`]) are seeded and fully deterministic;
+//! `workloads::compare` reports their *quality gap* against the exact
+//! solver of the same semantics. The portfolio entries (see
+//! [`crate::portfolio`]) race the default slates on the context's
+//! configured thread count and pick the winner by value with a fixed
+//! tie-break order, so they too are deterministic at any thread count.
 //!
 //! # Examples
 //!
@@ -57,8 +65,8 @@
 //! ```
 
 use crate::{
-    elpc_delay, elpc_rate, exact, greedy, metaheuristic, streamline, AssignmentSolution,
-    DelaySolution, Mapping, RateSolution, Result, SolveContext,
+    elpc_delay, elpc_rate, exact, greedy, metaheuristic, portfolio, streamline, tabu,
+    AssignmentSolution, DelaySolution, Mapping, RateSolution, Result, SolveContext,
 };
 use elpc_netgraph::NodeId;
 
@@ -310,7 +318,49 @@ declare_solver!(
     }
 );
 
-static REGISTRY: [&dyn Solver; 14] = [
+declare_solver!(TabuDelay, "tabu_delay", Objective::MinDelay, false, |ctx| {
+    tabu::solve_tabu(ctx, Objective::MinDelay, &tabu::TabuConfig::default())
+        .map(Solution::from_assignment)
+});
+
+declare_solver!(TabuRate, "tabu_rate", Objective::MaxRate, false, |ctx| {
+    tabu::solve_tabu(ctx, Objective::MaxRate, &tabu::TabuConfig::default())
+        .map(Solution::from_assignment)
+});
+
+declare_solver!(
+    PortfolioDelay,
+    "portfolio_delay",
+    Objective::MinDelay,
+    false,
+    |ctx| {
+        portfolio::solve_portfolio(
+            ctx,
+            Objective::MinDelay,
+            &portfolio::PortfolioConfig::for_objective(Objective::MinDelay)
+                .threads(ctx.warm_threads()),
+        )
+        .map(|race| race.solution)
+    }
+);
+
+declare_solver!(
+    PortfolioRate,
+    "portfolio_rate",
+    Objective::MaxRate,
+    false,
+    |ctx| {
+        portfolio::solve_portfolio(
+            ctx,
+            Objective::MaxRate,
+            &portfolio::PortfolioConfig::for_objective(Objective::MaxRate)
+                .threads(ctx.warm_threads()),
+        )
+        .map(|race| race.solution)
+    }
+);
+
+static REGISTRY: [&dyn Solver; 18] = [
     &ElpcDelay,
     &ElpcDelayRouted,
     &ElpcRate,
@@ -325,6 +375,10 @@ static REGISTRY: [&dyn Solver; 14] = [
     &AnnealRate,
     &GeneticDelay,
     &GeneticRate,
+    &TabuDelay,
+    &TabuRate,
+    &PortfolioDelay,
+    &PortfolioRate,
 ];
 
 /// Every registered solver, in registration order.
@@ -389,6 +443,10 @@ mod tests {
             "anneal_rate",
             "genetic_delay",
             "genetic_rate",
+            "tabu_delay",
+            "tabu_rate",
+            "portfolio_delay",
+            "portfolio_rate",
         ] {
             assert!(
                 solver(required).is_some(),
@@ -400,8 +458,8 @@ mod tests {
 
     #[test]
     fn objectives_split_the_registry_in_half() {
-        assert_eq!(solvers_for(Objective::MinDelay).len(), 7);
-        assert_eq!(solvers_for(Objective::MaxRate).len(), 7);
+        assert_eq!(solvers_for(Objective::MinDelay).len(), 9);
+        assert_eq!(solvers_for(Objective::MaxRate).len(), 9);
     }
 
     #[test]

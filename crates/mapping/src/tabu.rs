@@ -1,0 +1,325 @@
+//! Tabu-search mapping solver over free stage→node assignments.
+//!
+//! The dispersed-computing throughput literature (Zhao et al., *Design and
+//! Experimental Evaluation of Algorithms for Optimizing the Throughput of
+//! Dispersed Computing*, arXiv:2112.13875) uses tabu search as its
+//! strongest classical baseline for the unstructured assignment problem the
+//! metaheuristic family already explores. This module supplies that
+//! baseline behind the [`crate::Solver`] registry (`tabu_delay` /
+//! `tabu_rate`), reusing the reassign-one-stage / swap-two-stages
+//! neighborhood machinery of [`crate::metaheuristic`] under a different
+//! acceptance rule:
+//!
+//! * each iteration samples `neighborhood` candidate moves from the current
+//!   assignment and takes the best **admissible** one — admissible meaning
+//!   not tabu, *or* tabu but better than anything seen so far (the
+//!   **aspiration** criterion);
+//! * applying a move marks the *reverse* placements tabu: every stage the
+//!   move touched may not return to its previous host for `tenure`
+//!   iterations. Unlike annealing, a non-improving best-admissible move is
+//!   still taken, which is what walks the search out of local minima.
+//!
+//! ## Search space, evaluation, and warm start
+//!
+//! Identical to the metaheuristics: endpoints pinned, MinDelay may reuse
+//! hosts, MaxRate requires pairwise-distinct hosts, and every candidate is
+//! scored under routed transport through the context's shared
+//! [`crate::MetricClosure`]. The initial assignment is the best of the
+//! deterministic baseline, the greedy solver's solution re-evaluated under
+//! routed semantics (a classical warm start — and the reason `tabu_*` can
+//! never end worse than greedy: routed evaluation never exceeds greedy's
+//! own strict objective), and a handful of random draws.
+//!
+//! ## Determinism
+//!
+//! All randomness flows from one seeded [`rand_chacha::ChaCha8Rng`]; the
+//! same [`TabuConfig`] on the same instance reproduces the identical search
+//! at every [`crate::SolveContext`] thread count (closure warm-up changes
+//! *when* trees are built, never what a candidate scores).
+
+use crate::metaheuristic::{track_best, Search};
+use crate::{greedy, AssignmentSolution, MappingError, Objective, Result, SolveContext};
+use elpc_netgraph::NodeId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Configuration of the tabu-search solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TabuConfig {
+    /// RNG seed; equal seeds reproduce the search exactly.
+    pub seed: u64,
+    /// Search iterations (one applied move each).
+    pub iterations: usize,
+    /// Candidate moves sampled per iteration.
+    pub neighborhood: usize,
+    /// Iterations a reversed placement stays tabu. `0` disables the list
+    /// (the search degenerates to a steepest-descent walk with restarts
+    /// from nowhere — legal, rarely useful).
+    pub tenure: usize,
+}
+
+impl Default for TabuConfig {
+    /// The default budget matches the annealer's: `iterations ×
+    /// neighborhood` = 5000 candidate evaluations, the same count as
+    /// [`crate::AnnealConfig::default`]'s `iterations × restarts`, so the
+    /// registry entries compare at equal move budgets.
+    fn default() -> Self {
+        TabuConfig {
+            seed: crate::metaheuristic::DEFAULT_SEED,
+            iterations: 250,
+            neighborhood: 20,
+            tenure: 8,
+        }
+    }
+}
+
+impl TabuConfig {
+    fn validate(&self) -> Result<()> {
+        if self.iterations == 0 || self.neighborhood == 0 {
+            return Err(MappingError::BadConfig(
+                "tabu search needs at least one iteration and one candidate per iteration".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The best feasible starting point: the deterministic baseline, the greedy
+/// solver's assignment re-scored under routed semantics, and random draws.
+fn warm_start(
+    ctx: &SolveContext<'_>,
+    objective: Objective,
+    search: &Search<'_, '_>,
+    rng: &mut ChaCha8Rng,
+) -> Option<(Vec<NodeId>, f64)> {
+    let mut best = search.initial(rng, 50, true);
+    let greedy_assignment = match objective {
+        Objective::MinDelay => greedy::solve_min_delay(ctx.instance(), ctx.cost())
+            .ok()
+            .map(|s| s.mapping.assignment()),
+        Objective::MaxRate => greedy::solve_max_rate(ctx.instance(), ctx.cost())
+            .ok()
+            .map(|s| s.mapping.assignment()),
+    };
+    if let Some(a) = greedy_assignment {
+        if let Some(cost) = search.evaluate(&a) {
+            track_best(&mut best, &a, cost);
+        }
+    }
+    best
+}
+
+/// Tabu search over stage→node assignments.
+///
+/// Walks from a warm-started assignment, each iteration applying the best
+/// admissible of `neighborhood` sampled reassign/swap moves; a move is
+/// inadmissible while any stage it touches would return to a host it left
+/// within the last `tenure` iterations, unless the move beats the best
+/// objective ever seen (aspiration). Candidates are scored through the
+/// context's shared metric closure. Deterministic for a fixed `(instance,
+/// cost model, config)` at any thread count, and — because the greedy
+/// solution is a starting candidate — never worse than the greedy baseline
+/// of the same objective under routed evaluation.
+pub fn solve_tabu(
+    ctx: &SolveContext<'_>,
+    objective: Objective,
+    config: &TabuConfig,
+) -> Result<AssignmentSolution> {
+    config.validate()?;
+    let search = Search::new(ctx, objective)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let Some((mut current, mut cur_cost)) = warm_start(ctx, objective, &search, &mut rng) else {
+        return search.finish(None);
+    };
+    let mut best: Option<(Vec<NodeId>, f64)> = None;
+    track_best(&mut best, &current, cur_cost);
+
+    // (stage, host) → first iteration the placement is allowed again
+    let mut tabu: HashMap<(usize, NodeId), usize> = HashMap::new();
+    let mut candidate = current.clone();
+
+    for iter in 0..config.iterations {
+        // best admissible candidate this round: (assignment, cost, tabu?)
+        let mut chosen: Option<(Vec<NodeId>, f64)> = None;
+        // fallback when every sampled move is tabu and none aspirates
+        let mut chosen_tabu: Option<(Vec<NodeId>, f64)> = None;
+        for _ in 0..config.neighborhood {
+            candidate.copy_from_slice(&current);
+            if !search.propose_move(&mut candidate, &mut rng) {
+                // a 2-module instance has exactly one assignment
+                return search.finish(best);
+            }
+            let Some(cand_cost) = search.evaluate(&candidate) else {
+                continue;
+            };
+            // a move is tabu when any changed stage returns to a host on
+            // its tabu list (the at-most-two diff positions vs `current`)
+            let is_tabu = candidate
+                .iter()
+                .zip(current.iter())
+                .enumerate()
+                .filter(|(_, (c, o))| c != o)
+                .any(|(j, (c, _))| tabu.get(&(j, *c)).is_some_and(|&until| iter < until));
+            let best_ever = best.as_ref().map(|(_, b)| *b).expect("tracked above");
+            if !is_tabu || cand_cost < best_ever {
+                track_best(&mut chosen, &candidate, cand_cost);
+            } else {
+                track_best(&mut chosen_tabu, &candidate, cand_cost);
+            }
+        }
+        let Some((next, next_cost)) = chosen.or(chosen_tabu) else {
+            continue; // no sampled move was feasible this round
+        };
+        // reverse placements become tabu: each changed stage may not return
+        // to the host it just left for `tenure` iterations
+        for (j, (new, old)) in next.iter().zip(current.iter()).enumerate() {
+            if new != old {
+                tabu.insert((j, *old), iter + 1 + config.tenure);
+            }
+        }
+        current.copy_from_slice(&next);
+        cur_cost = next_cost;
+        track_best(&mut best, &current, cur_cost);
+    }
+    search.finish(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{k5, pipe4};
+    use crate::{elpc_delay, routed, CostModel, Instance};
+    use elpc_pipeline::Pipeline;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn tabu_is_seed_deterministic() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let a = solve_tabu(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &TabuConfig::default(),
+            )
+            .unwrap();
+            let b = solve_tabu(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &TabuConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.objective_ms.to_bits(), b.objective_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn tabu_delay_matches_the_routed_optimum_on_a_small_instance() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let exact = elpc_delay::solve_routed_ctx(&ctx).unwrap();
+        let ts = solve_tabu(&ctx, Objective::MinDelay, &TabuConfig::default()).unwrap();
+        assert!(ts.objective_ms >= exact.objective_ms - 1e-9);
+        assert!(
+            (ts.objective_ms - exact.objective_ms).abs() <= 1e-6 * exact.objective_ms,
+            "tabu missed the optimum on a trivial instance: {} vs {}",
+            ts.objective_ms,
+            exact.objective_ms
+        );
+    }
+
+    #[test]
+    fn tabu_never_ends_worse_than_greedy() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let ts = solve_tabu(&ctx, Objective::MinDelay, &TabuConfig::default()).unwrap();
+        let g = greedy::solve_min_delay(ctx.instance(), ctx.cost()).unwrap();
+        assert!(ts.objective_ms <= g.delay_ms + 1e-9);
+        let ts = solve_tabu(&ctx, Objective::MaxRate, &TabuConfig::default()).unwrap();
+        let g = greedy::solve_max_rate(ctx.instance(), ctx.cost()).unwrap();
+        assert!(ts.objective_ms <= g.bottleneck_ms + 1e-9);
+    }
+
+    #[test]
+    fn rate_solutions_respect_the_distinctness_constraint() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let sol = solve_tabu(&ctx, Objective::MaxRate, &TabuConfig::default()).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for &h in &sol.assignment {
+            assert!(seen.insert(h), "host {h} reused in a MaxRate mapping");
+        }
+        assert_eq!(sol.assignment[0], NodeId(0));
+        assert_eq!(*sol.assignment.last().unwrap(), NodeId(4));
+        let re = routed::routed_bottleneck_ms_ctx(&ctx, &sol.assignment, true).unwrap();
+        assert_eq!(re.to_bits(), sol.objective_ms.to_bits());
+    }
+
+    #[test]
+    fn infeasible_instances_are_reported() {
+        let net = k5();
+        // 6 modules on 5 nodes: MaxRate is structurally infeasible
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4); 4], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        assert!(matches!(
+            solve_tabu(&ctx, Objective::MaxRate, &TabuConfig::default()),
+            Err(MappingError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        for bad in [
+            TabuConfig {
+                iterations: 0,
+                ..Default::default()
+            },
+            TabuConfig {
+                neighborhood: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                solve_tabu(&ctx, Objective::MinDelay, &bad),
+                Err(MappingError::BadConfig(_))
+            ));
+        }
+        // a zero tenure is legal (plain steepest-admissible walk)
+        assert!(solve_tabu(
+            &ctx,
+            Objective::MinDelay,
+            &TabuConfig {
+                tenure: 0,
+                ..Default::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn two_module_pipelines_have_one_assignment() {
+        let net = k5();
+        let pipe = Pipeline::from_stages(1e5, &[], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let sol = solve_tabu(&ctx, Objective::MinDelay, &TabuConfig::default()).unwrap();
+        assert_eq!(sol.assignment, vec![NodeId(0), NodeId(4)]);
+    }
+}

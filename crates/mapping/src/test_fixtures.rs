@@ -1,0 +1,25 @@
+//! Shared unit-test fixtures for the solver-family test modules
+//! (`metaheuristic`, `tabu`, `portfolio`) — one copy of the small worked
+//! instance so the suites cannot silently drift apart.
+
+use crate::NodeId;
+use elpc_netsim::Network;
+use elpc_pipeline::Pipeline;
+
+/// Complete 5-node network with one strong relay (node 2).
+pub(crate) fn k5() -> Network {
+    let mut b = Network::builder();
+    let powers = [100.0, 10.0, 1000.0, 10.0, 100.0];
+    let ns: Vec<NodeId> = powers.iter().map(|&p| b.add_node(p).unwrap()).collect();
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            b.add_link(ns[i], ns[j], 100.0, 0.5).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A 4-module pipeline (source, two workers, sink).
+pub(crate) fn pipe4() -> Pipeline {
+    Pipeline::from_stages(1e6, &[(2.0, 1e5), (1.0, 5e4)], 1.0).unwrap()
+}

@@ -9,7 +9,8 @@
 //! * baselines never beat the optimal DP on the delay objective.
 
 use elpc_mapping::{
-    elpc_delay, elpc_rate, exact, greedy, CostModel, Instance, MappingError, NodeId,
+    elpc_delay, elpc_rate, exact, greedy, portfolio, solver, tabu, CostModel, Instance,
+    MappingError, NodeId, Objective, SolveContext, TabuConfig,
 };
 use elpc_netsim::{Link, Network, Node};
 use elpc_pipeline::gen::PipelineSpec;
@@ -158,6 +159,92 @@ proptest! {
             g.mapping.validate(&inst, true).unwrap();
             if let Ok(ex) = exact::max_rate(&inst, &cm, exact::ExactLimits::default()) {
                 prop_assert!(ex.bottleneck_ms <= g.bottleneck_ms + 1e-9);
+            }
+        }
+    }
+
+    /// Tabu search is seed-deterministic — the same seed yields the same
+    /// mapping whether the context is lazy-serial (`threads = 1`) or
+    /// all-CPU (`threads = 0`) — and, because the greedy solution is one
+    /// of its starting candidates, never worse than greedy on the same
+    /// instance (greedy's strict objective upper-bounds its own routed
+    /// re-evaluation).
+    #[test]
+    fn tabu_is_deterministic_and_never_worse_than_greedy(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let config = TabuConfig::default();
+            let serial = tabu::solve_tabu(&SolveContext::new(inst, cm), objective, &config);
+            let parallel =
+                tabu::solve_tabu(&SolveContext::with_threads(inst, cm, 0), objective, &config);
+            match (&serial, &parallel) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.assignment, &b.assignment);
+                    prop_assert_eq!(a.objective_ms.to_bits(), b.objective_ms.to_bits());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                other => prop_assert!(false, "divergent feasibility {:?}", other),
+            }
+            let greedy_ms = match objective {
+                Objective::MinDelay => greedy::solve_min_delay(&inst, &cm).ok().map(|s| s.delay_ms),
+                Objective::MaxRate => {
+                    greedy::solve_max_rate(&inst, &cm).ok().map(|s| s.bottleneck_ms)
+                }
+            };
+            if let (Ok(t), Some(g)) = (&serial, greedy_ms) {
+                prop_assert!(t.objective_ms <= g + 1e-9 * g.max(1.0),
+                    "tabu {} worse than greedy {} ({objective:?})", t.objective_ms, g);
+            }
+        }
+    }
+
+    /// The portfolio registry entries are deterministic across thread
+    /// counts (the winner is chosen by value with a fixed tie-break, the
+    /// context's `warm_threads` only sets the worker count) and — greedy
+    /// being a slate member — never worse than greedy.
+    #[test]
+    fn portfolio_is_deterministic_and_never_worse_than_greedy(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        for (name, objective) in [
+            ("portfolio_delay", Objective::MinDelay),
+            ("portfolio_rate", Objective::MaxRate),
+        ] {
+            let s = solver(name).expect("registered");
+            let serial = s.solve(&SolveContext::new(inst, cm));
+            let parallel = s.solve(&SolveContext::with_threads(inst, cm, 0));
+            match (&serial, &parallel) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.assignment, &b.assignment);
+                    prop_assert_eq!(a.objective_ms.to_bits(), b.objective_ms.to_bits());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                other => prop_assert!(false, "divergent feasibility {:?}", other),
+            }
+            let greedy_ms = match objective {
+                Objective::MinDelay => greedy::solve_min_delay(&inst, &cm).ok().map(|s| s.delay_ms),
+                Objective::MaxRate => {
+                    greedy::solve_max_rate(&inst, &cm).ok().map(|s| s.bottleneck_ms)
+                }
+            };
+            if let (Ok(p), Some(g)) = (&serial, greedy_ms) {
+                prop_assert!(p.objective_ms <= g + 1e-9 * g.max(1.0),
+                    "{name} {} worse than greedy {}", p.objective_ms, g);
+            }
+            // a race with an explicit config agrees with the registry entry
+            if let Ok(p) = &serial {
+                let race = portfolio::solve_portfolio(
+                    &SolveContext::new(inst, cm),
+                    objective,
+                    &portfolio::PortfolioConfig::for_objective(objective),
+                ).unwrap();
+                prop_assert_eq!(race.solution.objective_ms.to_bits(), p.objective_ms.to_bits());
+                prop_assert_eq!(&race.solution.assignment, &p.assignment);
             }
         }
     }

@@ -365,6 +365,76 @@ mod tests {
         );
     }
 
+    /// The re-deposit-after-eviction path, pinned at capacity 1: a new key
+    /// evicts the only resident, the evicted topology checks out cold
+    /// (miss), and its re-deposit cleanly evicts the usurper in turn —
+    /// each eviction registers at the *back* of the FIFO queue, so the
+    /// cycle never corrupts the order bookkeeping.
+    #[test]
+    fn capacity_one_evict_miss_redeposit_cycle() {
+        let spec = InstanceSpec::sized(4, 8, 14);
+        let a = spec.generate(0).unwrap();
+        let b = spec.generate(1).unwrap();
+        let bank = ClosureBank::with_capacity(1);
+        let s = solver("elpc_delay_routed").unwrap();
+
+        // deposit A (miss), then B (miss) — B's first deposit evicts A
+        let ctx_a = bank.context_for(a.as_instance(), cost(), 1);
+        s.solve(&ctx_a).unwrap();
+        bank.deposit(&ctx_a);
+        assert_eq!(bank.len(), 1);
+        let ctx_b = bank.context_for(b.as_instance(), cost(), 1);
+        s.solve(&ctx_b).unwrap();
+        bank.deposit(&ctx_b);
+        assert_eq!(bank.len(), 1, "capacity 1 keeps exactly one key");
+
+        // A was evicted: its checkout is a miss and starts cold
+        let cold_a = bank.context_for(a.as_instance(), cost(), 1);
+        assert_eq!(cold_a.closure().cached_trees(), 0, "A must start cold");
+        assert_eq!(
+            bank.stats(),
+            BankStats {
+                hits: 0,
+                misses: 3,
+                deposits: 2
+            }
+        );
+
+        // re-deposit A: it evicts B and is immediately checkable-out again
+        s.solve(&cold_a).unwrap();
+        bank.deposit(&cold_a);
+        assert_eq!(bank.len(), 1);
+        assert_eq!(bank.stats().deposits, 3);
+        let warm_a = bank.context_for(a.as_instance(), cost(), 1);
+        assert!(warm_a.closure().cached_trees() > 0, "A is banked again");
+        assert_eq!(bank.stats().hits, 1);
+        // the re-deposited trees are the very Arcs A's solve built
+        let solved = s.solve(&warm_a).unwrap();
+        assert_eq!(
+            warm_a.closure().stats().misses,
+            0,
+            "warm solve, no Dijkstra"
+        );
+        let reference = s
+            .solve(&SolveContext::new(a.as_instance(), cost()))
+            .unwrap();
+        assert_eq!(
+            solved.objective_ms.to_bits(),
+            reference.objective_ms.to_bits()
+        );
+        // ... and B, evicted by the cycle, misses once more
+        let cold_b = bank.context_for(b.as_instance(), cost(), 1);
+        assert_eq!(cold_b.closure().cached_trees(), 0, "B was evicted in turn");
+        assert_eq!(
+            bank.stats(),
+            BankStats {
+                hits: 1,
+                misses: 4,
+                deposits: 3
+            }
+        );
+    }
+
     #[test]
     fn richer_deposits_replace_poorer_ones_only() {
         let spec = InstanceSpec::sized(5, 8, 16);

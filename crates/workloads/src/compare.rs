@@ -17,16 +17,27 @@
 //! Greedy walks real edges, so its strict and routed values coincide.
 //!
 //! The metaheuristic columns (`delay_anneal`, `delay_genetic`,
-//! `rate_anneal`, `rate_genetic` — `elpc_mapping::metaheuristic`) search
-//! the same routed free-assignment space, and the **`quality_gap`**
-//! columns divide the best metaheuristic objective by the exact optimum of
-//! that space: `elpc_delay_routed` for delay (optimal by construction) and
-//! the budgeted exhaustive `exact::max_rate_routed` for rate. A gap of 1.0
-//! means the metaheuristic matched the optimum; the value is ≥ 1 whenever
+//! `delay_tabu`, `rate_anneal`, `rate_genetic`, `rate_tabu` —
+//! `elpc_mapping::metaheuristic` and `elpc_mapping::tabu`) search the same
+//! routed free-assignment space, and the **`quality_gap`** columns divide
+//! the best metaheuristic objective by the exact optimum of that space:
+//! `elpc_delay_routed` for delay (optimal by construction) and the
+//! budgeted exhaustive `exact::max_rate_routed` for rate. A gap of 1.0
+//! means the metaheuristics matched the optimum; the value is ≥ 1 whenever
 //! both sides solved.
+//!
+//! The portfolio columns (`delay_portfolio` / `rate_portfolio`) report
+//! the default `elpc_mapping::portfolio` slates' outcome.
+//! [`CompareOptions::attributed`] runs the real races on the shared
+//! context and records every slate member's objective, wall time, and
+//! win flag as [`MemberAttribution`] rows; without attribution the
+//! column is folded from the member columns already in the row — by the
+//! determinism contract the two are identical, and a test pins it.
 
 use crate::{ClosureBank, ProblemInstance};
-use elpc_mapping::{exact, solver, CostModel, Instance, MappingError, SolveContext};
+use elpc_mapping::{
+    exact, portfolio, solver, CostModel, Instance, MappingError, Objective, SolveContext,
+};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one algorithm on one objective.
@@ -99,10 +110,24 @@ pub struct CaseResult {
     pub delay_anneal: Outcome,
     /// Genetic-algorithm delay (routed evaluation, seeded-deterministic).
     pub delay_genetic: Outcome,
+    /// Tabu-search delay (routed evaluation, seeded-deterministic).
+    pub delay_tabu: Outcome,
+    /// Portfolio meta-solver delay (best of the default delay slate).
+    pub delay_portfolio: Outcome,
     /// Simulated-annealing bottleneck (routed, distinct hosts).
     pub rate_anneal: Outcome,
     /// Genetic-algorithm bottleneck (routed, distinct hosts).
     pub rate_genetic: Outcome,
+    /// Tabu-search bottleneck (routed, distinct hosts).
+    pub rate_tabu: Outcome,
+    /// Portfolio meta-solver bottleneck (best of the default rate slate).
+    pub rate_portfolio: Outcome,
+    /// Per-member attribution of the delay portfolio race, recorded when
+    /// [`CompareOptions::attributed`] asked for it (`None` otherwise, and
+    /// `None` when the race itself failed).
+    pub delay_portfolio_members: Option<Vec<MemberAttribution>>,
+    /// Per-member attribution of the rate portfolio race (see above).
+    pub rate_portfolio_members: Option<Vec<MemberAttribution>>,
     /// The delay **quality gap**: best metaheuristic delay divided by the
     /// exact optimum of the same (routed) search space, `elpc_delay_routed`.
     /// Always ≥ 1 when present; `None` when either side failed to solve.
@@ -139,20 +164,56 @@ impl CaseResult {
     }
 }
 
+/// One slate member's record in a portfolio race, as surfaced per case
+/// when [`CompareOptions::attributed`] is on — the serializable mirror of
+/// [`elpc_mapping::MemberReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberAttribution {
+    /// The member's registry name.
+    pub name: String,
+    /// The member's outcome.
+    pub outcome: Outcome,
+    /// Wall time the member's solve took (ms; informational — the winner
+    /// is chosen by objective value, never by speed).
+    pub elapsed_ms: f64,
+    /// True for the member whose solution the portfolio returned.
+    pub won: bool,
+}
+
+impl MemberAttribution {
+    fn from_report(r: &portfolio::MemberReport) -> Self {
+        MemberAttribution {
+            name: r.name.to_string(),
+            outcome: match (&r.objective_ms, &r.error) {
+                (Some(ms), _) => Outcome::Solved { ms: *ms },
+                (None, Some(MappingError::Infeasible(_))) => Outcome::Infeasible,
+                (None, Some(e)) => Outcome::Error(e.to_string()),
+                (None, None) => Outcome::Error("member reported neither value nor error".into()),
+            },
+            elapsed_ms: r.elapsed_ms,
+            won: r.won,
+        }
+    }
+}
+
 /// The registry names behind the [`CaseResult`] columns, in column order.
-pub const CASE_COLUMNS: [&str; 12] = [
+pub const CASE_COLUMNS: [&str; 16] = [
     "elpc_delay_routed",
     "elpc_delay",
     "streamline_delay",
     "greedy_delay",
     "anneal_delay",
     "genetic_delay",
+    "tabu_delay",
+    "portfolio_delay",
     "elpc_rate_routed",
     "elpc_rate",
     "streamline_rate",
     "greedy_rate",
     "anneal_rate",
     "genetic_rate",
+    "tabu_rate",
+    "portfolio_rate",
 ];
 
 /// Enumeration budget for the exhaustive routed-rate reference behind the
@@ -160,12 +221,12 @@ pub const CASE_COLUMNS: [&str; 12] = [
 /// larger than this are skipped (the column reads `None`).
 pub const QUALITY_GAP_RATE_BUDGET: usize = 50_000;
 
-/// The smaller objective of two metaheuristic outcomes, when any solved.
-fn best_ms(a: &Outcome, b: &Outcome) -> Option<f64> {
-    match (a.ms(), b.ms()) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, y) => x.or(y),
-    }
+/// The smallest solved objective among metaheuristic outcomes, if any.
+fn best_ms(outcomes: &[&Outcome]) -> Option<f64> {
+    outcomes
+        .iter()
+        .filter_map(|o| o.ms())
+        .min_by(|a, b| a.partial_cmp(b).expect("objectives are never NaN"))
 }
 
 /// Runs one registered solver on a shared context, as an [`Outcome`].
@@ -183,8 +244,15 @@ pub struct CompareOptions<'b> {
     /// roster ran. `None` = a cold context per instance (the default).
     pub bank: Option<&'b ClosureBank>,
     /// Warm-up thread count for the routed solvers' tree pre-build
-    /// (`0` = all CPUs, `1` = lazy serial — the default).
+    /// (`0` = all CPUs, `1` = lazy serial — the default). Also drives the
+    /// portfolio columns' worker count: the races run concurrently exactly
+    /// when the tree pre-build does.
     pub warm_threads: usize,
+    /// Record per-member [`MemberAttribution`] rows for the portfolio
+    /// columns (off by default: attribution carries wall times, which are
+    /// not run-to-run reproducible, so golden-row comparisons leave it
+    /// off).
+    pub attribution: bool,
 }
 
 impl Default for CompareOptions<'_> {
@@ -192,6 +260,7 @@ impl Default for CompareOptions<'_> {
         CompareOptions {
             bank: None,
             warm_threads: 1,
+            attribution: false,
         }
     }
 }
@@ -201,13 +270,19 @@ impl<'b> CompareOptions<'b> {
     pub fn banked(bank: &'b ClosureBank) -> Self {
         CompareOptions {
             bank: Some(bank),
-            warm_threads: 1,
+            ..Default::default()
         }
     }
 
     /// Sets the warm-up thread count.
     pub fn warm_threads(mut self, threads: usize) -> Self {
         self.warm_threads = threads;
+        self
+    }
+
+    /// Records per-member portfolio attribution in the case rows.
+    pub fn attributed(mut self) -> Self {
+        self.attribution = true;
         self
     }
 
@@ -256,7 +331,60 @@ pub fn run_solvers_opts(
     out
 }
 
-/// Runs all twelve [`CASE_COLUMNS`] solver×objective combinations on one
+/// Runs one portfolio race directly (rather than through the registry
+/// entry) so the per-member attribution is available when asked for.
+/// The outcome is identical to `run_solver(ctx, "portfolio_*")` — the
+/// registry entry calls the same function with the context's thread count.
+fn run_portfolio(
+    ctx: &SolveContext<'_>,
+    objective: Objective,
+    threads: usize,
+    want_attribution: bool,
+) -> (Outcome, Option<Vec<MemberAttribution>>) {
+    let config = portfolio::PortfolioConfig::for_objective(objective).threads(threads);
+    match portfolio::solve_portfolio(ctx, objective, &config) {
+        Ok(race) => {
+            let members = want_attribution.then(|| {
+                race.members
+                    .iter()
+                    .map(MemberAttribution::from_report)
+                    .collect()
+            });
+            (
+                Outcome::Solved {
+                    ms: race.solution.objective_ms,
+                },
+                members,
+            )
+        }
+        Err(e) => (Outcome::from_result(Err(e)), None),
+    }
+}
+
+/// The portfolio column an actual race would produce, folded from the
+/// slate members' already-computed columns: the lowest solved objective
+/// wins (a min over values — slate order only breaks exact ties, which a
+/// min preserves), else the first hard error in slate order, else
+/// infeasible. This is exactly `portfolio::solve_portfolio`'s collapse
+/// rule, valid because every member is deterministic and
+/// cache-content-independent — the race would recompute bit-identical
+/// member values. `run_case_opts` uses it when no attribution was asked
+/// for, sparing the row a second full metaheuristic pass per objective;
+/// the attributed path runs the real race, and the two are pinned equal
+/// by test.
+fn derive_portfolio(slate_columns: &[&Outcome]) -> Outcome {
+    if let Some(ms) = best_ms(slate_columns) {
+        return Outcome::Solved { ms };
+    }
+    for o in slate_columns {
+        if let Outcome::Error(e) = o {
+            return Outcome::Error(e.clone());
+        }
+    }
+    Outcome::Infeasible
+}
+
+/// Runs all sixteen [`CASE_COLUMNS`] solver×objective combinations on one
 /// instance through the registry — plus the exhaustive routed-rate
 /// reference behind the `quality_gap` columns — sharing one metric-closure
 /// context across all of them.
@@ -273,7 +401,8 @@ pub fn run_case_opts(
     let view = inst.as_instance();
     let ctx = opts.context_for(view, cost);
     // the metaheuristics run after the DPs so every candidate evaluation
-    // hits an already-warm metric closure
+    // hits an already-warm metric closure; the portfolio races run last,
+    // re-racing the whole roster on the fully warm context
     let mut row = CaseResult {
         label: inst.label.clone(),
         dims: inst.dims(),
@@ -287,30 +416,65 @@ pub fn run_case_opts(
         rate_greedy: run_solver(&ctx, "greedy_rate"),
         delay_anneal: run_solver(&ctx, "anneal_delay"),
         delay_genetic: run_solver(&ctx, "genetic_delay"),
+        delay_tabu: run_solver(&ctx, "tabu_delay"),
+        delay_portfolio: Outcome::Infeasible, // filled below
         rate_anneal: run_solver(&ctx, "anneal_rate"),
         rate_genetic: run_solver(&ctx, "genetic_rate"),
+        rate_tabu: run_solver(&ctx, "tabu_rate"),
+        rate_portfolio: Outcome::Infeasible, // filled below
+        delay_portfolio_members: None,
+        rate_portfolio_members: None,
         quality_gap_delay: None,
         quality_gap_rate: None,
     };
+    if opts.attribution {
+        // the real races, for the per-member elapsed/won records
+        let (outcome, members) = run_portfolio(&ctx, Objective::MinDelay, opts.warm_threads, true);
+        row.delay_portfolio = outcome;
+        row.delay_portfolio_members = members;
+        let (outcome, members) = run_portfolio(&ctx, Objective::MaxRate, opts.warm_threads, true);
+        row.rate_portfolio = outcome;
+        row.rate_portfolio_members = members;
+    } else {
+        // no attribution wanted: fold the slate's columns (in slate
+        // order) instead of re-running six solvers per objective
+        row.delay_portfolio = derive_portfolio(&[
+            &row.delay_elpc,
+            &row.delay_streamline,
+            &row.delay_greedy,
+            &row.delay_tabu,
+            &row.delay_anneal,
+            &row.delay_genetic,
+        ]);
+        row.rate_portfolio = derive_portfolio(&[
+            &row.rate_elpc,
+            &row.rate_streamline,
+            &row.rate_greedy,
+            &row.rate_tabu,
+            &row.rate_anneal,
+            &row.rate_genetic,
+        ]);
+    }
     // delay gap: `elpc_delay_routed` is the exact optimum of the routed
     // free-assignment space the metaheuristics search, so the ratio is a
     // true optimality gap (≥ 1 up to float noise)
-    row.quality_gap_delay = best_ms(&row.delay_anneal, &row.delay_genetic)
+    row.quality_gap_delay = best_ms(&[&row.delay_anneal, &row.delay_genetic, &row.delay_tabu])
         .zip(row.delay_elpc.ms())
         .map(|(meta, exact)| meta / exact);
     // rate gap: the exhaustive routed reference, skipped (None) beyond the
     // enumeration budget — and not run at all when no metaheuristic found
     // a feasible rate assignment (the numerator drives the enumeration)
-    row.quality_gap_rate = best_ms(&row.rate_anneal, &row.rate_genetic).and_then(|meta| {
-        exact::max_rate_routed(
-            &ctx,
-            exact::ExactLimits {
-                budget: QUALITY_GAP_RATE_BUDGET,
-            },
-        )
-        .ok()
-        .map(|s| meta / s.objective_ms)
-    });
+    row.quality_gap_rate = best_ms(&[&row.rate_anneal, &row.rate_genetic, &row.rate_tabu])
+        .and_then(|meta| {
+            exact::max_rate_routed(
+                &ctx,
+                exact::ExactLimits {
+                    budget: QUALITY_GAP_RATE_BUDGET,
+                },
+            )
+            .ok()
+            .map(|s| meta / s.objective_ms)
+        });
     opts.finish(&ctx);
     row
 }
@@ -417,6 +581,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn portfolio_columns_never_lose_and_attribute_on_request() {
+        let cost = CostModel::default();
+        let inst = paper_cases()[0].generate().unwrap();
+        let plain = run_case(&inst, &cost);
+        // attribution is off by default (golden rows stay reproducible)
+        assert!(plain.delay_portfolio_members.is_none());
+        assert!(plain.rate_portfolio_members.is_none());
+        // the portfolio can never lose to any of its slate's columns
+        let d = plain.delay_portfolio.ms().expect("case 1 delay solves");
+        for o in [
+            &plain.delay_elpc,
+            &plain.delay_streamline,
+            &plain.delay_greedy,
+            &plain.delay_anneal,
+            &plain.delay_genetic,
+            &plain.delay_tabu,
+        ] {
+            if let Some(ms) = o.ms() {
+                assert!(d <= ms + 1e-9, "portfolio {d} lost to a member at {ms}");
+            }
+        }
+
+        let row = run_case_opts(&inst, &cost, CompareOptions::default().attributed());
+        for (portfolio_outcome, members) in [
+            (&row.delay_portfolio, row.delay_portfolio_members.as_ref()),
+            (&row.rate_portfolio, row.rate_portfolio_members.as_ref()),
+        ] {
+            let members = members.expect("attribution was requested");
+            assert_eq!(members.len(), 6, "default slates have six members");
+            assert_eq!(members.iter().filter(|m| m.won).count(), 1);
+            let won = members.iter().find(|m| m.won).unwrap();
+            assert_eq!(won.outcome.ms(), portfolio_outcome.ms());
+        }
+        // attribution never changes the outcome columns
+        assert_eq!(row.delay_portfolio, plain.delay_portfolio);
+        assert_eq!(row.rate_portfolio, plain.rate_portfolio);
     }
 
     #[test]

@@ -236,6 +236,106 @@ fn concurrent_stress_keeps_stats_exact_and_entries_correct() {
     }
 }
 
+/// The strongest concurrency stress the closure faces: both portfolio
+/// slates — twelve registered solvers, metaheuristics included — hammer
+/// **one** shared context at full parallelism (the two races themselves on
+/// separate threads, each racing its slate on all CPUs). The lockdown:
+///
+/// * every member's query count is deterministic and cache-independent, so
+///   the concurrent run's `hits + misses` must equal the serial run's
+///   total **exactly** (racing builders each record their own miss, so
+///   only the hit/miss split may shift — never the sum);
+/// * both race winners are bit-identical to the serial references;
+/// * every closure entry the stress built equals a fresh serial Dijkstra.
+#[test]
+fn concurrent_portfolio_races_keep_stats_exact_and_closure_correct() {
+    use elpc::mapping::portfolio::{solve_portfolio, PortfolioConfig};
+    use elpc::mapping::Objective;
+
+    let owned = InstanceSpec::sized(6, 14, 40).generate(2024).unwrap();
+    let inst = owned.as_instance();
+
+    // serial reference: both slates, one at a time, on a fresh context
+    let serial_ctx = SolveContext::new(inst, cost());
+    let serial_delay = solve_portfolio(
+        &serial_ctx,
+        Objective::MinDelay,
+        &PortfolioConfig::for_objective(Objective::MinDelay),
+    )
+    .expect("delay slate solves");
+    let serial_rate = solve_portfolio(
+        &serial_ctx,
+        Objective::MaxRate,
+        &PortfolioConfig::for_objective(Objective::MaxRate),
+    )
+    .expect("rate slate solves");
+    let serial_stats = serial_ctx.closure().stats();
+
+    // concurrent: one shared context, both races at once, slates on all CPUs
+    let ctx = SolveContext::new(inst, cost());
+    let (delay, rate) = std::thread::scope(|scope| {
+        let d = scope.spawn(|| {
+            solve_portfolio(
+                &ctx,
+                Objective::MinDelay,
+                &PortfolioConfig::for_objective(Objective::MinDelay).threads(0),
+            )
+            .expect("delay slate solves")
+        });
+        let r = scope.spawn(|| {
+            solve_portfolio(
+                &ctx,
+                Objective::MaxRate,
+                &PortfolioConfig::for_objective(Objective::MaxRate).threads(0),
+            )
+            .expect("rate slate solves")
+        });
+        (d.join().unwrap(), r.join().unwrap())
+    });
+
+    for (concurrent, serial) in [(&delay, &serial_delay), (&rate, &serial_rate)] {
+        assert_eq!(concurrent.winner, serial.winner);
+        assert_eq!(concurrent.solution.assignment, serial.solution.assignment);
+        assert_eq!(
+            concurrent.solution.objective_ms.to_bits(),
+            serial.solution.objective_ms.to_bits()
+        );
+        for (a, b) in concurrent.members.iter().zip(&serial.members) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.objective_ms, b.objective_ms, "member {}", a.name);
+            assert_eq!(a.won, b.won, "member {}", a.name);
+        }
+    }
+
+    // exact statistics: the sum is the (deterministic) query count
+    let stats = ctx.closure().stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        serial_stats.hits + serial_stats.misses,
+        "hits + misses must equal the slates' total query count \
+         (concurrent {stats:?} vs serial {serial_stats:?})"
+    );
+    // each cached tree cost at least one miss (racing builders may add more)
+    assert!(stats.misses as usize >= ctx.closure().cached_trees());
+
+    // every entry the stress built equals a fresh serial Dijkstra
+    for entry in ctx.closure().export() {
+        let src = entry.key.source_node();
+        let bytes = entry.key.payload();
+        let fresh = dijkstra(owned.network.graph(), src, |eid, _| {
+            cost().edge_transfer_ms(&owned.network, eid, bytes)
+        });
+        for v in 0..owned.network.node_count() {
+            assert_eq!(
+                entry.tree.dist[v].to_bits(),
+                fresh.dist[v].to_bits(),
+                "src {src}, payload {bytes}, node {v}"
+            );
+            assert_eq!(entry.tree.prev[v], fresh.prev[v]);
+        }
+    }
+}
+
 /// A single `SolveContext` shared by reference across threads: concurrent
 /// solves agree with the serial baseline exactly.
 #[test]

@@ -1,0 +1,152 @@
+//! Cross-solver invariant lockdown (ISSUE 4): every entry in the solver
+//! registry — present and future — must respect the provably-optimal
+//! routed references and the structural mapping constraints.
+//!
+//! The contract, checked over the **whole registry** on 20 seeded
+//! instances, so a newly registered solver is covered without touching
+//! this file:
+//!
+//! * delay solvers can never beat `elpc_delay_routed`, the exact optimum
+//!   of the routed free-assignment space (strict-semantics values are
+//!   further from it by construction: routed transport relaxes Eq. 1);
+//! * rate solvers can never beat `exact::max_rate_routed`, the exhaustive
+//!   routed reference, on instances inside its enumeration budget —
+//!   equivalently, no solver's frame rate exceeds the exact optimum's;
+//! * every solved mapping pins module 0 to the source and the last module
+//!   to the destination, covers the whole pipeline, and — for the rate
+//!   objective — uses pairwise-distinct hosts (the §3.1.2 streaming
+//!   constraint).
+
+use elpc::mapping::{exact, registry, solver, CostModel, Objective, SolveContext};
+use elpc::workloads::InstanceSpec;
+
+fn cost() -> CostModel {
+    CostModel::default()
+}
+
+/// Relative tolerance for float comparisons against the references.
+fn eps(reference: f64) -> f64 {
+    1e-9 * reference.max(1.0)
+}
+
+#[test]
+fn every_registry_solver_respects_the_routed_references() {
+    assert_eq!(registry().len(), 18, "the ISSUE 4 registry has 18 entries");
+    let mut delay_checks = 0usize;
+    let mut rate_checks = 0usize;
+    let mut solves = 0usize;
+    for seed in 0..20u64 {
+        let owned = InstanceSpec::sized(5, 9, 20).generate(seed).unwrap();
+        let inst = owned.as_instance();
+        let ctx = SolveContext::new(inst, cost());
+
+        // the provably-optimal routed references of both objectives
+        let delay_opt = solver("elpc_delay_routed")
+            .expect("registered")
+            .solve(&ctx)
+            .ok()
+            .map(|s| s.objective_ms);
+        let rate_opt = exact::max_rate_routed(&ctx, exact::ExactLimits::default())
+            .ok()
+            .map(|s| s.objective_ms);
+
+        for s in registry() {
+            let Ok(sol) = s.solve(&ctx) else {
+                continue; // infeasibility is a legal outcome per solver
+            };
+            solves += 1;
+            let name = s.name();
+
+            // structural invariants: full coverage, pinned endpoints
+            assert_eq!(
+                sol.assignment.len(),
+                owned.pipeline.len(),
+                "seed {seed}, {name}: assignment does not cover the pipeline"
+            );
+            assert_eq!(
+                sol.assignment[0], owned.src,
+                "seed {seed}, {name}: module 0 left the source"
+            );
+            assert_eq!(
+                *sol.assignment.last().unwrap(),
+                owned.dst,
+                "seed {seed}, {name}: last module left the destination"
+            );
+            assert!(
+                sol.objective_ms.is_finite() && sol.objective_ms > 0.0,
+                "seed {seed}, {name}: degenerate objective {}",
+                sol.objective_ms
+            );
+
+            match s.objective() {
+                Objective::MinDelay => {
+                    if let Some(opt) = delay_opt {
+                        assert!(
+                            sol.objective_ms >= opt - eps(opt),
+                            "seed {seed}, {name}: delay {} beat the routed optimum {opt}",
+                            sol.objective_ms
+                        );
+                        delay_checks += 1;
+                    }
+                }
+                Objective::MaxRate => {
+                    // the no-reuse constraint: pairwise-distinct hosts
+                    let mut seen = std::collections::BTreeSet::new();
+                    for &h in &sol.assignment {
+                        assert!(
+                            seen.insert(h),
+                            "seed {seed}, {name}: host {h} reused under the rate objective"
+                        );
+                    }
+                    if let Some(opt) = rate_opt {
+                        assert!(
+                            sol.objective_ms >= opt - eps(opt),
+                            "seed {seed}, {name}: bottleneck {} beat the routed exact {opt} \
+                             (frame rate above the optimum)",
+                            sol.objective_ms
+                        );
+                        rate_checks += 1;
+                    }
+                }
+            }
+        }
+    }
+    // the suite must actually have exercised the bounds, not skipped them
+    assert!(solves >= 200, "only {solves} solves across the suite");
+    assert!(
+        delay_checks >= 100,
+        "only {delay_checks} delay bound checks"
+    );
+    assert!(rate_checks >= 50, "only {rate_checks} rate bound checks");
+}
+
+/// The acceptance pin: the portfolio entries are bit-identical at
+/// `threads = 1` (serial slate) and `threads = 0` (all-CPU race) — the
+/// winner is chosen by value with a fixed tie-break, never by finish
+/// order. The registry entries inherit the thread count from the context.
+#[test]
+fn portfolio_entries_are_bit_identical_across_thread_counts() {
+    for seed in 0..10u64 {
+        let owned = InstanceSpec::sized(5, 9, 20).generate(seed).unwrap();
+        let inst = owned.as_instance();
+        for name in ["portfolio_delay", "portfolio_rate"] {
+            let s = solver(name).expect("registered");
+            let serial = s.solve(&SolveContext::new(inst, cost()));
+            let parallel = s.solve(&SolveContext::with_threads(inst, cost(), 0));
+            match (serial, parallel) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.assignment, b.assignment, "seed {seed}, {name}");
+                    assert_eq!(
+                        a.objective_ms.to_bits(),
+                        b.objective_ms.to_bits(),
+                        "seed {seed}, {name}"
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.to_string(), b.to_string(), "seed {seed}, {name}");
+                }
+                other => panic!("seed {seed}, {name}: divergent feasibility {other:?}"),
+            }
+        }
+    }
+}
