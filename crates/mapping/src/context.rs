@@ -467,6 +467,10 @@ pub struct SolveContext<'a> {
     inst: Instance<'a>,
     closure: Arc<MetricClosure<'a>>,
     warm_threads: usize,
+    /// Lazily built dense evaluation kernel (see [`crate::eval`]), shared
+    /// across clones of this context so a compare row or portfolio slate
+    /// snapshots the closure exactly once.
+    kernel: Arc<std::sync::OnceLock<Arc<crate::eval::EvalKernel>>>,
 }
 
 impl<'a> SolveContext<'a> {
@@ -484,6 +488,7 @@ impl<'a> SolveContext<'a> {
             inst,
             closure: Arc::new(MetricClosure::new(inst.network, cost)),
             warm_threads: threads,
+            kernel: Arc::new(std::sync::OnceLock::new()),
         }
     }
 
@@ -504,6 +509,7 @@ impl<'a> SolveContext<'a> {
             inst,
             closure,
             warm_threads: threads,
+            kernel: Arc::new(std::sync::OnceLock::new()),
         })
     }
 
@@ -568,6 +574,26 @@ impl<'a> SolveContext<'a> {
                 .par_warm(&sources, &payloads, self.warm_threads);
         }
         built
+    }
+
+    /// The dense evaluation kernel for this instance (see [`crate::eval`]),
+    /// built on first use — through [`MetricClosure::par_warm`] on the
+    /// context's warm-thread count — and memoized, so every local-search
+    /// solver and the rate polish running on this context (or a clone of
+    /// it) share one snapshot. Contents are bit-identical at any thread
+    /// count.
+    pub fn eval_kernel(&self) -> Arc<crate::eval::EvalKernel> {
+        Arc::clone(
+            self.kernel
+                .get_or_init(|| Arc::new(crate::eval::EvalKernel::build(self))),
+        )
+    }
+
+    /// The kernel if some solver on this context already built it — the
+    /// opportunistic fast path for callers (like the rate polish) whose own
+    /// workload would not amortize a fresh snapshot.
+    pub fn eval_kernel_cached(&self) -> Option<Arc<crate::eval::EvalKernel>> {
+        self.kernel.get().cloned()
     }
 
     /// Shorthand for [`MetricClosure::routed_from`].

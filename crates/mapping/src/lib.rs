@@ -78,6 +78,7 @@ mod cost;
 pub mod elpc_delay;
 pub mod elpc_rate;
 mod error;
+pub mod eval;
 pub mod exact;
 pub mod greedy;
 mod mapping;
@@ -93,6 +94,7 @@ mod test_fixtures;
 pub use context::{CachedTree, ClosureStats, MetricClosure, SolveContext, TreeKey};
 pub use cost::{CostModel, Stage};
 pub use error::MappingError;
+pub use eval::{BoundedEval, DeltaEval, EvalKernel, MoveSpec};
 pub use mapping::{AssignmentSolution, DelaySolution, Mapping, RateSolution};
 pub use metaheuristic::{AnnealConfig, GeneticConfig};
 pub use portfolio::{MemberReport, PortfolioConfig, PortfolioSolution};

@@ -20,13 +20,18 @@
 //!
 //! Both solvers search per-module host assignments with the endpoints
 //! pinned (`assignment[0] = src`, `assignment[n-1] = dst`) and evaluate
-//! every candidate under **routed transport** through the context's shared
-//! [`crate::MetricClosure`] — the same semantics the routed DP overlays and
-//! the Streamline baseline are scored under, so `workloads::compare` can
-//! rank all of them on one axis. Reusing the closure means a candidate
-//! evaluation is a handful of hash lookups once the per-source transfer
-//! trees exist; the all-pairs Dijkstra work is shared with every other
-//! solver that ran on the same context.
+//! every candidate under **routed transport** — the same semantics the
+//! routed DP overlays and the Streamline baseline are scored under, so
+//! `workloads::compare` can rank all of them on one axis. Since ISSUE 5
+//! candidates are scored through the context's dense
+//! [`crate::eval::EvalKernel`] (a lock-free snapshot of the shared
+//! [`crate::MetricClosure`], built once per context through `par_warm`):
+//! the annealer scores each reassign/swap move by only its changed terms (≤ 6) in
+//! O(1) via [`crate::eval::DeltaEval`] and re-derives the exact objective
+//! on every accepted move, while the genetic algorithm scores whole
+//! children through the kernel's allocation-free full evaluation — both
+//! bit-identical to [`crate::routed::routed_delay_ms_ctx`] /
+//! [`crate::routed::routed_bottleneck_ms_ctx`] on everything they report.
 //!
 //! * **MinDelay** candidates may reuse nodes (the §3.1.1 relaxation);
 //!   the exact optimum of this space is `elpc_delay_routed`, which makes
@@ -47,10 +52,12 @@
 //! (`anneal_{delay,rate}`, `genetic_{delay,rate}`) use the default configs
 //! and are therefore fully reproducible within a platform.
 
-use crate::{routed, AssignmentSolution, MappingError, Objective, Result, SolveContext};
+use crate::eval::{DeltaEval, EvalKernel, MoveSpec};
+use crate::{AssignmentSolution, MappingError, Objective, Result, SolveContext};
 use elpc_netgraph::NodeId;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// The default RNG seed shared by the registry entries (`b"ELPC"` as a
 /// 32-bit integer).
@@ -166,20 +173,21 @@ impl GeneticConfig {
     }
 }
 
-/// Shared search state: the instance view plus the objective's evaluation
-/// and feasibility rules. Shared with [`crate::tabu`], which drives the same
-/// reassign/swap neighborhood from a different acceptance rule.
-pub(crate) struct Search<'c, 'a> {
-    ctx: &'c SolveContext<'a>,
+/// Shared search state: the instance shape plus the objective's evaluation
+/// and feasibility rules, all served by the context's dense evaluation
+/// kernel. Shared with [`crate::tabu`], which drives the same reassign/swap
+/// neighborhood from a different acceptance rule.
+pub(crate) struct Search {
     objective: Objective,
+    kernel: Arc<EvalKernel>,
     pub(crate) n: usize,
     pub(crate) k: usize,
     src: NodeId,
     dst: NodeId,
 }
 
-impl<'c, 'a> Search<'c, 'a> {
-    pub(crate) fn new(ctx: &'c SolveContext<'a>, objective: Objective) -> Result<Self> {
+impl Search {
+    pub(crate) fn new(ctx: &SolveContext<'_>, objective: Objective) -> Result<Self> {
         let inst = ctx.instance();
         let n = inst.n_modules();
         let k = inst.network.node_count();
@@ -187,8 +195,8 @@ impl<'c, 'a> Search<'c, 'a> {
             inst.ensure_distinct_hosts_feasible()?;
         }
         Ok(Search {
-            ctx,
             objective,
+            kernel: ctx.eval_kernel(),
             n,
             k,
             src: inst.src,
@@ -201,14 +209,18 @@ impl<'c, 'a> Search<'c, 'a> {
         self.objective == Objective::MaxRate
     }
 
-    /// Routed objective of a full assignment; `None` when the assignment is
-    /// infeasible (an unreachable transfer or a violated constraint).
+    /// Routed objective of a full assignment through the dense kernel —
+    /// bit-identical to the closure-backed evaluators; `None` when the
+    /// assignment is infeasible (an unreachable transfer or a violated
+    /// constraint).
     pub(crate) fn evaluate(&self, assignment: &[NodeId]) -> Option<f64> {
-        let r = match self.objective {
-            Objective::MinDelay => routed::routed_delay_ms_ctx(self.ctx, assignment),
-            Objective::MaxRate => routed::routed_bottleneck_ms_ctx(self.ctx, assignment, true),
-        };
-        r.ok().filter(|ms| ms.is_finite())
+        let ms = self.kernel.full_objective_ms(self.objective, assignment);
+        ms.is_finite().then_some(ms)
+    }
+
+    /// Incremental-evaluation state seated on `assignment`.
+    pub(crate) fn delta_state(&self, assignment: &[NodeId]) -> DeltaEval {
+        DeltaEval::new(Arc::clone(&self.kernel), self.objective, assignment)
     }
 
     /// A deterministic baseline assignment: everything on the source until
@@ -282,13 +294,17 @@ impl<'c, 'a> Search<'c, 'a> {
         None
     }
 
-    /// Mutates `a` in place with one neighborhood move — reassign-one-stage
-    /// or swap-two-stages — honoring the distinctness constraint. Returns
-    /// `false` when the instance admits no move (nothing was changed).
-    pub(crate) fn propose_move(&self, a: &mut [NodeId], rng: &mut ChaCha8Rng) -> bool {
+    /// Draws one neighborhood move — reassign-one-stage or swap-two-stages
+    /// — honoring the distinctness constraint, without materializing the
+    /// candidate (`used` marks which hosts the current assignment occupies;
+    /// only the distinct-reassign branch reads them). Returns `None` when
+    /// the instance admits no move. The RNG call sequence is the
+    /// neighborhood's contract: a seeded run proposes the same moves
+    /// whether the caller scores them by delta or by full evaluation.
+    pub(crate) fn propose_spec(&self, used: &[bool], rng: &mut ChaCha8Rng) -> Option<MoveSpec> {
         let interior = self.n.saturating_sub(2);
         if interior == 0 {
-            return false;
+            return None;
         }
         let can_swap = interior >= 2;
         // for MaxRate, reassignment needs a currently unused host
@@ -297,7 +313,7 @@ impl<'c, 'a> Search<'c, 'a> {
             (true, true) => rng.gen_bool(0.5),
             (true, false) => true,
             (false, true) => false,
-            (false, false) => return false,
+            (false, false) => return None,
         };
         if do_swap {
             let j1 = 1 + rng.gen_range(0..interior);
@@ -305,22 +321,31 @@ impl<'c, 'a> Search<'c, 'a> {
             if j2 >= j1 {
                 j2 += 1;
             }
-            a.swap(j1, j2);
+            Some(MoveSpec::Swap { a: j1, b: j2 })
         } else {
             let j = 1 + rng.gen_range(0..interior);
-            let v = if self.distinct() {
-                let unused: Vec<NodeId> = (0..self.k)
-                    .map(NodeId::from_index)
-                    .filter(|v| !a.contains(v))
-                    .collect();
-                debug_assert!(!unused.is_empty(), "k > n guarantees an unused host");
-                unused[rng.gen_range(0..unused.len())]
+            let to = if self.distinct() {
+                // i-th unused host in ascending node order, without
+                // materializing the unused list (all n hosts are distinct,
+                // so exactly k - n candidates exist)
+                let mut pick = rng.gen_range(0..self.k - self.n);
+                let mut v = usize::MAX;
+                for (c, &u) in used.iter().enumerate() {
+                    if !u {
+                        if pick == 0 {
+                            v = c;
+                            break;
+                        }
+                        pick -= 1;
+                    }
+                }
+                debug_assert!(v < self.k, "k > n guarantees an unused host");
+                NodeId::from_index(v)
             } else {
                 NodeId::from_index(rng.gen_range(0..self.k))
             };
-            a[j] = v;
+            Some(MoveSpec::Reassign { stage: j, to })
         }
-        true
     }
 
     pub(crate) fn finish(&self, best: Option<(Vec<NodeId>, f64)>) -> Result<AssignmentSolution> {
@@ -349,10 +374,14 @@ pub(crate) fn track_best(best: &mut Option<(Vec<NodeId>, f64)>, cand: &[NodeId],
 /// Each restart walks from a feasible initial assignment, proposing
 /// reassign/swap moves and accepting a worsening move of relative size `d`
 /// with probability `exp(-d / T)` under the geometric schedule
-/// `T: initial_temp → final_temp`. All candidates are scored through the
-/// context's shared metric closure, so on a context other solvers already
-/// used the per-candidate cost is a few hash lookups. Deterministic for a
-/// fixed `(instance, cost model, config)` at any thread count.
+/// `T: initial_temp → final_temp`. Candidates are scored incrementally
+/// through the context's dense [`crate::eval::EvalKernel`]: a proposed move
+/// costs O(1) array arithmetic on only the stage terms it changes (no
+/// candidate materialization, no locks, no allocation), and every accepted
+/// move re-derives the exact objective, so the walk's current cost — and
+/// every incumbent — reconciles bit-for-bit with the routed evaluators.
+/// Deterministic for a fixed `(instance, cost model, config)` at any
+/// thread count.
 pub fn solve_anneal(
     ctx: &SolveContext<'_>,
     objective: Objective,
@@ -365,19 +394,24 @@ pub fn solve_anneal(
     let cooling =
         (config.final_temp / config.initial_temp).powf(1.0 / config.iterations.max(1) as f64);
 
+    // one incremental-evaluation state, re-seated per restart
+    let mut state: Option<DeltaEval> = None;
     for restart in 0..config.restarts {
-        let Some((mut current, mut cur_cost)) = search.initial(&mut rng, 50, restart == 0) else {
+        let Some((current, mut cur_cost)) = search.initial(&mut rng, 50, restart == 0) else {
             continue;
         };
         track_best(&mut best, &current, cur_cost);
+        match state.as_mut() {
+            Some(s) => s.reset(&current),
+            None => state = Some(search.delta_state(&current)),
+        }
+        let state = state.as_mut().expect("seated above");
         let mut temp = config.initial_temp;
-        let mut candidate = current.clone();
         for _ in 0..config.iterations {
-            candidate.copy_from_slice(&current);
-            if !search.propose_move(&mut candidate, &mut rng) {
+            let Some(mv) = search.propose_spec(state.used_hosts(), &mut rng) else {
                 break; // a 2-module instance has exactly one assignment
-            }
-            if let Some(cand_cost) = search.evaluate(&candidate) {
+            };
+            if let Some(cand_cost) = state.eval_move(mv) {
                 let accept = if cand_cost <= cur_cost {
                     true
                 } else {
@@ -385,9 +419,8 @@ pub fn solve_anneal(
                     rng.gen::<f64>() < (-d / temp).exp()
                 };
                 if accept {
-                    current.copy_from_slice(&candidate);
-                    cur_cost = cand_cost;
-                    track_best(&mut best, &current, cur_cost);
+                    cur_cost = state.apply(mv).expect("accepted move is feasible");
+                    track_best(&mut best, state.assignment(), cur_cost);
                 }
             }
             temp *= cooling;
@@ -523,7 +556,7 @@ fn repair_duplicates(a: &mut [NodeId], k: usize, rng: &mut ChaCha8Rng) {
 mod tests {
     use super::*;
     use crate::test_fixtures::{k5, pipe4};
-    use crate::{elpc_delay, CostModel, Instance};
+    use crate::{elpc_delay, routed, CostModel, Instance};
     use elpc_pipeline::Pipeline;
 
     fn cost() -> CostModel {

@@ -186,6 +186,14 @@ pub fn solve_portfolio(
     config: &PortfolioConfig,
 ) -> Result<PortfolioSolution> {
     let slate = config.resolve(objective)?;
+    // when kernel-backed local-search members are racing, snapshot the
+    // dense evaluation kernel once up front (parallelized by the context's
+    // warm threads) instead of letting the first such member build it
+    // mid-race — results are identical either way, only the build is
+    // hoisted out of that member's attribution timing
+    if slate.iter().any(|s| s.uses_eval_kernel()) {
+        ctx.eval_kernel();
+    }
     let outcomes = race(ctx, &slate, config.threads);
 
     // winner by value, ties by slate order — finish order never enters

@@ -161,12 +161,26 @@ pub trait Solver: Sync {
         false
     }
 
+    /// True for local-search solvers whose candidate scoring runs on the
+    /// context's dense [`crate::eval::EvalKernel`]. The portfolio uses
+    /// this to hoist the kernel snapshot ahead of the race instead of
+    /// letting the first such member build it inside its own timing —
+    /// declare it (the `uses_eval_kernel` marker in `declare_solver!`)
+    /// when adding a kernel-backed solver so attribution stays clean.
+    fn uses_eval_kernel(&self) -> bool {
+        false
+    }
+
     /// Runs the algorithm against a shared context.
     fn solve(&self, ctx: &SolveContext<'_>) -> Result<Solution>;
 }
 
+// The optional marker ident after `$exact` expands verbatim into a
+// `fn <marker>() -> bool { true }` trait override — `uses_eval_kernel` is
+// the only marker the `Solver` trait defines, so a misspelled marker fails
+// to compile ("method is not a member of trait") instead of being ignored.
 macro_rules! declare_solver {
-    ($ty:ident, $name:literal, $objective:expr, $exact:literal, |$ctx:ident| $body:expr) => {
+    ($ty:ident, $name:literal, $objective:expr, $exact:literal $(, $marker:ident)?, |$ctx:ident| $body:expr) => {
         struct $ty;
 
         impl Solver for $ty {
@@ -179,6 +193,11 @@ macro_rules! declare_solver {
             fn is_exact(&self) -> bool {
                 $exact
             }
+            $(
+                fn $marker(&self) -> bool {
+                    true
+                }
+            )?
             fn solve(&self, $ctx: &SolveContext<'_>) -> Result<Solution> {
                 $body
             }
@@ -263,6 +282,7 @@ declare_solver!(
     "anneal_delay",
     Objective::MinDelay,
     false,
+    uses_eval_kernel,
     |ctx| {
         metaheuristic::solve_anneal(
             ctx,
@@ -278,6 +298,7 @@ declare_solver!(
     "anneal_rate",
     Objective::MaxRate,
     false,
+    uses_eval_kernel,
     |ctx| {
         metaheuristic::solve_anneal(
             ctx,
@@ -293,6 +314,7 @@ declare_solver!(
     "genetic_delay",
     Objective::MinDelay,
     false,
+    uses_eval_kernel,
     |ctx| {
         metaheuristic::solve_genetic(
             ctx,
@@ -308,6 +330,7 @@ declare_solver!(
     "genetic_rate",
     Objective::MaxRate,
     false,
+    uses_eval_kernel,
     |ctx| {
         metaheuristic::solve_genetic(
             ctx,
@@ -318,15 +341,29 @@ declare_solver!(
     }
 );
 
-declare_solver!(TabuDelay, "tabu_delay", Objective::MinDelay, false, |ctx| {
-    tabu::solve_tabu(ctx, Objective::MinDelay, &tabu::TabuConfig::default())
-        .map(Solution::from_assignment)
-});
+declare_solver!(
+    TabuDelay,
+    "tabu_delay",
+    Objective::MinDelay,
+    false,
+    uses_eval_kernel,
+    |ctx| {
+        tabu::solve_tabu(ctx, Objective::MinDelay, &tabu::TabuConfig::default())
+            .map(Solution::from_assignment)
+    }
+);
 
-declare_solver!(TabuRate, "tabu_rate", Objective::MaxRate, false, |ctx| {
-    tabu::solve_tabu(ctx, Objective::MaxRate, &tabu::TabuConfig::default())
-        .map(Solution::from_assignment)
-});
+declare_solver!(
+    TabuRate,
+    "tabu_rate",
+    Objective::MaxRate,
+    false,
+    uses_eval_kernel,
+    |ctx| {
+        tabu::solve_tabu(ctx, Objective::MaxRate, &tabu::TabuConfig::default())
+            .map(Solution::from_assignment)
+    }
+);
 
 declare_solver!(
     PortfolioDelay,
@@ -454,6 +491,21 @@ mod tests {
             );
         }
         assert!(solver("does_not_exist").is_none());
+    }
+
+    #[test]
+    fn exactly_the_kernel_backed_family_declares_uses_eval_kernel() {
+        for s in registry() {
+            let expected = ["anneal", "genetic", "tabu"]
+                .iter()
+                .any(|p| s.name().starts_with(p));
+            assert_eq!(
+                s.uses_eval_kernel(),
+                expected,
+                "`{}` mis-declares its evaluation-kernel use",
+                s.name()
+            );
+        }
     }
 
     #[test]

@@ -23,12 +23,20 @@
 //!
 //! Identical to the metaheuristics: endpoints pinned, MinDelay may reuse
 //! hosts, MaxRate requires pairwise-distinct hosts, and every candidate is
-//! scored under routed transport through the context's shared
-//! [`crate::MetricClosure`]. The initial assignment is the best of the
-//! deterministic baseline, the greedy solver's solution re-evaluated under
-//! routed semantics (a classical warm start — and the reason `tabu_*` can
-//! never end worse than greedy: routed evaluation never exceeds greedy's
-//! own strict objective), and a handful of random draws.
+//! scored under routed transport. Since ISSUE 5 the neighborhood scan is
+//! pure array arithmetic over the context's dense
+//! [`crate::eval::EvalKernel`]: each sampled move is scored by only its
+//! changed stage terms in O(1) through [`crate::eval::DeltaEval`] (no
+//! candidate vector is materialized, no locks are taken, nothing
+//! allocates), the MaxRate scan abandons a candidate as soon as a
+//! delta-updated stage term already reaches the best admissible bottleneck
+//! of the round, and the applied move re-derives the exact objective so
+//! every recorded value reconciles bit-for-bit with the routed evaluators.
+//! The initial assignment is the best of the deterministic baseline, the
+//! greedy solver's solution re-evaluated under routed semantics (a
+//! classical warm start — and the reason `tabu_*` can never end worse than
+//! greedy: routed evaluation never exceeds greedy's own strict objective),
+//! and a handful of random draws.
 //!
 //! ## Determinism
 //!
@@ -37,6 +45,7 @@
 //! at every [`crate::SolveContext`] thread count (closure warm-up changes
 //! *when* trees are built, never what a candidate scores).
 
+use crate::eval::{BoundedEval, MoveSpec};
 use crate::metaheuristic::{track_best, Search};
 use crate::{greedy, AssignmentSolution, MappingError, Objective, Result, SolveContext};
 use elpc_netgraph::NodeId;
@@ -90,7 +99,7 @@ impl TabuConfig {
 fn warm_start(
     ctx: &SolveContext<'_>,
     objective: Objective,
-    search: &Search<'_, '_>,
+    search: &Search,
     rng: &mut ChaCha8Rng,
 ) -> Option<(Vec<NodeId>, f64)> {
     let mut best = search.initial(rng, 50, true);
@@ -110,17 +119,29 @@ fn warm_start(
     best
 }
 
+/// Keeps `slot` pointing at the lowest-cost move seen so far (strict `<`,
+/// so the earliest sampled move wins ties — the same first-wins rule the
+/// assignment-cloning scan used).
+fn keep_best(slot: &mut Option<(MoveSpec, f64)>, mv: MoveSpec, cost: f64) {
+    if slot.as_ref().is_none_or(|(_, b)| cost < *b) {
+        *slot = Some((mv, cost));
+    }
+}
+
 /// Tabu search over stage→node assignments.
 ///
 /// Walks from a warm-started assignment, each iteration applying the best
 /// admissible of `neighborhood` sampled reassign/swap moves; a move is
 /// inadmissible while any stage it touches would return to a host it left
 /// within the last `tenure` iterations, unless the move beats the best
-/// objective ever seen (aspiration). Candidates are scored through the
-/// context's shared metric closure. Deterministic for a fixed `(instance,
-/// cost model, config)` at any thread count, and — because the greedy
-/// solution is a starting candidate — never worse than the greedy baseline
-/// of the same objective under routed evaluation.
+/// objective ever seen (aspiration). The scan is pure array arithmetic:
+/// each sampled move is scored by its changed stage terms through the
+/// context's dense evaluation kernel (O(1) per candidate, allocation-free),
+/// and under MaxRate a candidate is abandoned as soon as a delta-updated
+/// stage term already rules it out of this round's selection. Deterministic
+/// for a fixed `(instance, cost model, config)` at any thread count, and —
+/// because the greedy solution is a starting candidate — never worse than
+/// the greedy baseline of the same objective under routed evaluation.
 pub fn solve_tabu(
     ctx: &SolveContext<'_>,
     objective: Objective,
@@ -129,58 +150,74 @@ pub fn solve_tabu(
     config.validate()?;
     let search = Search::new(ctx, objective)?;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let Some((mut current, mut cur_cost)) = warm_start(ctx, objective, &search, &mut rng) else {
+    let Some((current, mut cur_cost)) = warm_start(ctx, objective, &search, &mut rng) else {
         return search.finish(None);
     };
     let mut best: Option<(Vec<NodeId>, f64)> = None;
     track_best(&mut best, &current, cur_cost);
+    let mut state = search.delta_state(&current);
 
     // (stage, host) → first iteration the placement is allowed again
     let mut tabu: HashMap<(usize, NodeId), usize> = HashMap::new();
-    let mut candidate = current.clone();
 
     for iter in 0..config.iterations {
-        // best admissible candidate this round: (assignment, cost, tabu?)
-        let mut chosen: Option<(Vec<NodeId>, f64)> = None;
-        // fallback when every sampled move is tabu and none aspirates
-        let mut chosen_tabu: Option<(Vec<NodeId>, f64)> = None;
+        // best admissible move this round, and the all-tabu fallback when
+        // every sampled move is tabu and none aspirates
+        let mut chosen: Option<(MoveSpec, f64)> = None;
+        let mut chosen_tabu: Option<(MoveSpec, f64)> = None;
+        let best_ever = best.as_ref().map(|(_, b)| *b).expect("tracked above");
         for _ in 0..config.neighborhood {
-            candidate.copy_from_slice(&current);
-            if !search.propose_move(&mut candidate, &mut rng) {
+            let Some(mv) = search.propose_spec(state.used_hosts(), &mut rng) else {
                 // a 2-module instance has exactly one assignment
                 return search.finish(best);
-            }
-            let Some(cand_cost) = search.evaluate(&candidate) else {
-                continue;
             };
             // a move is tabu when any changed stage returns to a host on
-            // its tabu list (the at-most-two diff positions vs `current`)
-            let is_tabu = candidate
-                .iter()
-                .zip(current.iter())
-                .enumerate()
-                .filter(|(_, (c, o))| c != o)
-                .any(|(j, (c, _))| tabu.get(&(j, *c)).is_some_and(|&until| iter < until));
-            let best_ever = best.as_ref().map(|(_, b)| *b).expect("tracked above");
-            if !is_tabu || cand_cost < best_ever {
-                track_best(&mut chosen, &candidate, cand_cost);
+            // its tabu list (at most two changed placements per move)
+            let active = |j: usize, h: NodeId| tabu.get(&(j, h)).is_some_and(|&until| iter < until);
+            let cur = state.assignment();
+            let is_tabu = match mv {
+                MoveSpec::Reassign { stage, to } => to != cur[stage] && active(stage, to),
+                MoveSpec::Swap { a, b } => {
+                    cur[a] != cur[b] && (active(a, cur[b]) || active(b, cur[a]))
+                }
+            };
+            // a candidate can only matter below these costs, so the rate
+            // scan may abandon it the moment a delta term reaches them
+            let slot_cost = |s: &Option<(MoveSpec, f64)>| s.map_or(f64::INFINITY, |(_, c)| c);
+            let prune_at = if is_tabu {
+                best_ever
+                    .min(slot_cost(&chosen))
+                    .max(slot_cost(&chosen_tabu))
             } else {
-                track_best(&mut chosen_tabu, &candidate, cand_cost);
+                slot_cost(&chosen)
+            };
+            let BoundedEval::Feasible(cand_cost) = state.eval_move_bounded(mv, prune_at) else {
+                continue; // infeasible, or provably not this round's pick
+            };
+            if !is_tabu || cand_cost < best_ever {
+                keep_best(&mut chosen, mv, cand_cost);
+            } else {
+                keep_best(&mut chosen_tabu, mv, cand_cost);
             }
         }
-        let Some((next, next_cost)) = chosen.or(chosen_tabu) else {
+        let Some((mv, _)) = chosen.or(chosen_tabu) else {
             continue; // no sampled move was feasible this round
         };
         // reverse placements become tabu: each changed stage may not return
         // to the host it just left for `tenure` iterations
-        for (j, (new, old)) in next.iter().zip(current.iter()).enumerate() {
-            if new != old {
-                tabu.insert((j, *old), iter + 1 + config.tenure);
+        let cur = state.assignment();
+        match mv {
+            MoveSpec::Reassign { stage, to } if to != cur[stage] => {
+                tabu.insert((stage, cur[stage]), iter + 1 + config.tenure);
             }
+            MoveSpec::Swap { a, b } if cur[a] != cur[b] => {
+                tabu.insert((a, cur[a]), iter + 1 + config.tenure);
+                tabu.insert((b, cur[b]), iter + 1 + config.tenure);
+            }
+            _ => {} // a no-op move changes no placement
         }
-        current.copy_from_slice(&next);
-        cur_cost = next_cost;
-        track_best(&mut best, &current, cur_cost);
+        cur_cost = state.apply(mv).expect("chosen move is feasible");
+        track_best(&mut best, state.assignment(), cur_cost);
     }
     search.finish(best)
 }

@@ -1,0 +1,217 @@
+//! Kernel-equivalence lockdown (ISSUE 5): the dense [`EvalKernel`] and its
+//! delta-move tier must be indistinguishable from the closure-backed routed
+//! evaluators.
+//!
+//! Two property families:
+//!
+//! * **Full evaluation** — on random instances and random (possibly
+//!   host-reusing, possibly disconnected) assignments, the kernel's full
+//!   delay/bottleneck equals `routed_delay_ms_ctx` /
+//!   `routed_bottleneck_ms_ctx` **bit for bit**, with the evaluators' error
+//!   cases mapping to `f64::INFINITY`.
+//! * **Delta reconciliation** — a randomized sequence of delta-applied
+//!   reassign/swap moves (including moves into and out of infeasible
+//!   assignments on disconnected networks) keeps [`DeltaEval`] exactly
+//!   reconciled: after every commit the tracked objective is bit-identical
+//!   to a fresh full evaluation, candidate feasibility always agrees,
+//!   MaxRate candidate values are bit-exact, and MinDelay candidate values
+//!   sit within float-rounding tolerance of the candidate's full sum.
+
+use elpc_mapping::{
+    routed, CostModel, DeltaEval, EvalKernel, Instance, MappingError, MoveSpec, NodeId, Objective,
+    SolveContext,
+};
+use elpc_netsim::Network;
+use elpc_pipeline::gen::PipelineSpec;
+use elpc_pipeline::Pipeline;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A random instance from a seed: 4..=9 nodes, 2..=min(k,6) modules; every
+/// third seed drops enough links to (usually) disconnect the network, so
+/// infinite transfer terms are exercised too.
+fn build_instance(seed: u64) -> (Network, Pipeline) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = rng.gen_range(4usize..=9);
+    let max_links = k * (k - 1) / 2;
+    let links = rng.gen_range(k - 1..=max_links);
+    let topo = elpc_netgraph::gen::random_connected(k, links, &mut rng).unwrap();
+    let powers: Vec<f64> = (0..k).map(|_| rng.gen_range(5.0..2000.0)).collect();
+    let mut link_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+    let disconnect = seed.is_multiple_of(3);
+    let mut b = Network::builder();
+    let ns: Vec<NodeId> = powers.iter().map(|&p| b.add_node(p).unwrap()).collect();
+    for &(x, y) in topo.links() {
+        // disconnecting variant: drop every link touching node 1 (an
+        // interior host candidate), stranding it from the endpoints
+        if disconnect && (x == 1 || y == 1) {
+            continue;
+        }
+        b.add_link(
+            ns[x as usize],
+            ns[y as usize],
+            link_rng.gen_range(1.0..1000.0),
+            link_rng.gen_range(0.01..10.0),
+        )
+        .unwrap();
+    }
+    let net = b.build_unchecked();
+    let n = rng.gen_range(2usize..=k.min(6));
+    let pipe = PipelineSpec {
+        modules: n,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+    .unwrap();
+    (net, pipe)
+}
+
+/// A random shape-valid assignment: endpoints pinned, interior free (host
+/// reuse allowed — the distinct-hosts violation path is part of the
+/// contract under test).
+fn random_assignment(inst: &Instance<'_>, rng: &mut ChaCha8Rng) -> Vec<NodeId> {
+    let n = inst.n_modules();
+    let k = inst.network.node_count();
+    let mut a: Vec<NodeId> = (0..n)
+        .map(|_| NodeId::from_index(rng.gen_range(0..k)))
+        .collect();
+    a[0] = inst.src;
+    *a.last_mut().expect("n >= 2") = inst.dst;
+    a
+}
+
+/// The kernel-vs-evaluator contract for one assignment.
+fn assert_full_equivalence(ctx: &SolveContext<'_>, kernel: &EvalKernel, a: &[NodeId]) {
+    let dense = kernel.full_delay_ms(a);
+    match routed::routed_delay_ms_ctx(ctx, a) {
+        Ok(ms) => assert_eq!(ms.to_bits(), dense.to_bits(), "delay mismatch on {a:?}"),
+        Err(MappingError::Infeasible(_)) => {
+            assert!(dense.is_infinite(), "unreachable transfer must be ∞")
+        }
+        Err(e) => panic!("unexpected delay error {e}"),
+    }
+    for require_distinct in [false, true] {
+        let dense = kernel.full_bottleneck_ms(a, require_distinct);
+        match routed::routed_bottleneck_ms_ctx(ctx, a, require_distinct) {
+            Ok(ms) => assert_eq!(ms.to_bits(), dense.to_bits(), "rate mismatch on {a:?}"),
+            Err(MappingError::Infeasible(_)) | Err(MappingError::InvalidMapping(_)) => {
+                assert!(dense.is_infinite(), "evaluator error must map to ∞")
+            }
+            Err(e) => panic!("unexpected rate error {e}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Full kernel evaluation ≡ the closure-backed routed evaluators, bit
+    /// for bit, on random assignments over random (sometimes disconnected)
+    /// instances.
+    #[test]
+    fn kernel_full_evaluation_matches_the_routed_evaluators(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((net.node_count() - 1) as u32)).unwrap();
+        let ctx = SolveContext::new(inst, CostModel::default());
+        let kernel = ctx.eval_kernel();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD15EA5E);
+        for _ in 0..25 {
+            let a = random_assignment(&inst, &mut rng);
+            assert_full_equivalence(&ctx, &kernel, &a);
+        }
+    }
+
+    /// A randomized sequence of delta-applied moves stays exactly
+    /// reconciled with fresh full evaluations, through feasible and
+    /// infeasible territory alike.
+    #[test]
+    fn delta_move_sequences_reconcile_exactly(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let k = net.node_count();
+        let n = pipe.len();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId((k - 1) as u32)).unwrap();
+        let ctx = SolveContext::new(inst, CostModel::default());
+        let kernel = ctx.eval_kernel();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDE17A);
+        if n < 3 {
+            return Ok(()); // no interior stage, no moves
+        }
+
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            // MaxRate needs a distinct start (and enough hosts)
+            let start: Vec<NodeId> = match objective {
+                Objective::MaxRate if n <= k => {
+                    let mut hosts: Vec<NodeId> = (0..k).map(NodeId::from_index).collect();
+                    let last = hosts.remove(k - 1);
+                    hosts.truncate(n - 1);
+                    hosts.push(last);
+                    hosts
+                }
+                Objective::MaxRate => continue,
+                Objective::MinDelay => random_assignment(&inst, &mut rng),
+            };
+            let mut state = DeltaEval::new(Arc::clone(&kernel), objective, &start);
+            let mut shadow = start.clone();
+            for _ in 0..60 {
+                let mv = if objective == Objective::MinDelay && rng.gen_bool(0.5) {
+                    MoveSpec::Reassign {
+                        stage: 1 + rng.gen_range(0..n - 2),
+                        to: NodeId::from_index(rng.gen_range(0..k)),
+                    }
+                } else if objective == Objective::MaxRate && n < k && rng.gen_bool(0.5) {
+                    // reassign to an unused host, preserving distinctness
+                    let used = state.used_hosts();
+                    let free: Vec<usize> =
+                        (0..k).filter(|&v| !used[v]).collect();
+                    MoveSpec::Reassign {
+                        stage: 1 + rng.gen_range(0..n - 2),
+                        to: NodeId::from_index(free[rng.gen_range(0..free.len())]),
+                    }
+                } else {
+                    let a = 1 + rng.gen_range(0..n - 2);
+                    let mut b = 1 + rng.gen_range(0..n - 2);
+                    if b == a {
+                        b = if b + 1 < n - 1 { b + 1 } else { 1 };
+                    }
+                    MoveSpec::Swap { a, b }
+                };
+
+                // the candidate the move would produce
+                let mut cand = shadow.clone();
+                match mv {
+                    MoveSpec::Reassign { stage, to } => cand[stage] = to,
+                    MoveSpec::Swap { a, b } => cand.swap(a, b),
+                }
+                let full_cand = kernel.full_objective_ms(objective, &cand);
+                match state.eval_move(mv) {
+                    Some(ms) => {
+                        prop_assert!(full_cand.is_finite(), "feasibility must agree");
+                        match objective {
+                            Objective::MaxRate => prop_assert_eq!(
+                                ms.to_bits(), full_cand.to_bits(), "rate deltas are exact"
+                            ),
+                            Objective::MinDelay => prop_assert!(
+                                (ms - full_cand).abs() <= 1e-9 * full_cand.abs().max(1.0),
+                                "delay delta {} drifted from full {}", ms, full_cand
+                            ),
+                        }
+                    }
+                    None => prop_assert!(full_cand.is_infinite(), "feasibility must agree"),
+                }
+
+                // commit: the tracked objective reconciles bit-for-bit
+                let committed = state.apply(mv);
+                shadow = cand;
+                let full_now = kernel.full_objective_ms(objective, &shadow);
+                match committed {
+                    Some(ms) => prop_assert_eq!(ms.to_bits(), full_now.to_bits(), "apply is exact"),
+                    None => prop_assert!(full_now.is_infinite()),
+                }
+                prop_assert_eq!(state.assignment(), &shadow[..]);
+                prop_assert_eq!(state.objective_ms().is_none(), full_now.is_infinite());
+            }
+        }
+    }
+}

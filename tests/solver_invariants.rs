@@ -15,10 +15,23 @@
 //! * every solved mapping pins module 0 to the source and the last module
 //!   to the destination, covers the whole pipeline, and — for the rate
 //!   objective — uses pairwise-distinct hosts (the §3.1.2 streaming
-//!   constraint).
+//!   constraint);
+//! * the dense evaluation kernel (ISSUE 5) is indistinguishable from the
+//!   closure-backed routed evaluators: full evaluations agree bit for bit
+//!   and delta-applied move sequences reconcile exactly
+//!   ([`kernel_equivalence_full_evaluations_are_bit_identical`],
+//!   [`kernel_equivalence_delta_moves_reconcile_exactly`] — the
+//!   `elpc-mapping` crate's `eval_kernel` proptests run the same contract
+//!   against adversarial disconnected topologies).
 
-use elpc::mapping::{exact, registry, solver, CostModel, Objective, SolveContext};
+use elpc::mapping::{
+    exact, registry, routed, solver, CostModel, DeltaEval, MoveSpec, NodeId, Objective,
+    SolveContext,
+};
 use elpc::workloads::InstanceSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 fn cost() -> CostModel {
     CostModel::default()
@@ -146,6 +159,142 @@ fn portfolio_entries_are_bit_identical_across_thread_counts() {
                     assert_eq!(a.to_string(), b.to_string(), "seed {seed}, {name}");
                 }
                 other => panic!("seed {seed}, {name}: divergent feasibility {other:?}"),
+            }
+        }
+    }
+}
+
+/// ISSUE 5 kernel equivalence, part 1: on every suite instance the dense
+/// kernel's full evaluation is bit-identical to the closure-backed routed
+/// evaluators — the values every solver reports are the values the
+/// evaluators would have produced.
+#[test]
+fn kernel_equivalence_full_evaluations_are_bit_identical() {
+    for seed in 0..20u64 {
+        let owned = InstanceSpec::sized(5, 9, 20).generate(seed).unwrap();
+        let inst = owned.as_instance();
+        let ctx = SolveContext::new(inst, cost());
+        let kernel = ctx.eval_kernel();
+        let k = inst.network.node_count();
+        let n = inst.n_modules();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4B45524E); // "KERN"
+        for _ in 0..40 {
+            let mut a: Vec<NodeId> = (0..n)
+                .map(|_| NodeId::from_index(rng.gen_range(0..k)))
+                .collect();
+            a[0] = inst.src;
+            *a.last_mut().unwrap() = inst.dst;
+            let delay = routed::routed_delay_ms_ctx(&ctx, &a).expect("suite nets are connected");
+            assert_eq!(
+                delay.to_bits(),
+                kernel.full_delay_ms(&a).to_bits(),
+                "seed {seed}: delay mismatch on {a:?}"
+            );
+            match routed::routed_bottleneck_ms_ctx(&ctx, &a, true) {
+                Ok(b) => assert_eq!(
+                    b.to_bits(),
+                    kernel.full_bottleneck_ms(&a, true).to_bits(),
+                    "seed {seed}: bottleneck mismatch on {a:?}"
+                ),
+                // host reuse: the evaluator rejects, the kernel reports ∞
+                Err(_) => assert!(kernel.full_bottleneck_ms(&a, true).is_infinite()),
+            }
+        }
+    }
+}
+
+/// ISSUE 5 kernel equivalence, part 2: a seeded random sequence of
+/// delta-applied reassign/swap moves stays exactly reconciled — after
+/// every committed move the tracked objective is bit-identical to a fresh
+/// full evaluation (which part 1 ties to the routed evaluators), and every
+/// candidate's feasibility verdict agrees with its full evaluation.
+#[test]
+fn kernel_equivalence_delta_moves_reconcile_exactly() {
+    for seed in 0..20u64 {
+        let owned = InstanceSpec::sized(5, 9, 20).generate(seed).unwrap();
+        let inst = owned.as_instance();
+        let ctx = SolveContext::new(inst, cost());
+        let kernel = ctx.eval_kernel();
+        let k = inst.network.node_count();
+        let n = inst.n_modules();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDE17A);
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let start: Vec<NodeId> = match objective {
+                Objective::MinDelay => {
+                    let mut a = vec![inst.src; n];
+                    *a.last_mut().unwrap() = inst.dst;
+                    a
+                }
+                Objective::MaxRate => {
+                    // lowest-index distinct interior hosts
+                    let mut a = vec![inst.src; n];
+                    *a.last_mut().unwrap() = inst.dst;
+                    let mut next = 0usize;
+                    for slot in a.iter_mut().take(n - 1).skip(1) {
+                        while next < k {
+                            let cand = NodeId::from_index(next);
+                            next += 1;
+                            if cand != inst.src && cand != inst.dst {
+                                *slot = cand;
+                                break;
+                            }
+                        }
+                    }
+                    a
+                }
+            };
+            let mut state = DeltaEval::new(Arc::clone(&kernel), objective, &start);
+            let mut shadow = start.clone();
+            for _ in 0..80 {
+                let mv = match objective {
+                    Objective::MinDelay if rng.gen_bool(0.5) => MoveSpec::Reassign {
+                        stage: 1 + rng.gen_range(0..n - 2),
+                        to: NodeId::from_index(rng.gen_range(0..k)),
+                    },
+                    Objective::MaxRate if n < k && rng.gen_bool(0.5) => {
+                        let used = state.used_hosts();
+                        let free: Vec<usize> = (0..k).filter(|&v| !used[v]).collect();
+                        MoveSpec::Reassign {
+                            stage: 1 + rng.gen_range(0..n - 2),
+                            to: NodeId::from_index(free[rng.gen_range(0..free.len())]),
+                        }
+                    }
+                    _ => {
+                        let a = 1 + rng.gen_range(0..n - 2);
+                        let mut b = 1 + rng.gen_range(0..n - 2);
+                        if b == a {
+                            b = if b + 1 < n - 1 { b + 1 } else { 1 };
+                        }
+                        MoveSpec::Swap { a, b }
+                    }
+                };
+                let mut cand = shadow.clone();
+                match mv {
+                    MoveSpec::Reassign { stage, to } => cand[stage] = to,
+                    MoveSpec::Swap { a, b } => cand.swap(a, b),
+                }
+                let full_cand = kernel.full_objective_ms(objective, &cand);
+                match state.eval_move(mv) {
+                    Some(ms) => {
+                        assert!(full_cand.is_finite(), "seed {seed}: feasibility diverged");
+                        assert!(
+                            (ms - full_cand).abs() <= 1e-9 * full_cand.abs().max(1.0),
+                            "seed {seed}: candidate {ms} vs full {full_cand}"
+                        );
+                    }
+                    None => assert!(full_cand.is_infinite(), "seed {seed}: feasibility diverged"),
+                }
+                let committed = state.apply(mv);
+                shadow = cand;
+                let full_now = kernel.full_objective_ms(objective, &shadow);
+                match committed {
+                    Some(ms) => assert_eq!(
+                        ms.to_bits(),
+                        full_now.to_bits(),
+                        "seed {seed}: committed objective must reconcile exactly"
+                    ),
+                    None => assert!(full_now.is_infinite()),
+                }
             }
         }
     }
