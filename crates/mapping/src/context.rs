@@ -31,6 +31,11 @@
 //! any other — so [`MetricClosure::par_warm`] builds a whole
 //! `sources × payloads` block on scoped worker threads (the same
 //! work-pulling pattern as `elpc_workloads::sweep::run_parallel`). The
+//! warm path runs on a flat [`Csr`] snapshot of the adjacency (built once
+//! per closure) with the §2.2 edge cost resolved once per payload batch
+//! and per-worker [`SsspScratch`] buffers recycled across sources; the
+//! lazy [`MetricClosure::routed_from`] path keeps the original
+//! adjacency-list Dijkstra, and the two produce bit-identical trees. The
 //! routed DPs call [`SolveContext::warm_routed_dp`] on entry, which turns a
 //! serial cold solve into a parallel-warm one when the context was built
 //! with [`SolveContext::with_threads`]; with `threads == 1` the solvers
@@ -55,11 +60,12 @@
 
 use crate::{CostModel, Instance, MappingError, Result};
 use elpc_netgraph::algo::{dijkstra, extract_path, ShortestPaths};
+use elpc_netgraph::csr::{Csr, SsspScratch};
 use elpc_netgraph::NodeId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Number of lock shards. A small power of two: enough to make write
 /// contention negligible at realistic thread counts, small enough that
@@ -229,6 +235,11 @@ pub struct MetricClosure<'a> {
     shards: [RwLock<ShardMap>; SHARD_COUNT],
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Flat CSR snapshot of the network's adjacency, built once on the
+    /// first batched warm-up and shared by every batch thereafter (the
+    /// network behind a closure is immutable, so the snapshot never goes
+    /// stale). Lazy queries never touch it.
+    csr: OnceLock<Csr>,
 }
 
 impl<'a> MetricClosure<'a> {
@@ -240,6 +251,7 @@ impl<'a> MetricClosure<'a> {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            csr: OnceLock::new(),
         }
     }
 
@@ -288,15 +300,47 @@ impl<'a> MetricClosure<'a> {
         self.shards[shard_of(&key)].read().contains_key(&key)
     }
 
+    /// The flat CSR snapshot of the network's adjacency, built on first
+    /// use. Slot order matches [`elpc_netgraph::Graph::neighbors`] order,
+    /// which is what makes the CSR kernels bit-identical to the lazy path.
+    pub fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::from_graph(self.net.graph()))
+    }
+
+    /// Builds one missing tree on the CSR fast path, with the same
+    /// hit/miss accounting as [`MetricClosure::routed_from`]: a hit when a
+    /// racing builder already materialized the key, one miss per actual
+    /// kernel run, first insert wins.
+    fn warm_one(&self, csr: &Csr, key: TreeKey, costs: &[f64], scratch: &mut SsspScratch) {
+        let shard = &self.shards[shard_of(&key)];
+        if shard.read().contains_key(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tree = Arc::new(scratch.shortest_paths(csr, key.source_node(), costs));
+        shard.write().entry(key).or_insert(tree);
+    }
+
     /// Builds every missing `(source, payload)` tree of the cross product
     /// on `threads` worker threads (`0` = all CPUs, `1` = inline serial).
     /// Returns the number of trees this call set out to build.
     ///
-    /// Each tree is an independent Dijkstra run, so the build order — and
-    /// therefore the thread count — cannot affect any entry's contents:
-    /// `par_warm(s, p, 1)` and `par_warm(s, p, 0)` leave bit-for-bit
-    /// identical caches. Every build counts as one miss (and a racing
-    /// duplicate query as a hit), keeping `hits + misses == queries` exact.
+    /// This is the batched CSR fast path: the adjacency is snapshotted once
+    /// per closure ([`MetricClosure::csr`]), the §2.2 edge cost is resolved
+    /// once per payload into a slot-aligned vector (instead of once per
+    /// heap relaxation, the lazy path's behavior), and every worker runs
+    /// the cache-friendly CSR kernel on a thread-local [`SsspScratch`]
+    /// whose buffers are recycled across its sources.
+    ///
+    /// Each tree is an independent Dijkstra run and the CSR kernel is
+    /// bit-identical to the lazy [`MetricClosure::routed_from`] build, so
+    /// neither the build order, the thread count, nor which path
+    /// materialized an entry can affect its contents: `par_warm(s, p, 1)`,
+    /// `par_warm(s, p, 0)`, and lazy queries leave bit-for-bit identical
+    /// caches (property-tested in `tests/csr_equivalence.rs`). Every build
+    /// counts as one miss (and a racing duplicate query as a hit), keeping
+    /// `hits + misses == queries` exact.
     ///
     /// # Examples
     ///
@@ -319,35 +363,59 @@ impl<'a> MetricClosure<'a> {
     /// assert_eq!(closure.par_warm(&sources, &[1e5, 1e6], 1), 0);
     /// ```
     pub fn par_warm(&self, sources: &[NodeId], payloads: &[f64], threads: usize) -> usize {
+        // gather missing keys grouped per payload, so each batch shares one
+        // precomputed cost vector
         let mut seen = std::collections::HashSet::new();
-        let mut work: Vec<TreeKey> = Vec::with_capacity(sources.len() * payloads.len());
+        let mut batches: Vec<(f64, Vec<TreeKey>)> = Vec::with_capacity(payloads.len());
         for &bytes in payloads {
+            let mut batch = Vec::new();
             for &src in sources {
                 let key = TreeKey::new(src, bytes);
                 if seen.insert(key) && !self.shards[shard_of(&key)].read().contains_key(&key) {
-                    work.push(key);
+                    batch.push(key);
                 }
             }
+            if !batch.is_empty() {
+                batches.push((bytes, batch));
+            }
         }
-        if work.is_empty() {
+        if batches.is_empty() {
             return 0;
         }
+        let csr = self.csr();
+        // resolve the cost model once per (payload, edge) — the lazy path
+        // pays this per heap relaxation instead
+        let costs: Vec<Vec<f64>> = batches
+            .iter()
+            .map(|(bytes, _)| {
+                csr.cost_vector(|eid| self.cost.edge_transfer_ms(self.net, eid, *bytes))
+            })
+            .collect();
+        let work: Vec<(usize, TreeKey)> = batches
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, (_, keys))| keys.iter().map(move |&k| (bi, k)))
+            .collect();
         let threads = effective_threads(threads).min(work.len());
         if threads <= 1 {
-            for key in &work {
-                self.routed_from(key.source_node(), key.payload());
+            let mut scratch = SsspScratch::new();
+            for &(bi, key) in &work {
+                self.warm_one(csr, key, &costs[bi], &mut scratch);
             }
         } else {
             let next = AtomicUsize::new(0);
             crossbeam::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= work.len() {
-                            break;
+                    scope.spawn(|_| {
+                        let mut scratch = SsspScratch::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= work.len() {
+                                break;
+                            }
+                            let (bi, key) = work[i];
+                            self.warm_one(csr, key, &costs[bi], &mut scratch);
                         }
-                        let key = &work[i];
-                        self.routed_from(key.source_node(), key.payload());
                     });
                 }
             })

@@ -74,8 +74,7 @@ pub fn dijkstra<N, E>(
         if d > dist[u.index()] {
             continue; // stale entry
         }
-        for nb in g.neighbors(u) {
-            let e = g.edge(nb.edge).expect("neighbor edges exist");
+        for (nb, e) in g.out_edges(u) {
             let w = cost(nb.edge, e);
             debug_assert!(
                 w >= 0.0 && w.is_finite(),

@@ -72,8 +72,7 @@ pub fn widest_paths<N, E>(
         if w < width[u.index()] {
             continue; // stale
         }
-        for nb in g.neighbors(u) {
-            let e = g.edge(nb.edge).expect("neighbor edges exist");
+        for (nb, e) in g.out_edges(u) {
             let ew = width_of(nb.edge, e);
             debug_assert!(ew >= 0.0 && !ew.is_nan(), "invalid edge width {ew}");
             let nw = w.min(ew);

@@ -1,0 +1,468 @@
+//! Flat CSR (compressed sparse row) graph snapshot and the cache-friendly
+//! SSSP kernels that run on it.
+//!
+//! The adjacency-list [`Graph`] is the right structure for
+//! *building* networks — cheap appends, payload access by id — but its
+//! `Vec<Vec<EdgeId>>` out-lists make the all-pairs metric closure (the
+//! production bottleneck past a few hundred nodes) a pointer-chasing walk:
+//! every relaxation dereferences an out-list, fetches the edge record for
+//! its destination, and re-resolves the edge cost through a closure. A
+//! [`Csr`] snapshot packs the same adjacency into three flat arrays —
+//! prefix-sum `offsets`, and slot-indexed `targets` / `edge_ids` — so a
+//! neighbor scan is one contiguous slice read, and the caller resolves the
+//! cost model **once per edge per batch** into a slot-aligned `Vec<f64>`
+//! ([`Csr::cost_vector`]) instead of once per heap relaxation.
+//!
+//! ## Bit-for-bit contract
+//!
+//! [`SsspScratch::shortest_paths`] and [`SsspScratch::widest_paths`] are
+//! drop-in replacements for [`algo::dijkstra`](crate::algo::dijkstra) and
+//! [`algo::widest_paths`](crate::algo::widest_paths), identical down to the
+//! last bit — `dist`/`prev` including predecessor choice under ties —
+//! by construction rather than by luck:
+//!
+//! * CSR slots preserve the graph's out-edge insertion order, so the
+//!   kernel relaxes arcs in exactly the order the adjacency-list kernel
+//!   does, producing the same heap push sequence;
+//! * the heap is the same `std::collections::BinaryHeap`, and its entries
+//!   compare distances by their IEEE-754 bit patterns, which on the
+//!   non-negative non-NaN values Dijkstra produces is order- and
+//!   equality-isomorphic to `f64` comparison (the private `MinEntry`/`MaxEntry` key types) — every
+//!   comparison returns the same `Ordering`, so the pop sequence (ties
+//!   included) matches the legacy kernel's;
+//! * the kernels stop early once every node has settled, which skips only
+//!   provably stale heap entries and provably failing relaxations.
+//!
+//! The workspace-level `csr_equivalence` proptests pin this on random,
+//! disconnected, and generator-produced topologies.
+//!
+//! ## Scratch reuse
+//!
+//! Multi-source (all-pairs) builds run the kernel thousands of times over
+//! one snapshot. [`SsspScratch`] owns the binary heaps, recycling their
+//! backing arrays across sources — the heap is the allocation that grows
+//! unpredictably mid-run, so recycling it is what keeps the hot loop
+//! allocation-free. Result buffers are deliberately *not* staged in
+//! scratch: each run writes a fresh right-sized `dist`/`prev` pair and
+//! moves it into the output, which measured faster than filling scratch
+//! buffers and cloning them out. Hand each worker thread its own scratch —
+//! the snapshot itself is immutable and freely shared.
+
+use crate::algo::{ShortestPaths, WidestPaths};
+use crate::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Immutable flat adjacency snapshot of a [`Graph`]: `offsets[v]..offsets[v+1]`
+/// indexes the packed out-edge slots of node `v`, in the graph's insertion
+/// order. Payload-free — pair it with a slot-indexed cost vector from
+/// [`Csr::cost_vector`].
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Prefix-sum slot offsets, `node_count + 1` entries.
+    offsets: Vec<u32>,
+    /// Destination node per slot.
+    targets: Vec<u32>,
+    /// Originating [`EdgeId`] per slot (for predecessor links and cost
+    /// resolution).
+    edge_ids: Vec<u32>,
+}
+
+impl Csr {
+    /// Snapshots the adjacency of `g`. Slot order within a node equals
+    /// [`Graph::neighbors`] order, which is what keeps the CSR kernels
+    /// bit-identical to the adjacency-list ones.
+    pub fn from_graph<N, E>(g: &Graph<N, E>) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.edge_count());
+        let mut edge_ids = Vec::with_capacity(g.edge_count());
+        offsets.push(0);
+        for v in g.node_ids() {
+            for nb in g.neighbors(v) {
+                targets.push(nb.node.0);
+                edge_ids.push(nb.edge.0);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr {
+            offsets,
+            targets,
+            edge_ids,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of packed directed-edge slots.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Resolves `cost` once per directed edge into a slot-aligned vector
+    /// for [`SsspScratch::shortest_paths`] / [`SsspScratch::widest_paths`].
+    /// This is the "once per batch" half of the CSR bargain: the returned
+    /// vector is read sequentially by every source of the batch.
+    pub fn cost_vector(&self, mut cost: impl FnMut(EdgeId) -> f64) -> Vec<f64> {
+        self.edge_ids.iter().map(|&eid| cost(EdgeId(eid))).collect()
+    }
+
+    /// The packed out-slots of `v` as `(target, edge)` pairs — mirrors
+    /// [`Graph::neighbors`]. Out-of-bounds nodes have no slots.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let (s, e) = self.slot_range(v);
+        self.targets[s..e]
+            .iter()
+            .zip(&self.edge_ids[s..e])
+            .map(|(&t, &eid)| (NodeId(t), EdgeId(eid)))
+    }
+
+    #[inline]
+    fn slot_range(&self, v: NodeId) -> (usize, usize) {
+        if v.index() + 1 >= self.offsets.len() {
+            return (0, 0);
+        }
+        (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        )
+    }
+}
+
+/// Min-heap entry for the CSR Dijkstra, keyed on the IEEE-754 bit pattern
+/// of the distance.
+///
+/// For the values this kernel produces — non-negative, non-NaN, and never
+/// `-0.0` (costs are `>= 0` and IEEE addition of such values cannot yield a
+/// negative zero) — the unsigned integer order of `f64::to_bits` is exactly
+/// the floating-point order, and bit equality is exactly float equality.
+/// Every comparison therefore returns the same `Ordering` the legacy `f64`
+/// entry would, so `BinaryHeap` produces the identical pop sequence — ties
+/// included — while comparing in one integer instruction instead of a
+/// `partial_cmp` on floats (measured ~13% off the whole kernel).
+struct MinEntry {
+    bits: u64,
+    node: u32,
+}
+
+impl PartialEq for MinEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bits == other.bits
+    }
+}
+impl Eq for MinEntry {}
+impl PartialOrd for MinEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MinEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want min-dist on top
+        other.bits.cmp(&self.bits)
+    }
+}
+
+/// Max-heap entry for the CSR widest-path kernel — same bit-order argument
+/// as [`MinEntry`] (widths are non-negative and non-NaN; `f64::INFINITY`'s
+/// bit pattern sorts above every finite width).
+struct MaxEntry {
+    bits: u64,
+    node: u32,
+}
+
+impl PartialEq for MaxEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bits == other.bits
+    }
+}
+impl Eq for MaxEntry {}
+impl PartialOrd for MaxEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MaxEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bits.cmp(&other.bits)
+    }
+}
+
+/// Reusable SSSP working memory: the binary heaps, whose backing arrays are
+/// recycled across the sources of a multi-source batch (the heap is the
+/// only buffer whose capacity survives a run — result arrays are written
+/// once and moved into the output, which measured faster than staging them
+/// in scratch and cloning out). Create one per worker thread; the [`Csr`]
+/// snapshot itself is shared read-only.
+#[derive(Default)]
+pub struct SsspScratch {
+    min_heap: BinaryHeap<MinEntry>,
+    max_heap: BinaryHeap<MaxEntry>,
+}
+
+impl SsspScratch {
+    /// Empty scratch; buffers grow to the snapshot's node count on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CSR Dijkstra from `src` under the slot-aligned `costs` vector
+    /// (see [`Csr::cost_vector`]). Bit-identical to
+    /// [`algo::dijkstra`](crate::algo::dijkstra) with the same cost
+    /// function — including predecessor links under distance ties.
+    ///
+    /// # Panics
+    /// Panics if `costs.len() != csr.arc_count()`; debug-panics on a
+    /// negative or NaN cost (the algorithm's correctness contract).
+    pub fn shortest_paths(&mut self, csr: &Csr, src: NodeId, costs: &[f64]) -> ShortestPaths {
+        assert_eq!(
+            costs.len(),
+            csr.arc_count(),
+            "cost vector must be slot-aligned with the CSR snapshot"
+        );
+        let n = csr.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        if src.index() < n {
+            self.min_heap.clear();
+            dist[src.index()] = 0.0;
+            self.min_heap.push(MinEntry {
+                bits: 0, // 0.0f64.to_bits()
+                node: src.0,
+            });
+            let mut settled = 0usize;
+            while let Some(MinEntry { bits, node: u }) = self.min_heap.pop() {
+                let d = f64::from_bits(bits);
+                if d > dist[u as usize] {
+                    continue; // stale entry
+                }
+                // Once every node has settled, each remaining heap entry is
+                // a stale duplicate (a node's settling entry is its lowest
+                // ever pushed), so draining them cannot touch dist/prev —
+                // breaking here is exact, not an approximation.
+                settled += 1;
+                if settled == n {
+                    break;
+                }
+                let s = csr.offsets[u as usize] as usize;
+                let e = csr.offsets[u as usize + 1] as usize;
+                for (i, (&w, &tv)) in costs[s..e].iter().zip(&csr.targets[s..e]).enumerate() {
+                    debug_assert!(
+                        w >= 0.0 && w.is_finite(),
+                        "Dijkstra requires finite non-negative costs, got {w}"
+                    );
+                    let v = tv as usize;
+                    let nd = d + w;
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        prev[v] = Some((NodeId(u), EdgeId(csr.edge_ids[s + i])));
+                        self.min_heap.push(MinEntry {
+                            bits: nd.to_bits(),
+                            node: v as u32,
+                        });
+                    }
+                }
+            }
+        }
+        ShortestPaths { dist, prev }
+    }
+
+    /// CSR widest-path (maximum bottleneck) from `src` under the
+    /// slot-aligned `widths` vector. Bit-identical to
+    /// [`algo::widest_paths`](crate::algo::widest_paths).
+    ///
+    /// # Panics
+    /// Panics if `widths.len() != csr.arc_count()`; debug-panics on a
+    /// negative or NaN width.
+    pub fn widest_paths(&mut self, csr: &Csr, src: NodeId, widths: &[f64]) -> WidestPaths {
+        assert_eq!(
+            widths.len(),
+            csr.arc_count(),
+            "width vector must be slot-aligned with the CSR snapshot"
+        );
+        let n = csr.node_count();
+        let mut width = vec![0.0f64; n];
+        let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        if src.index() < n {
+            self.max_heap.clear();
+            width[src.index()] = f64::INFINITY;
+            self.max_heap.push(MaxEntry {
+                bits: f64::INFINITY.to_bits(),
+                node: src.0,
+            });
+            let mut settled = 0usize;
+            while let Some(MaxEntry { bits, node: u }) = self.max_heap.pop() {
+                let w = f64::from_bits(bits);
+                if w < width[u as usize] {
+                    continue; // stale
+                }
+                // exact early exit — see the shortest-path kernel
+                settled += 1;
+                if settled == n {
+                    break;
+                }
+                let s = csr.offsets[u as usize] as usize;
+                let e = csr.offsets[u as usize + 1] as usize;
+                for (i, (&ew, &tv)) in widths[s..e].iter().zip(&csr.targets[s..e]).enumerate() {
+                    debug_assert!(ew >= 0.0 && !ew.is_nan(), "invalid edge width {ew}");
+                    let v = tv as usize;
+                    let nw = w.min(ew);
+                    if nw > width[v] {
+                        width[v] = nw;
+                        prev[v] = Some((NodeId(u), EdgeId(csr.edge_ids[s + i])));
+                        self.max_heap.push(MaxEntry {
+                            bits: nw.to_bits(),
+                            node: v as u32,
+                        });
+                    }
+                }
+            }
+        }
+        WidestPaths { width, prev }
+    }
+}
+
+/// One-shot CSR Dijkstra — convenience wrapper allocating a fresh scratch.
+/// Multi-source callers should hold a [`SsspScratch`] instead.
+pub fn dijkstra_csr(csr: &Csr, src: NodeId, costs: &[f64]) -> ShortestPaths {
+    SsspScratch::new().shortest_paths(csr, src, costs)
+}
+
+/// One-shot CSR widest-path — convenience wrapper allocating a fresh
+/// scratch.
+pub fn widest_csr(csr: &Csr, src: NodeId, widths: &[f64]) -> WidestPaths {
+    SsspScratch::new().widest_paths(csr, src, widths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{dijkstra, widest_paths};
+    use crate::Graph;
+
+    /// Weighted test graph (same as the Dijkstra module's diamond):
+    /// 0 --1.0-- 1 --1.0-- 3
+    ///  \                 /
+    ///   --3.0-- 2 --0.5--
+    fn diamond() -> (Graph<(), f64>, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_undirected_edge(ns[0], ns[1], 1.0).unwrap();
+        g.add_undirected_edge(ns[1], ns[3], 1.0).unwrap();
+        g.add_undirected_edge(ns[0], ns[2], 3.0).unwrap();
+        g.add_undirected_edge(ns[2], ns[3], 0.5).unwrap();
+        (g, ns)
+    }
+
+    fn assert_sp_identical(a: &ShortestPaths, b: &ShortestPaths) {
+        assert_eq!(a.dist.len(), b.dist.len());
+        for v in 0..a.dist.len() {
+            assert_eq!(a.dist[v].to_bits(), b.dist[v].to_bits(), "dist at {v}");
+            assert_eq!(a.prev[v], b.prev[v], "prev at {v}");
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_counts_and_neighbor_order() {
+        let (g, _) = diamond();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.arc_count(), g.edge_count());
+        for v in g.node_ids() {
+            let legacy: Vec<_> = g.neighbors(v).map(|nb| (nb.node, nb.edge)).collect();
+            let packed: Vec<_> = csr.neighbors(v).collect();
+            assert_eq!(legacy, packed, "slot order at {v:?}");
+        }
+        // out-of-bounds nodes have no slots
+        assert_eq!(csr.neighbors(NodeId(99)).count(), 0);
+    }
+
+    #[test]
+    fn csr_dijkstra_matches_legacy_bit_for_bit() {
+        let (g, ns) = diamond();
+        let csr = Csr::from_graph(&g);
+        let costs = csr.cost_vector(|eid| g.edge(eid).unwrap().payload);
+        for &src in &ns {
+            let legacy = dijkstra(&g, src, |_, e| e.payload);
+            let fast = dijkstra_csr(&csr, src, &costs);
+            assert_sp_identical(&legacy, &fast);
+        }
+    }
+
+    #[test]
+    fn csr_widest_matches_legacy_bit_for_bit() {
+        let (g, ns) = diamond();
+        let csr = Csr::from_graph(&g);
+        let widths = csr.cost_vector(|eid| g.edge(eid).unwrap().payload);
+        for &src in &ns {
+            let legacy = widest_paths(&g, src, |_, e| e.payload);
+            let fast = widest_csr(&csr, src, &widths);
+            assert_eq!(legacy.width.len(), fast.width.len());
+            for v in 0..legacy.width.len() {
+                assert_eq!(legacy.width[v].to_bits(), fast.width[v].to_bits());
+                assert_eq!(legacy.prev[v], fast.prev[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_sources_and_graphs() {
+        let (g, ns) = diamond();
+        let csr = Csr::from_graph(&g);
+        let costs = csr.cost_vector(|eid| g.edge(eid).unwrap().payload);
+        let mut scratch = SsspScratch::new();
+        let first = scratch.shortest_paths(&csr, ns[0], &costs);
+        // run from another source, then re-run the first: identical output
+        let _ = scratch.shortest_paths(&csr, ns[3], &costs);
+        let again = scratch.shortest_paths(&csr, ns[0], &costs);
+        assert_sp_identical(&first, &again);
+        // and a widest run on the same scratch does not disturb it
+        let _ = scratch.widest_paths(&csr, ns[1], &costs);
+        assert_sp_identical(&first, &scratch.shortest_paths(&csr, ns[0], &costs));
+        // a smaller graph shrinks the output, not just the prefix
+        let mut g2: Graph<(), f64> = Graph::new();
+        let a = g2.add_node(());
+        let b = g2.add_node(());
+        g2.add_edge(a, b, 2.0).unwrap();
+        let csr2 = Csr::from_graph(&g2);
+        let costs2 = csr2.cost_vector(|eid| g2.edge(eid).unwrap().payload);
+        let sp = scratch.shortest_paths(&csr2, a, &costs2);
+        assert_eq!(sp.dist.len(), 2);
+        assert_eq!(sp.dist[1], 2.0);
+    }
+
+    #[test]
+    fn out_of_bounds_source_returns_all_unreachable() {
+        let (g, _) = diamond();
+        let csr = Csr::from_graph(&g);
+        let costs = csr.cost_vector(|eid| g.edge(eid).unwrap().payload);
+        let sp = dijkstra_csr(&csr, NodeId(50), &costs);
+        assert!(sp.dist.iter().all(|d| d.is_infinite()));
+        let wp = widest_csr(&csr, NodeId(50), &costs);
+        assert!(wp.width.iter().all(|w| *w == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot-aligned")]
+    fn misaligned_cost_vector_is_rejected() {
+        let (g, ns) = diamond();
+        let csr = Csr::from_graph(&g);
+        let _ = dijkstra_csr(&csr, ns[0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_graph_snapshot_is_valid() {
+        let g: Graph<(), f64> = Graph::new();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.arc_count(), 0);
+        let sp = dijkstra_csr(&csr, NodeId(0), &[]);
+        assert!(sp.dist.is_empty());
+    }
+}

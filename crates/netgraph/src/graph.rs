@@ -196,6 +196,28 @@ impl<N, E> Graph<N, E> {
             })
     }
 
+    /// Out-neighbors of `node` paired with their edge records, in insertion
+    /// order. This is the relaxation-loop variant of [`Graph::neighbors`]:
+    /// the edge data arrives with the neighbor, so hot loops don't re-run
+    /// the bounds check in [`Graph::edge`] on an id this iterator already
+    /// guarantees valid.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (Neighbor, &Edge<E>)> {
+        self.out
+            .get(node.index())
+            .into_iter()
+            .flatten()
+            .map(|&eid| {
+                let e = &self.edges[eid.index()];
+                (
+                    Neighbor {
+                        edge: eid,
+                        node: e.dst,
+                    },
+                    e,
+                )
+            })
+    }
+
     /// Out-degree of `node`. Out-of-bounds ids have degree zero.
     pub fn degree(&self, node: NodeId) -> usize {
         self.out.get(node.index()).map_or(0, Vec::len)

@@ -12,9 +12,15 @@
 //!   last of these is the exact counterpart of the paper's NP-complete
 //!   "exact n-hop widest path" problem (§3.1.2) and is used to measure the
 //!   ELPC-rate heuristic's optimality gap.
+//! * [`csr`] — flat compressed-sparse-row snapshots of a built graph plus
+//!   cache-friendly SSSP kernels with reusable scratch, bit-identical to
+//!   the [`algo`] kernels. This is what multi-source (metric-closure)
+//!   workloads run on past a few hundred nodes.
 //! * [`gen`] — seeded topology generators covering the "essentially
 //!   arbitrary" networks of §4.1: random connected, Waxman geometric,
-//!   ring-with-chords, complete, line, and star graphs.
+//!   ring-with-chords, complete, line, and star graphs, plus the
+//!   scale-free (Barabási–Albert) and small-world (Watts–Strogatz)
+//!   families that the 10⁴-node scaling experiments draw from.
 //! * [`dot`] — Graphviz DOT export used by the Fig. 3 / Fig. 4 path
 //!   illustrations.
 //!
@@ -32,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod csr;
 pub mod dot;
 pub mod error;
 pub mod fnv;

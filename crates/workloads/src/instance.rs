@@ -26,6 +26,23 @@ pub enum TopologyKind {
     /// Ring with random chords (long thin topologies that stress the
     /// no-reuse mapping).
     RingWithChords,
+    /// Barabási–Albert scale-free graph: each new node attaches to `attach`
+    /// existing nodes preferentially by degree. The heavy-tailed hub
+    /// structure of internet-scale deployments; the link budget is
+    /// advisory (`≈ n·attach` links are drawn).
+    ScaleFree {
+        /// Links added per new node (`1 <= attach < n`).
+        attach: usize,
+    },
+    /// Watts–Strogatz small-world graph: ring lattice of degree `k` with
+    /// each lattice edge rewired with probability `beta`. High clustering,
+    /// short paths; the link budget is advisory (`≈ n·k/2` links).
+    SmallWorld {
+        /// Lattice degree (even, `2 <= k < n`).
+        k: usize,
+        /// Rewiring probability in `[0, 1]`.
+        beta: f64,
+    },
 }
 
 /// Generation ranges for one problem instance, mirroring the §4.1 attribute
@@ -101,6 +118,14 @@ impl InstanceSpec {
             TopologyKind::RingWithChords => {
                 let chords = self.links.saturating_sub(self.nodes);
                 elpc_netgraph::gen::ring_with_chords(self.nodes, chords, &mut rng)
+                    .map_err(elpc_netsim::NetworkError::from)?
+            }
+            TopologyKind::ScaleFree { attach } => {
+                elpc_netgraph::gen::barabasi_albert(self.nodes, attach, &mut rng)
+                    .map_err(elpc_netsim::NetworkError::from)?
+            }
+            TopologyKind::SmallWorld { k, beta } => {
+                elpc_netgraph::gen::watts_strogatz(self.nodes, k, beta, &mut rng)
                     .map_err(elpc_netsim::NetworkError::from)?
             }
         };
@@ -260,6 +285,25 @@ mod tests {
         spec.topology = TopologyKind::RingWithChords;
         let inst = spec.generate(1).unwrap();
         assert_eq!(inst.network.link_count(), 30);
+    }
+
+    #[test]
+    fn scale_free_and_small_world_topologies_generate() {
+        let mut spec = InstanceSpec::sized(6, 40, 0);
+        spec.topology = TopologyKind::ScaleFree { attach: 2 };
+        let inst = spec.generate(5).unwrap();
+        assert!(inst.network.validate().is_ok());
+        assert!(inst.network.link_count() >= 39); // connected at minimum
+        let mut spec = InstanceSpec::sized(6, 40, 0);
+        spec.topology = TopologyKind::SmallWorld { k: 4, beta: 0.2 };
+        let inst = spec.generate(5).unwrap();
+        assert!(inst.network.validate().is_ok());
+        // WS draws ~ n*k/2 links regardless of the advisory budget
+        assert!(inst.network.link_count() >= 40);
+        // determinism flows through the seeded RNG
+        let again = spec.generate(5).unwrap();
+        assert_eq!(inst.network.link_count(), again.network.link_count());
+        assert_eq!(inst.dst, again.dst);
     }
 
     #[test]
