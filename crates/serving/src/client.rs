@@ -1,0 +1,178 @@
+//! A small blocking client for the `elpc-serve` daemon.
+//!
+//! One [`Client`] wraps one connection and issues synchronous
+//! request/response exchanges; open several clients for concurrency (the
+//! server multiplexes them onto its worker pool). The CLI subcommands and
+//! the serving test harness are both built on this type.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, RemapReply, RemapRequest,
+    Request, RequestFrame, Response, ServeError, SolveReply, SolveRequest, StatsReply,
+};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// A frame could not be read or decoded.
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Server(ServeError),
+    /// The server answered with a response of the wrong kind.
+    Unexpected {
+        /// The response kind the call was waiting for.
+        expected: &'static str,
+        /// Debug rendering of what arrived instead.
+        got: String,
+    },
+    /// The server closed the connection before answering.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected {expected} response, got {got}")
+            }
+            ClientError::Closed => f.write_str("server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to a running `elpc-serve` daemon.
+///
+/// # Examples
+///
+/// Boot an in-process server, solve over the socket, and check the answer
+/// matches a direct registry call:
+///
+/// ```
+/// use elpc_serving::{Client, Server, ServerConfig, SolveRequest};
+/// use elpc_mapping::{solver, CostModel, SolveContext};
+/// use elpc_workloads::InstanceSpec;
+///
+/// let socket = std::env::temp_dir().join(format!("elpc-doc-{}.sock", std::process::id()));
+/// let server = Server::bind(&socket, ServerConfig::default()).unwrap();
+///
+/// let inst = InstanceSpec::sized(4, 12, 22).generate(7).unwrap();
+/// let mut client = Client::connect(&socket).unwrap();
+/// client.ping().unwrap();
+/// let reply = client
+///     .solve(SolveRequest {
+///         solver: "elpc_delay_routed".into(),
+///         cost: CostModel::default(),
+///         threads: 1,
+///         timeout_ms: None,
+///         instance: inst.clone(),
+///     })
+///     .unwrap();
+///
+/// let ctx = SolveContext::with_threads(inst.as_instance(), CostModel::default(), 1);
+/// let direct = solver("elpc_delay_routed").unwrap().solve(&ctx).unwrap();
+/// assert_eq!(reply.assignment, direct.assignment);
+/// assert_eq!(reply.objective_ms, direct.objective_ms);
+///
+/// client.shutdown().unwrap();
+/// server.shutdown();
+/// ```
+pub struct Client {
+    stream: UnixStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the daemon listening on `path`.
+    pub fn connect<P: AsRef<Path>>(path: P) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, body: Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let json = encode_request(&RequestFrame { id, body });
+        write_frame(&mut self.stream, json.as_bytes())?;
+        loop {
+            let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Closed)?;
+            let frame = decode_response(&payload)?;
+            // A synchronous client only ever has one request outstanding;
+            // skip anything stale rather than misattributing it.
+            if frame.id == id {
+                return Ok(frame.body);
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Runs a solve on the daemon and returns its reply.
+    pub fn solve(&mut self, req: SolveRequest) -> Result<SolveReply, ClientError> {
+        match self.request(Request::Solve(req))? {
+            Response::Solved(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Solved", &other)),
+        }
+    }
+
+    /// Runs a remap on the daemon and returns its reply.
+    pub fn remap(&mut self, req: RemapRequest) -> Result<RemapReply, ClientError> {
+        match self.request(Request::Remap(req))? {
+            Response::Remapped(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("Remapped", &other)),
+        }
+    }
+
+    /// Fetches a statistics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.request(Request::Stats)? {
+            Response::Stats(reply) => Ok(reply),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Response) -> ClientError {
+    ClientError::Unexpected {
+        expected,
+        got: format!("{got:?}"),
+    }
+}

@@ -1,0 +1,236 @@
+//! An open-loop load generator for the `elpc-serve` daemon.
+//!
+//! *Open-loop* means the send schedule is fixed up front: each connection's
+//! writer thread fires requests at the configured aggregate rate (or as
+//! fast as the socket accepts them at rate 0) **without waiting for
+//! responses**, while a separate reader thread matches responses by
+//! correlation id and records end-to-end latency. A server that falls
+//! behind therefore shows up as growing latency, not as a silently
+//! throttled client — the honest way to measure a queueing system.
+//!
+//! The `serving` bench and the CI `SERVING_SMOKE` step both drive the
+//! daemon through [`run_open_loop`].
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, RequestFrame, Response,
+    SolveRequest,
+};
+use elpc_mapping::CostModel;
+use elpc_workloads::ProblemInstance;
+use std::collections::HashMap;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs for one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Client connections to open.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Aggregate send rate in requests/second (0 = unpaced, send as fast
+    /// as the sockets accept).
+    pub rate_per_sec: f64,
+    /// Registry solver every request asks for.
+    pub solver: String,
+    /// Cost model every request carries.
+    pub cost: CostModel,
+    /// Per-request closure threads (1 keeps the daemon's parallelism in
+    /// the pool, not inside each solve).
+    pub threads: usize,
+    /// Optional per-request timeout forwarded to the server.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            requests: 64,
+            rate_per_sec: 0.0,
+            solver: "elpc_delay_routed".into(),
+            cost: CostModel::default(),
+            threads: 1,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// What an open-loop run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests actually written to the sockets.
+    pub sent: usize,
+    /// Successful solve replies.
+    pub ok: usize,
+    /// Typed server errors plus responses that never arrived.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run in seconds.
+    pub elapsed_s: f64,
+    /// Successful replies per second of wall clock.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency (ms) over successful replies.
+    pub mean_ms: f64,
+    /// Median end-to-end latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency (ms).
+    pub p99_ms: f64,
+    /// Worst end-to-end latency (ms).
+    pub max_ms: f64,
+}
+
+/// Drives `cfg.requests` solve requests at the daemon on `socket`,
+/// round-robining `instances` across the request stream, and returns the
+/// observed throughput/latency report.
+pub fn run_open_loop(
+    socket: &Path,
+    instances: &[ProblemInstance],
+    cfg: &LoadConfig,
+) -> std::io::Result<LoadReport> {
+    assert!(!instances.is_empty(), "need at least one instance");
+    let connections = cfg.connections.max(1);
+    let interval = if cfg.rate_per_sec > 0.0 {
+        Duration::from_secs_f64(1.0 / cfg.rate_per_sec)
+    } else {
+        Duration::ZERO
+    };
+
+    // Pre-open every connection so the measured window is pure serving.
+    let mut streams = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        streams.push(UnixStream::connect(socket)?);
+    }
+
+    let latencies = Mutex::new(Vec::<f64>::with_capacity(cfg.requests));
+    let sent = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|s| -> std::io::Result<()> {
+        for (conn_idx, stream) in streams.into_iter().enumerate() {
+            let writer_stream = stream.try_clone()?;
+            // ids this connection owns: the global request indices
+            // congruent to conn_idx mod connections.
+            let my_ids: Vec<usize> = (0..cfg.requests)
+                .filter(|k| k % connections == conn_idx)
+                .collect();
+            let expect = my_ids.len();
+            let in_flight = Mutex::new(HashMap::<u64, Instant>::with_capacity(expect));
+
+            let latencies = &latencies;
+            let sent = &sent;
+            let ok = &ok;
+            let errors = &errors;
+            let cfg_ref = cfg;
+
+            s.spawn(move || {
+                let in_flight = &in_flight;
+                std::thread::scope(|inner| {
+                    // Writer: paced sends on the global schedule, never
+                    // waiting for responses (open loop).
+                    let mut w = writer_stream;
+                    inner.spawn(move || {
+                        for k in my_ids {
+                            if !interval.is_zero() {
+                                let due = start + interval.mul_f64(k as f64);
+                                let now = Instant::now();
+                                if due > now {
+                                    std::thread::sleep(due - now);
+                                }
+                            }
+                            let body = Request::Solve(SolveRequest {
+                                solver: cfg_ref.solver.clone(),
+                                cost: cfg_ref.cost,
+                                threads: cfg_ref.threads,
+                                timeout_ms: cfg_ref.timeout_ms,
+                                instance: instances[k % instances.len()].clone(),
+                            });
+                            let frame = RequestFrame { id: k as u64, body };
+                            let json = encode_request(&frame);
+                            in_flight
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(frame.id, Instant::now());
+                            if write_frame(&mut w, json.as_bytes()).is_err() {
+                                break;
+                            }
+                            sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                    // Reader: match responses by id until the connection's
+                    // share is answered or the server hangs up.
+                    let mut r = stream;
+                    inner.spawn(move || {
+                        let mut received = 0usize;
+                        while received < expect {
+                            let payload = match read_frame(&mut r) {
+                                Ok(Some(p)) => p,
+                                Ok(None) | Err(_) => break,
+                            };
+                            let Ok(frame) = decode_response(&payload) else {
+                                break;
+                            };
+                            let sent_at = in_flight
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .remove(&frame.id);
+                            received += 1;
+                            match (frame.body, sent_at) {
+                                (Response::Solved(_), Some(t0)) => {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                    latencies
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push(t0.elapsed().as_secs_f64() * 1e3);
+                                }
+                                _ => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    });
+                });
+            });
+        }
+        Ok(())
+    })?;
+
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let sent = sent.into_inner();
+    let ok = ok.into_inner();
+    let answered_errors = errors.into_inner();
+    let lost = sent.saturating_sub(ok + answered_errors);
+    Ok(LoadReport {
+        sent,
+        ok,
+        errors: answered_errors + lost,
+        elapsed_s,
+        throughput_rps: if elapsed_s > 0.0 {
+            ok as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        mean_ms: if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / lat.len() as f64
+        },
+        p50_ms: pct(&lat, 0.50),
+        p99_ms: pct(&lat, 0.99),
+        max_ms: lat.last().copied().unwrap_or(0.0),
+    })
+}
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}

@@ -1,0 +1,344 @@
+//! Property tests for the `elpc-serve` wire protocol.
+//!
+//! Two families:
+//!
+//! * **round trips** — arbitrary solve/remap requests and every response
+//!   variant (including each typed error) encode→decode bit-identically:
+//!   decoding and re-encoding reproduces the exact JSON payload, and where
+//!   the types carry `PartialEq` the decoded value equals the original;
+//! * **hostile input** — arbitrary byte soup, truncated frames, and
+//!   corrupt length prefixes must come back as typed [`FrameError`]s,
+//!   never a panic.
+
+use elpc_mapping::{CostModel, NodeId};
+use elpc_serving::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, LatencySummary, RemapReply, RemapRequest, Request, RequestFrame, Response,
+    ResponseFrame, ServeError, SolveErrorKind, SolveFailure, SolveReply, SolveRequest, StatsReply,
+    MAX_FRAME_LEN,
+};
+use elpc_workloads::{InstanceSpec, ProblemInstance};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Finite (but otherwise wild) f64s: raw bit patterns when they happen to
+/// be finite, a scaled fallback otherwise. Covers negatives, subnormals,
+/// and huge magnitudes — everything the JSON codec must round-trip exactly.
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            (bits >> 11) as f64 * 1.25e-3
+        }
+    })
+}
+
+/// Strings with JSON-hostile content: quotes, backslashes, control
+/// characters, non-ASCII.
+fn arb_string() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &[
+        'a', 'Z', '0', '_', ' ', '"', '\\', '\n', '\t', '/', '{', '}', 'é', '→', '𝕊', '\u{0}',
+    ];
+    prop::collection::vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|idxs| idxs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    any::<u32>().prop_map(|n| NodeId(n % 1024))
+}
+
+fn arb_cost() -> impl Strategy<Value = CostModel> {
+    any::<bool>().prop_map(|include_mld| CostModel { include_mld })
+}
+
+fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
+    (2usize..=4, 6usize..=10, any::<u64>()).prop_map(|(m, n, seed)| {
+        let links = n + (seed % n as u64) as usize;
+        InstanceSpec::sized(m, n, links)
+            .generate(seed)
+            .expect("sized specs generate")
+    })
+}
+
+fn arb_solve_request() -> impl Strategy<Value = SolveRequest> {
+    (
+        arb_string(),
+        arb_cost(),
+        0usize..=8,
+        (any::<bool>(), any::<u64>()),
+        arb_instance(),
+    )
+        .prop_map(
+            |(solver, cost, threads, (has_timeout, ms), instance)| SolveRequest {
+                solver,
+                cost,
+                threads,
+                timeout_ms: has_timeout.then_some(ms % 1_000_000),
+                instance,
+            },
+        )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..5,
+        arb_solve_request(),
+        prop::collection::vec(arb_node(), 0..6),
+    )
+        .prop_map(|(sel, solve, previous)| match sel {
+            0 => Request::Ping,
+            1 => Request::Solve(solve),
+            2 => Request::Remap(RemapRequest { solve, previous }),
+            3 => Request::Stats,
+            _ => Request::Shutdown,
+        })
+}
+
+fn arb_solve_reply() -> impl Strategy<Value = SolveReply> {
+    (
+        arb_string(),
+        prop::collection::vec(arb_node(), 0..8),
+        (arb_finite_f64(), arb_finite_f64(), arb_finite_f64()),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(solver, assignment, (objective_ms, queue_ms, solve_ms), (banked, coalesced))| {
+                SolveReply {
+                    solver,
+                    assignment,
+                    objective_ms,
+                    banked,
+                    coalesced,
+                    queue_ms,
+                    solve_ms,
+                }
+            },
+        )
+}
+
+fn arb_stats_reply() -> impl Strategy<Value = StatsReply> {
+    (
+        prop::collection::vec(any::<u64>(), 11..12),
+        (arb_finite_f64(), arb_finite_f64(), arb_finite_f64()),
+        any::<u64>(),
+    )
+        .prop_map(|(counts, (p50_ms, p99_ms, max_ms), lat_count)| StatsReply {
+            requests: counts[0],
+            completed: counts[1],
+            errors: counts[2],
+            timeouts: counts[3],
+            coalesced: counts[4],
+            queue_depth: counts[5],
+            max_queue_depth: counts[6],
+            workers: counts[7],
+            bank_hits: counts[8],
+            bank_misses: counts[9],
+            bank_deposits: counts[10],
+            latency: LatencySummary {
+                count: lat_count,
+                p50_ms,
+                p99_ms,
+                max_ms,
+            },
+        })
+}
+
+/// Every [`ServeError`] variant, every [`SolveErrorKind`] kind.
+fn arb_serve_error() -> impl Strategy<Value = ServeError> {
+    (0u8..6, arb_string(), any::<u64>(), 0u8..6).prop_map(|(sel, text, num, kind_sel)| {
+        let kind = match kind_sel {
+            0 => SolveErrorKind::Infeasible,
+            1 => SolveErrorKind::InvalidMapping,
+            2 => SolveErrorKind::Network,
+            3 => SolveErrorKind::Pipeline,
+            4 => SolveErrorKind::BadConfig,
+            _ => SolveErrorKind::BudgetExhausted { budget: num },
+        };
+        match sel {
+            0 => ServeError::UnknownSolver { name: text },
+            1 => ServeError::Solve(SolveFailure {
+                kind,
+                message: text,
+            }),
+            2 => ServeError::Timeout { waited_ms: num },
+            3 => ServeError::Malformed { detail: text },
+            4 => ServeError::ShuttingDown,
+            _ => ServeError::Internal { detail: text },
+        }
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..6,
+        arb_solve_reply(),
+        arb_stats_reply(),
+        arb_serve_error(),
+        any::<bool>(),
+    )
+        .prop_map(|(sel, reply, stats, error, changed)| match sel {
+            0 => Response::Pong,
+            1 => Response::Solved(reply),
+            2 => Response::Remapped(RemapReply { reply, changed }),
+            3 => Response::Stats(stats),
+            4 => Response::ShuttingDown,
+            _ => Response::Error(error),
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Requests (which carry a whole `ProblemInstance` and thus have no
+    /// `PartialEq`) round-trip bit-identically at the JSON level: decoding
+    /// and re-encoding reproduces the exact payload string.
+    #[test]
+    fn requests_reencode_bit_identically(id in any::<u64>(), body in arb_request()) {
+        let frame = RequestFrame { id, body };
+        let json = encode_request(&frame);
+        let decoded = decode_request(json.as_bytes()).expect("own encoding decodes");
+        prop_assert_eq!(decoded.id, id);
+        prop_assert_eq!(encode_request(&decoded), json);
+    }
+
+    /// Responses round-trip to equal values AND identical bytes.
+    #[test]
+    fn responses_roundtrip_exactly(id in any::<u64>(), body in arb_response()) {
+        let frame = ResponseFrame { id, body };
+        let json = encode_response(&frame);
+        let decoded = decode_response(json.as_bytes()).expect("own encoding decodes");
+        prop_assert_eq!(decoded.id, frame.id);
+        prop_assert_eq!(&decoded.body, &frame.body);
+        prop_assert_eq!(encode_response(&decoded), json);
+    }
+
+    /// A full frame survives the wire layer too: write_frame → read_frame
+    /// hands back the exact payload bytes.
+    #[test]
+    fn framing_preserves_payload_bytes(id in any::<u64>(), body in arb_request()) {
+        let json = encode_request(&RequestFrame { id, body });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, json.as_bytes()).expect("vec write");
+        let mut r = &wire[..];
+        let payload = read_frame(&mut r).expect("framed").expect("one frame");
+        prop_assert_eq!(payload, json.into_bytes());
+        prop_assert!(read_frame(&mut r).expect("clean tail").is_none());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup through the frame reader: typed error or a
+    /// (possibly nonsensical) frame, never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_reader(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut r = &bytes[..];
+        match read_frame(&mut r) {
+            Ok(_) => {}
+            Err(FrameError::Truncated { expected, got }) => prop_assert!(got < expected),
+            Err(FrameError::TooLarge { len, max }) => {
+                prop_assert!(len > max);
+                prop_assert_eq!(max, MAX_FRAME_LEN);
+            }
+            Err(e) => panic!("unexpected frame error from a byte slice: {e}"),
+        }
+    }
+
+    /// Arbitrary byte soup through the JSON decoders: typed error, never a
+    /// panic. (A random payload passing JSON + shape validation is
+    /// astronomically unlikely; any error variant is acceptable.)
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Truncating a valid frame at any interior point yields `Truncated`
+    /// with honest byte counts; truncating to zero bytes is a clean EOF.
+    #[test]
+    fn truncated_frames_are_rejected_with_typed_errors(
+        id in any::<u64>(),
+        body in arb_request(),
+        cut_sel in any::<u64>(),
+    ) {
+        let json = encode_request(&RequestFrame { id, body });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, json.as_bytes()).expect("vec write");
+        let cut = (cut_sel % wire.len() as u64) as usize; // 0..wire.len()-1: always truncating
+        let mut r = &wire[..cut];
+        if cut == 0 {
+            prop_assert!(read_frame(&mut r).expect("clean EOF").is_none());
+        } else {
+            match read_frame(&mut r) {
+                Err(FrameError::Truncated { expected, got }) => {
+                    prop_assert!(got < expected);
+                    prop_assert_eq!(got, cut);
+                }
+                other => panic!("expected Truncated at cut {cut}, got {other:?}"),
+            }
+        }
+    }
+
+    /// Corrupting the length prefix of a valid frame never panics: the
+    /// reader answers TooLarge, Truncated, or (for a shorter-but-valid
+    /// prefix) a reinterpreted frame — and in that last case the decoder
+    /// still only returns typed errors.
+    #[test]
+    fn corrupt_length_prefixes_stay_typed(
+        id in any::<u64>(),
+        body in arb_request(),
+        prefix in any::<u32>(),
+    ) {
+        let json = encode_request(&RequestFrame { id, body });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, json.as_bytes()).expect("vec write");
+        wire[..4].copy_from_slice(&prefix.to_be_bytes());
+        let mut r = &wire[..];
+        match read_frame(&mut r) {
+            Ok(Some(payload)) => {
+                let _ = decode_request(&payload); // typed result either way
+            }
+            Ok(None) => panic!("non-empty wire cannot be a clean EOF"),
+            Err(FrameError::TooLarge { len, .. }) => {
+                prop_assert!(len > MAX_FRAME_LEN);
+            }
+            Err(FrameError::Truncated { expected, got }) => {
+                // counts include the 4 header bytes already consumed
+                prop_assert_eq!(expected, prefix as usize + 4);
+                prop_assert_eq!(got, json.len() + 4);
+            }
+            Err(e) => panic!("unexpected error for corrupt prefix: {e}"),
+        }
+    }
+}
+
+/// Non-property pin: the `u32::MAX` prefix (the classic fuzzer find) is
+/// rejected before any allocation happens.
+#[test]
+fn max_prefix_is_rejected_cheaply() {
+    let mut wire = u32::MAX.to_be_bytes().to_vec();
+    wire.push(0);
+    let mut r = &wire[..];
+    assert!(matches!(
+        read_frame(&mut r),
+        Err(FrameError::TooLarge { .. })
+    ));
+}

@@ -242,6 +242,17 @@ impl ClosureBank {
         self.deposits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// True when a closure is on deposit under `key` (see [`bank_key`]).
+    ///
+    /// A *probe*, not a checkout: it touches no statistics, so
+    /// `hits + misses` still equals the number of [`ClosureBank::context_for`]
+    /// calls. The serving layer's request coalescer uses it to decide
+    /// whether a request can check out immediately or must elect a builder
+    /// for the key first.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.store.lock().entries.contains_key(&key)
+    }
+
     /// Access statistics so far.
     pub fn stats(&self) -> BankStats {
         BankStats {
@@ -293,6 +304,13 @@ mod tests {
         bank.deposit(&ctx);
         assert_eq!(bank.len(), 1);
         assert_eq!(bank.stats().deposits, 1);
+
+        // contains_key is a probe: true for the deposited key, and no
+        // statistics move
+        let stats_before = bank.stats();
+        assert!(bank.contains_key(bank_key(&a.as_instance(), &cost())));
+        assert!(!bank.contains_key(0xDEAD_BEEF));
+        assert_eq!(bank.stats(), stats_before);
 
         // identical network + pipeline → hit, and the closure starts warm
         let warm = bank.context_for(b.as_instance(), cost(), 1);

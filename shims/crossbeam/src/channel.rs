@@ -1,0 +1,142 @@
+//! The `crossbeam::channel` subset this workspace uses: an unbounded
+//! multi-producer **multi-consumer** channel. Implemented over
+//! `std::sync::mpsc` with the receiver behind an `Arc<Mutex<…>>`, so
+//! cloned receivers compete for messages exactly like crossbeam's — each
+//! message is delivered to exactly one receiver, which is what a
+//! work-pulling worker pool needs.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Error returned by [`Sender::send`] when every receiver is gone; carries
+/// the unsent message like crossbeam's.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait elapsed with no message.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// The sending half; clone one per producer.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; fails only when every receiver is dropped.
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        self.0.send(t).map_err(|mpsc::SendError(t)| SendError(t))
+    }
+}
+
+/// The receiving half; clone one per consumer. Clones *share* the queue —
+/// each message goes to exactly one of them.
+pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        rx.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+}
+
+/// An unbounded mpmc channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_is_consumed_exactly_once() {
+        let (tx, rx) = unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        let consumed: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for mut c in consumed {
+            seen.append(&mut c);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+    }
+}

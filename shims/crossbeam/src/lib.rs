@@ -1,8 +1,11 @@
-//! Offline stand-in for the `crossbeam` crate: just [`scope`], implemented
-//! over `std::thread::scope` (stable since 1.63). The workspace only uses
-//! scoped spawning; channels, deques, and epochs are out of scope.
+//! Offline stand-in for the `crossbeam` crate: [`scope`], implemented over
+//! `std::thread::scope` (stable since 1.63), plus the multi-producer
+//! multi-consumer [`channel`] subset the serving worker pool pulls jobs
+//! from. Deques and epochs are out of scope.
 
 use std::any::Any;
+
+pub mod channel;
 
 /// Error payload of a panicked scope, mirroring crossbeam's signature.
 pub type PanicPayload = Box<dyn Any + Send + 'static>;

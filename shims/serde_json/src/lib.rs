@@ -282,13 +282,31 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // consume one UTF-8 code point
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = rest.chars().next().expect("non-empty");
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // consume one multi-byte UTF-8 code point; validate only
+                    // its own bytes (validating the whole remaining input per
+                    // character would make string parsing quadratic)
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error("invalid UTF-8".into())),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| Error("invalid UTF-8".into()))?;
+                    let c = std::str::from_utf8(chunk)
+                        .map_err(|_| Error("invalid UTF-8".into()))?
+                        .chars()
+                        .next()
+                        .expect("non-empty");
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
                 None => return Err(Error("unterminated string".into())),
             }
@@ -318,9 +336,64 @@ impl Parser<'_> {
                 .map(Value::Num)
                 .map_err(|_| Error(format!("invalid number `{text}`")))
         } else {
-            text.parse::<i128>()
-                .map(Value::Int)
-                .map_err(|_| Error(format!("invalid integer `{text}`")))
+            match text.parse::<i128>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Digit strings beyond i128 range are large floats: Rust's
+                // `Display` for f64 never uses exponent notation, so e.g.
+                // 2.8e164 serializes as a 165-digit integer literal. Fall
+                // back to f64 (shortest-repr parsing recovers the exact
+                // bit pattern) instead of rejecting our own output.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| Error(format!("invalid integer `{text}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multibyte_strings_roundtrip_through_the_bytewise_decoder() {
+        // 2-, 3-, and 4-byte code points survive the per-character decoder
+        // (which validates only its own bytes, keeping parsing linear)
+        let s = "π → 🦀 — ñ\u{1F600}中";
+        let json = to_string(s).expect("serialize");
+        let back: String = from_str(&json).expect("parse");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // regression guard for the quadratic re-validation bug: a ~1 MiB
+        // string must parse in well under a second even in debug builds
+        let s: String = "αβγδε ascii ".repeat(60_000);
+        let json = to_string(&s).expect("serialize");
+        let t = std::time::Instant::now();
+        let back: String = from_str(&json).expect("parse");
+        assert_eq!(back.len(), s.len());
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing regressed to quadratic: {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn huge_finite_floats_roundtrip_exactly() {
+        // Display for f64 prints ≥1e15 magnitudes as bare digit strings
+        // (no exponent); parsing must fall back to f64 past i128 range.
+        for f in [2.8479602678411194e164, 1e300, -9.9e200, 1.8e19, -4.2e38] {
+            let mut out = String::new();
+            write_f64(&mut out, f);
+            let v = from_str::<f64>(&out).expect("own float output parses");
+            assert_eq!(v.to_bits(), f.to_bits(), "{out}");
+            let mut again = String::new();
+            write_f64(&mut again, v);
+            assert_eq!(again, out);
         }
     }
 }

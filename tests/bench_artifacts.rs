@@ -84,6 +84,77 @@ fn closure_scaling_covers_the_scale_sweep() {
     );
 }
 
+/// Mirror of the `serving` bench's artifact schema — one latency/throughput
+/// regime per bank temperature plus the headline ratio.
+#[derive(Debug, Deserialize)]
+struct ServingRegime {
+    requests: usize,
+    solves_per_sec: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct ServingArtifact {
+    group: String,
+    solver: String,
+    nodes: usize,
+    links: usize,
+    workers: usize,
+    connections: usize,
+    banked: ServingRegime,
+    cold: ServingRegime,
+    banked_over_cold: f64,
+}
+
+fn serving_regime_is_sane(tag: &str, r: &ServingRegime) {
+    assert!(r.requests > 0, "{tag}: measured at least one request");
+    assert!(r.solves_per_sec > 0.0, "{tag}: positive throughput");
+    assert!(r.mean_ms > 0.0, "{tag}: positive mean latency");
+    assert!(
+        r.p50_ms <= r.p99_ms && r.p99_ms <= r.max_ms,
+        "{tag}: percentiles must be ordered (p50 {} ≤ p99 {} ≤ max {})",
+        r.p50_ms,
+        r.p99_ms,
+        r.max_ms
+    );
+}
+
+#[test]
+fn serving_artifact_shows_the_bank_amortizing_closures() {
+    let path = bench_dir().join("BENCH_serving.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must be committed and readable: {e}", path.display()));
+    let a: ServingArtifact = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{} must carry the expected keys: {e}", path.display()));
+
+    assert_eq!(a.group, "serving", "artifact group name is pinned");
+    assert!(!a.solver.is_empty(), "served solver is recorded");
+    assert!(a.nodes > 0 && a.links > 0, "topology size is recorded");
+    assert!(
+        a.workers > 0 && a.connections > 0,
+        "daemon shape is recorded"
+    );
+    serving_regime_is_sane("banked", &a.banked);
+    serving_regime_is_sane("cold", &a.cold);
+
+    let ratio = a.banked.solves_per_sec / a.cold.solves_per_sec;
+    assert!(
+        (ratio - a.banked_over_cold).abs() < 1e-6 * a.banked_over_cold.max(1.0),
+        "banked_over_cold column must equal the throughput ratio"
+    );
+    // The serving tentpole's acceptance floor: checking a closure out of
+    // the shared bank must beat rebuilding it per request by ≥5x on the
+    // fixed-topology workload (measured ~11x on the reference machine).
+    assert!(
+        a.banked_over_cold >= 5.0,
+        "banked throughput must be ≥5x cold, got {:.2}x",
+        a.banked_over_cold
+    );
+}
+
 #[test]
 fn all_committed_bench_artifacts_parse() {
     // every committed BENCH_*.json must at least be valid JSON with a
@@ -104,5 +175,5 @@ fn all_committed_bench_artifacts_parse() {
             assert!(!v.group.is_empty(), "{name} carries a group name");
         }
     }
-    assert!(seen >= 5, "expected the committed artifact set, saw {seen}");
+    assert!(seen >= 6, "expected the committed artifact set, saw {seen}");
 }

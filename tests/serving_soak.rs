@@ -1,0 +1,180 @@
+//! Coalescing soak: many clients race requests for the *same* topology
+//! fingerprint at a wide worker pool, interleaved with perturbed-topology
+//! requests. The server must build each distinct all-pairs closure
+//! **exactly once** — the racing requests coalesce onto one leader's
+//! build — and the closure-bank statistics must stay exact:
+//!
+//! * `misses` == number of distinct bank keys (one cold build each),
+//! * `hits + misses` == executed solve requests (each request checks the
+//!   bank out exactly once),
+//! * perturbed topologies never hit the base topology's entry,
+//! * per-reply `banked`/`coalesced` flags sum to the server counters.
+
+use elpc_mapping::CostModel;
+use elpc_serving::{Client, Server, ServerConfig, SolveRequest};
+use elpc_workloads::bank::bank_key;
+use elpc_workloads::{InstanceSpec, ProblemInstance};
+use std::path::PathBuf;
+
+const CLIENTS: usize = 8;
+const BASE_PER_CLIENT: usize = 6;
+const PERTURBED: usize = 4;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("elpc-soak-{}-{tag}.sock", std::process::id()))
+}
+
+fn base_instance() -> ProblemInstance {
+    // Large enough that the all-pairs closure build is real work worth
+    // coalescing, small enough to keep the soak quick.
+    InstanceSpec::sized(5, 48, 110).generate(1000).expect("gen")
+}
+
+fn perturbed_instances() -> Vec<ProblemInstance> {
+    // Same spec, different seeds: structurally similar topologies whose
+    // fingerprints (and thus bank keys) must all differ from the base.
+    (0..PERTURBED)
+        .map(|i| {
+            InstanceSpec::sized(5, 48, 110)
+                .generate(2000 + i as u64)
+                .expect("gen")
+        })
+        .collect()
+}
+
+fn solve_req(inst: &ProblemInstance) -> SolveRequest {
+    SolveRequest {
+        solver: "elpc_delay_routed".into(),
+        cost: CostModel::default(),
+        threads: 1,
+        timeout_ms: None,
+        instance: inst.clone(),
+    }
+}
+
+#[test]
+fn racing_clients_build_each_closure_exactly_once() {
+    let base = base_instance();
+    let perturbed = perturbed_instances();
+
+    // Precondition: every perturbed topology really has a different key.
+    let cost = CostModel::default();
+    let base_key = bank_key(&base.as_instance(), &cost);
+    for p in &perturbed {
+        assert_ne!(
+            bank_key(&p.as_instance(), &cost),
+            base_key,
+            "perturbed topology must not share the base bank key"
+        );
+    }
+
+    let socket = socket_path("race");
+    let server = Server::bind(
+        &socket,
+        ServerConfig {
+            workers: CLIENTS, // force in-pool concurrency even on 1 CPU
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // Every client hammers the base topology and sprinkles in one
+    // perturbed topology; collect each reply's telemetry flags.
+    let flags: Vec<(bool, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let socket = &socket;
+                let base = &base;
+                let perturbed = &perturbed;
+                s.spawn(move || {
+                    let mut client = Client::connect(socket).expect("connect");
+                    let mut flags = Vec::new();
+                    for k in 0..BASE_PER_CLIENT {
+                        let reply = client.solve(solve_req(base)).expect("base solve");
+                        flags.push((reply.banked, reply.coalesced));
+                        if k == BASE_PER_CLIENT / 2 {
+                            let p = &perturbed[c % PERTURBED];
+                            let reply = client.solve(solve_req(p)).expect("perturbed solve");
+                            flags.push((reply.banked, reply.coalesced));
+                        }
+                    }
+                    flags
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let stats = server.shutdown();
+    let total = (CLIENTS * (BASE_PER_CLIENT + 1)) as u64;
+    let distinct = 1 + PERTURBED as u64;
+
+    assert_eq!(flags.len() as u64, total);
+    assert_eq!(stats.requests, total);
+    assert_eq!(stats.completed, total, "every request must succeed");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.timeouts, 0);
+
+    // The tentpole invariants: one cold build per distinct key, and the
+    // bank was consulted exactly once per request.
+    assert_eq!(
+        stats.bank_misses, distinct,
+        "each distinct topology must be built exactly once"
+    );
+    assert_eq!(
+        stats.bank_hits + stats.bank_misses,
+        total,
+        "bank stats must stay exact: hits + misses == queries"
+    );
+    assert_eq!(stats.bank_deposits, distinct);
+
+    // Reply telemetry must agree with the server counters bit for bit.
+    let banked = flags.iter().filter(|(b, _)| *b).count() as u64;
+    let coalesced = flags.iter().filter(|(_, c)| *c).count() as u64;
+    assert_eq!(banked, stats.bank_hits, "banked flags must equal bank hits");
+    assert_eq!(
+        coalesced, stats.coalesced,
+        "coalesced flags must equal the coalesced counter"
+    );
+    // A request that waited on a leader's build then checked out that
+    // deposit: coalesced implies banked.
+    for &(banked, coalesced) in &flags {
+        assert!(!coalesced || banked, "a coalesced request must end banked");
+    }
+
+    assert_eq!(stats.queue_depth, 0, "drain must leave an empty queue");
+    assert!(!socket.exists(), "drain must remove the socket file");
+}
+
+/// Sequential control: with one client and one worker there is nothing to
+/// coalesce, yet the exactness invariants must hold identically.
+#[test]
+fn sequential_soak_has_exact_stats_and_no_coalescing() {
+    let base = base_instance();
+    let socket = socket_path("seq");
+    let server = Server::bind(
+        &socket,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = Client::connect(&socket).expect("connect");
+    let rounds = 5usize;
+    for k in 0..rounds {
+        let reply = client.solve(solve_req(&base)).expect("solve");
+        assert_eq!(reply.banked, k > 0, "first solve cold, rest banked");
+        assert!(!reply.coalesced, "sequential requests never wait");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.bank_misses, 1);
+    assert_eq!(stats.bank_hits, rounds as u64 - 1);
+    assert_eq!(stats.coalesced, 0);
+    assert_eq!(stats.completed, rounds as u64);
+}
