@@ -1,0 +1,195 @@
+//! Incremental closure repair vs full rebuild under link churn.
+//!
+//! The `elpc_mapping::delta` module's reason to exist: when a few links
+//! drift, the bank no longer rebuilds the all-pairs routed closure from
+//! scratch — it keeps every tree the perturbation cannot affect and
+//! rebuilds only the stale sources. This bench measures that gap on
+//! 200- and 1000-node random topologies under 1/5/20-link perturbations,
+//! verifies the repaired closure is byte-identical to a cold build of the
+//! perturbed network, and commits the ratio to `BENCH_churn.json`.
+//! `tests/bench_artifacts.rs` pins a ≥5× repair speedup for ≤5-link
+//! perturbations at 1000 nodes.
+//!
+//! Churn concentrates on the *slowest* links (the paper's time-varying
+//! load story: loaded links get more loaded) — those are also exactly the
+//! links shortest-path trees avoid, so the kept majority is large. The
+//! perturbation degrades them further (×0.7 bandwidth), which can never
+//! make a degraded link newly competitive.
+//!
+//! Not a criterion bench: each row times two whole-closure operations a
+//! handful of times and keeps the best, so this target has `harness =
+//! false` and writes its artifact directly.
+//!
+//! ```text
+//! cargo bench -p elpc-bench --bench churn
+//! ```
+
+use elpc_mapping::delta::repair_closure;
+use elpc_mapping::{CostModel, EdgeId, MetricClosure, NetworkDelta, NodeId};
+use elpc_netsim::{Link, Network};
+use elpc_workloads::InstanceSpec;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Instant;
+
+const MODULES: usize = 5;
+const REPEATS: usize = 3;
+const BW_SCALE: f64 = 0.7;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ChurnRow {
+    nodes: usize,
+    links: usize,
+    /// Undirected links degraded between the banked and the live network.
+    perturbed_links: usize,
+    /// Cached trees in the closure (sources × distinct payloads).
+    total_trees: usize,
+    /// Trees the invalidation rule had to rebuild.
+    rebuilt_trees: usize,
+    /// Best-of-N full cold rebuild of the perturbed network's closure.
+    full_rebuild_ms: f64,
+    /// Best-of-N in-place repair (export + decide + rebuild stale).
+    repair_ms: f64,
+    /// `full_rebuild_ms / repair_ms` — the committed floor is ≥ 5x for
+    /// 1000-node rows with ≤ 5 perturbed links.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ChurnArtifact {
+    group: String,
+    rows: Vec<ChurnRow>,
+}
+
+/// The `count` slowest undirected links (their even directed ids): where
+/// load-driven churn lands, and where shortest-path trees already aren't.
+fn slowest_links(net: &Network, count: usize) -> Vec<EdgeId> {
+    let mut by_bw: Vec<(f64, u32)> = (0..net.link_count())
+        .map(|k| {
+            let id = EdgeId((2 * k) as u32);
+            (net.link(id).expect("valid link").bw_mbps, id.0)
+        })
+        .collect();
+    by_bw.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite bw")
+            .then(a.1.cmp(&b.1))
+    });
+    by_bw
+        .iter()
+        .take(count)
+        .map(|&(_, id)| EdgeId(id))
+        .collect()
+}
+
+fn degrade(net: &Network, links: &[EdgeId]) -> Network {
+    let mut out = net.clone();
+    for &id in links {
+        let old = net.link(id).expect("valid link").clone();
+        out.set_link_symmetric(id, Link::new(old.bw_mbps * BW_SCALE, old.mld_ms))
+            .expect("same shape");
+    }
+    out
+}
+
+fn best_of<F: FnMut() -> f64>(mut run: F) -> f64 {
+    (0..REPEATS).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+
+    for &(nodes, links, seed) in &[(200usize, 460usize, 0xC0FFEE_u64), (1000, 2300, 0xB0BA)] {
+        let inst = InstanceSpec::sized(MODULES, nodes, links)
+            .generate(seed)
+            .expect("spec generates");
+        let sources: Vec<NodeId> = inst.network.node_ids().collect();
+        let payloads: Vec<f64> = (1..inst.pipeline.len())
+            .map(|j| inst.pipeline.input_bytes(j))
+            .collect();
+
+        // the banked state: a fully-warmed closure of the pre-churn network
+        let base = MetricClosure::new(&inst.network, cost);
+        let total_trees = base.par_warm(&sources, &payloads, 0);
+
+        for &perturbed in &[1usize, 5, 20] {
+            let changed = slowest_links(&inst.network, perturbed);
+            let live = degrade(&inst.network, &changed);
+            let delta = NetworkDelta::between(&inst.network, &live).expect("same shape");
+            assert_eq!(delta.links.len(), 2 * perturbed, "both directions");
+
+            let full_rebuild_ms = best_of(|| {
+                let t0 = Instant::now();
+                let cold = MetricClosure::new(&live, cost);
+                let built = cold.par_warm(&sources, &payloads, 0);
+                assert_eq!(built, total_trees);
+                t0.elapsed().as_secs_f64() * 1e3
+            });
+
+            let mut rebuilt_trees = 0usize;
+            let repair_ms = best_of(|| {
+                let t0 = Instant::now();
+                // everything the bank's hit-with-repair path does: export
+                // the banked entry, decide per tree, rebuild the stale set
+                let entries = base.export();
+                let target = MetricClosure::new(&live, cost);
+                let report = repair_closure(&target, &entries, &delta, 0);
+                rebuilt_trees = report.rebuilt;
+                assert_eq!(report.kept + report.rebuilt, total_trees);
+                t0.elapsed().as_secs_f64() * 1e3
+            });
+
+            // differential check: the repaired closure is byte-identical to
+            // the cold build of the perturbed network
+            {
+                let entries = base.export();
+                let target = MetricClosure::new(&live, cost);
+                repair_closure(&target, &entries, &delta, 0);
+                let cold = MetricClosure::new(&live, cost);
+                cold.par_warm(&sources, &payloads, 0);
+                let (a, b) = (target.export(), cold.export());
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.key, y.key);
+                    assert!(x
+                        .tree
+                        .dist
+                        .iter()
+                        .zip(&y.tree.dist)
+                        .all(|(p, q)| p.to_bits() == q.to_bits()));
+                    assert_eq!(x.tree.prev, y.tree.prev);
+                }
+            }
+
+            rows.push(ChurnRow {
+                nodes,
+                links,
+                perturbed_links: perturbed,
+                total_trees,
+                rebuilt_trees,
+                full_rebuild_ms,
+                repair_ms,
+                speedup: full_rebuild_ms / repair_ms,
+            });
+            let row = rows.last().expect("just pushed");
+            println!(
+                "churn {}n/{}l ~{} links: rebuilt {}/{} trees, full {:.1}ms vs repair {:.1}ms — {:.1}x",
+                nodes, links, perturbed, row.rebuilt_trees, row.total_trees,
+                row.full_rebuild_ms, row.repair_ms, row.speedup
+            );
+        }
+    }
+
+    let artifact = ChurnArtifact {
+        group: "churn".into(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    let back: ChurnArtifact = serde_json::from_str(&json).expect("own artifact parses");
+    assert_eq!(back.group, "churn");
+
+    let dest = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_churn.json");
+    std::fs::write(&dest, json.as_bytes()).expect("write artifact");
+    println!("wrote {}", dest.display());
+}

@@ -20,11 +20,14 @@
 //!    forever.
 
 use elpc_mapping::{
-    routed, solver, CostModel, Instance, MappingError, Objective, Solution, SolveContext, Solver,
+    routed, solver, CostModel, Instance, MappingError, NetworkDelta, Objective, RepairReport,
+    Solution, SolveContext, Solver,
 };
 use elpc_netgraph::NodeId;
 use elpc_netsim::dynamics::DynamicNetwork;
+use elpc_netsim::Network;
 use elpc_pipeline::Pipeline;
+use elpc_workloads::bank::bank_key;
 use elpc_workloads::ClosureBank;
 use serde::{Deserialize, Serialize};
 
@@ -283,6 +286,250 @@ pub fn run_adaptation_banked(
     })
 }
 
+/// Churn-loop configuration: how often to sample the dynamic network and
+/// how much incumbent degradation is tolerated before paying a re-solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Sampling period in ms.
+    pub period_ms: f64,
+    /// Relative degradation of the incumbent's re-evaluated delay — versus
+    /// the delay accepted at its adoption or last re-solve — that triggers
+    /// a re-solve (0.1 = re-solve once the incumbent runs ≥ 10% slower
+    /// than when it was last vetted).
+    pub drift_threshold: f64,
+    /// One-off cost (ms) charged to an epoch when a switch happens.
+    pub switch_cost_ms: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            period_ms: 1_000.0,
+            drift_threshold: 0.10,
+            switch_cost_ms: 0.0,
+        }
+    }
+}
+
+/// One epoch of the churn loop: what moved, what the repair did about it,
+/// and what the re-solve decision cost or saved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEpoch {
+    /// Snapshot time.
+    pub t_ms: f64,
+    /// Undirected links perturbed since the previous epoch.
+    pub changed_links: usize,
+    /// Nodes whose power changed since the previous epoch.
+    pub changed_nodes: usize,
+    /// Cached trees examined by this epoch's in-place repair (0 when the
+    /// network held still or the bank had nothing to repair).
+    pub trees_total: usize,
+    /// Trees the invalidation rule kept bit-for-bit.
+    pub trees_kept: usize,
+    /// Trees rebuilt through the CSR kernel.
+    pub trees_rebuilt: usize,
+    /// Delay the loop actually experiences this epoch (incumbent or fresh
+    /// candidate, plus switch cost when it switched).
+    pub incumbent_delay_ms: f64,
+    /// Whether this epoch paid a full re-solve (epoch 0 always does).
+    pub resolved: bool,
+    /// The fresh candidate's delay when this epoch re-solved.
+    pub candidate_delay_ms: Option<f64>,
+    /// How much delay the stale incumbent was costing over the fresh
+    /// optimum at the moment of the re-solve (0 on non-resolve epochs).
+    pub staleness_ms: f64,
+    /// Whether the loop adopted the fresh candidate this epoch.
+    pub switched: bool,
+}
+
+/// Outcome of a churn run: per-epoch staleness vs re-solve cost accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Per-epoch records.
+    pub epochs: Vec<ChurnEpoch>,
+    /// Number of full re-solves paid (including the mandatory epoch-0 one).
+    pub resolves: usize,
+    /// Number of incumbent switches (excluding the initial adoption).
+    pub switches: usize,
+    /// Total trees kept bit-for-bit across every repair.
+    pub trees_kept_total: usize,
+    /// Total trees rebuilt through the CSR kernel across every repair.
+    pub trees_rebuilt_total: usize,
+    /// Mean per-epoch delay experienced (includes switch costs).
+    pub mean_incumbent_delay_ms: f64,
+}
+
+/// Drift-triggered continuous remap loop over a [`DynamicNetwork`], kept
+/// warm by **in-place bank repair** instead of per-epoch cold rebuilds.
+///
+/// Every `period_ms` the loop snapshots the network and, when
+/// [`DynamicNetwork::changes_between`] reports movement since the previous
+/// snapshot, turns the changed-element set into an exact
+/// [`NetworkDelta`] (O(|changes|), no whole-network diff) and calls
+/// [`ClosureBank::update_in_place`]: the previous epoch's closure entry
+/// migrates to the new snapshot's key with only the trees the perturbation
+/// can affect rebuilt. Every epoch's checkout after the first is therefore
+/// a bank *hit* — churn never forces the all-pairs cold path.
+///
+/// Re-solving is hysteretic: the incumbent mapping is re-evaluated on each
+/// snapshot (through the repaired closure), and a full solver run is paid
+/// only when that delay degrades more than `drift_threshold` past the
+/// delay accepted at the incumbent's adoption or last vetting. On a
+/// re-solve the loop adopts the candidate when it beats the incumbent's
+/// current delay; otherwise it accepts the degraded delay as the new
+/// reference so a plateau is not re-solved every epoch. The per-epoch
+/// records report staleness (incumbent minus fresh optimum at re-solve
+/// time) against re-solve cost (which epochs paid a solve, and how many
+/// trees each repair had to rebuild).
+#[allow(clippy::too_many_arguments)]
+pub fn run_churn_adaptation(
+    dyn_net: &DynamicNetwork,
+    pipeline: &Pipeline,
+    src: NodeId,
+    dst: NodeId,
+    cost: &CostModel,
+    config: ChurnConfig,
+    horizon_ms: f64,
+    remap_solver: &dyn Solver,
+    bank: &ClosureBank,
+) -> crate::Result<ChurnReport> {
+    if remap_solver.objective() != Objective::MinDelay {
+        return Err(MappingError::BadConfig(format!(
+            "churn remapping optimizes delay; solver `{}` optimizes rate",
+            remap_solver.name()
+        )));
+    }
+    if !(config.period_ms > 0.0) {
+        return Err(MappingError::BadConfig(format!(
+            "period must be positive, got {}",
+            config.period_ms
+        )));
+    }
+    if !(config.drift_threshold >= 0.0) {
+        return Err(MappingError::BadConfig(format!(
+            "drift threshold must be non-negative, got {}",
+            config.drift_threshold
+        )));
+    }
+    if !(horizon_ms >= config.period_ms) {
+        return Err(MappingError::BadConfig(
+            "horizon shorter than one period".into(),
+        ));
+    }
+
+    let mut epochs: Vec<ChurnEpoch> = Vec::new();
+    let mut resolves = 0usize;
+    let mut switches = 0usize;
+    let mut incumbent: Option<Solution> = None;
+    // the delay the incumbent was accepted at (adoption or last re-solve);
+    // drift is measured against this, not against the previous epoch
+    let mut reference_delay = f64::INFINITY;
+    let mut previous: Option<(f64, Network, u64)> = None;
+
+    let mut t = 0.0;
+    while t < horizon_ms {
+        let snapshot = dyn_net.snapshot_at(t);
+        let inst = Instance::new(&snapshot, pipeline, src, dst)?;
+        let key = bank_key(&inst, cost);
+
+        let mut changed_links = 0usize;
+        let mut changed_nodes = 0usize;
+        let mut repair = RepairReport::default();
+        if let Some((t_prev, prev_net, prev_key)) = &previous {
+            let changes = dyn_net.changes_between(*t_prev, t);
+            if !changes.is_empty() {
+                changed_links = changes.links.len();
+                changed_nodes = changes.nodes.len();
+                let delta = NetworkDelta::from_changed_elements(
+                    prev_net,
+                    &snapshot,
+                    &changes.links,
+                    &changes.nodes,
+                )?;
+                if !delta.is_empty() {
+                    // migrate the previous epoch's entry to this snapshot's
+                    // key; a None (entry evicted meanwhile) just means the
+                    // checkout below misses and solves cold — still correct
+                    if let Some(rep) = bank.update_in_place(*prev_key, inst, *cost, &delta, 1) {
+                        repair = rep;
+                    }
+                }
+            }
+        }
+
+        let ctx = bank.context_for(inst, *cost, 1);
+        let (incumbent_delay, resolved, candidate_delay, staleness, switched) = match &incumbent {
+            None => {
+                // epoch 0: mandatory cold solve, adopt unconditionally
+                let sol = remap_solver.solve(&ctx)?;
+                let d = sol.objective_ms;
+                reference_delay = d;
+                incumbent = Some(sol);
+                (d, true, Some(d), 0.0, false)
+            }
+            Some(current) => {
+                let cur = current_delay(&ctx, current)?;
+                if cur > reference_delay * (1.0 + config.drift_threshold) {
+                    let cand = remap_solver.solve(&ctx)?;
+                    let cand_ms = cand.objective_ms;
+                    let staleness = cur - cand_ms;
+                    if cand_ms < cur {
+                        reference_delay = cand_ms;
+                        incumbent = Some(cand);
+                        switches += 1;
+                        (
+                            cand_ms + config.switch_cost_ms,
+                            true,
+                            Some(cand_ms),
+                            staleness,
+                            true,
+                        )
+                    } else {
+                        // nothing better exists: accept the degraded delay
+                        // as the new reference so a plateau is not
+                        // re-solved every epoch
+                        reference_delay = cur;
+                        (cur, true, Some(cand_ms), staleness, false)
+                    }
+                } else {
+                    (cur, false, None, 0.0, false)
+                }
+            }
+        };
+        if resolved {
+            resolves += 1;
+        }
+        bank.deposit(&ctx);
+        drop(ctx);
+        epochs.push(ChurnEpoch {
+            t_ms: t,
+            changed_links,
+            changed_nodes,
+            trees_total: repair.total,
+            trees_kept: repair.kept,
+            trees_rebuilt: repair.rebuilt,
+            incumbent_delay_ms: incumbent_delay,
+            resolved,
+            candidate_delay_ms: candidate_delay,
+            staleness_ms: staleness,
+            switched,
+        });
+        previous = Some((t, snapshot, key));
+        t += config.period_ms;
+    }
+
+    let n = epochs.len() as f64;
+    let mean_incumbent_delay_ms = epochs.iter().map(|e| e.incumbent_delay_ms).sum::<f64>() / n;
+    Ok(ChurnReport {
+        resolves,
+        switches,
+        trees_kept_total: epochs.iter().map(|e| e.trees_kept).sum(),
+        trees_rebuilt_total: epochs.iter().map(|e| e.trees_rebuilt).sum(),
+        mean_incumbent_delay_ms,
+        epochs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +735,174 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 10, "one checkout per epoch");
         assert_eq!(stats.misses, 1, "only epoch 0 should solve cold");
         assert_eq!(bank.len(), 1, "steady snapshots share one key");
+    }
+
+    #[test]
+    fn churn_loop_idles_on_a_steady_network() {
+        let dyn_net = DynamicNetwork::steady(base_net());
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        let report = run_churn_adaptation(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            ChurnConfig::default(),
+            10_000.0,
+            s,
+            &bank,
+        )
+        .unwrap();
+        assert_eq!(report.epochs.len(), 10);
+        assert_eq!(report.resolves, 1, "only the mandatory epoch-0 solve");
+        assert_eq!(report.switches, 0);
+        assert_eq!(report.trees_kept_total + report.trees_rebuilt_total, 0);
+        for e in &report.epochs {
+            assert_eq!(e.changed_links + e.changed_nodes, 0);
+            assert!(!e.switched);
+        }
+        let stats = bank.stats();
+        assert_eq!(stats.hits + stats.misses, 10, "one checkout per epoch");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.repairs, 0, "nothing moved, nothing repaired");
+        assert_eq!(bank.len(), 1);
+    }
+
+    #[test]
+    fn churn_loop_repairs_in_place_and_resolves_on_drift() {
+        // degrading(): node-power churn only, so every repair keeps every
+        // tree — transfer costs never depend on power
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        let report = run_churn_adaptation(
+            &degrading(),
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            ChurnConfig {
+                period_ms: 500.0,
+                drift_threshold: 0.05,
+                switch_cost_ms: 0.0,
+            },
+            10_000.0,
+            s,
+            &bank,
+        )
+        .unwrap();
+        assert_eq!(report.epochs.len(), 20);
+        assert!(report.resolves >= 2, "drift must trigger a re-solve");
+        assert!(report.switches >= 1, "the loop should move off node a");
+        assert_eq!(report.trees_rebuilt_total, 0, "power churn keeps trees");
+        for e in &report.epochs {
+            assert_eq!(e.trees_kept + e.trees_rebuilt, e.trees_total);
+            if e.t_ms > 0.0 {
+                assert_eq!(e.changed_nodes, 1, "only node a moves");
+                assert_eq!(e.changed_links, 0);
+            }
+            if e.resolved {
+                assert!(e.candidate_delay_ms.is_some());
+                assert!(e.staleness_ms >= -1e-9, "routed optimum lower-bounds");
+            } else {
+                assert!(e.candidate_delay_ms.is_none());
+                assert_eq!(e.staleness_ms, 0.0);
+            }
+        }
+        let stats = bank.stats();
+        assert_eq!(stats.hits + stats.misses, 20, "one checkout per epoch");
+        assert_eq!(stats.misses, 1, "repairs keep every later epoch a hit");
+        assert_eq!(stats.repairs, 19, "every epoch after the first moved");
+        assert_eq!(bank.len(), 1, "identity migrated, never duplicated");
+    }
+
+    #[test]
+    fn link_churn_rebuilds_only_through_the_repair_path() {
+        // link 1 (a-d) bandwidth oscillates: trees crossing it rebuild,
+        // the rest of the closure is kept in place
+        let node_models = vec![LoadModel::Constant(1.0); 4];
+        let mut link_models = vec![LoadModel::Constant(1.0); 4];
+        link_models[1] = LoadModel::Sinusoid {
+            period_ms: 4_000.0,
+            amplitude: 0.6,
+            phase_ms: 0.0,
+        };
+        let dyn_net = DynamicNetwork::new(base_net(), node_models, link_models).unwrap();
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        let report = run_churn_adaptation(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            ChurnConfig {
+                period_ms: 500.0,
+                drift_threshold: 0.05,
+                switch_cost_ms: 0.0,
+            },
+            6_000.0,
+            s,
+            &bank,
+        )
+        .unwrap();
+        assert!(
+            report.trees_rebuilt_total > 0,
+            "bandwidth churn must invalidate some trees"
+        );
+        for e in &report.epochs {
+            assert_eq!(e.trees_kept + e.trees_rebuilt, e.trees_total);
+            if e.t_ms > 0.0 {
+                assert_eq!(e.changed_links, 1, "exactly link 1 moves");
+            }
+        }
+        let stats = bank.stats();
+        assert_eq!(stats.misses, 1, "repair keeps churned epochs banked");
+        assert_eq!(stats.hits, report.epochs.len() as u64 - 1);
+        assert_eq!(stats.repairs, report.epochs.len() as u64 - 1);
+    }
+
+    #[test]
+    fn churn_loop_rejects_bad_configs() {
+        let dyn_net = DynamicNetwork::steady(base_net());
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        for config in [
+            ChurnConfig {
+                period_ms: 0.0,
+                ..ChurnConfig::default()
+            },
+            ChurnConfig {
+                drift_threshold: -0.1,
+                ..ChurnConfig::default()
+            },
+        ] {
+            assert!(run_churn_adaptation(
+                &dyn_net,
+                &pipe(),
+                NodeId(0),
+                NodeId(3),
+                &cost(),
+                config,
+                10_000.0,
+                s,
+                &bank,
+            )
+            .is_err());
+        }
+        // horizon shorter than one period
+        assert!(run_churn_adaptation(
+            &dyn_net,
+            &pipe(),
+            NodeId(0),
+            NodeId(3),
+            &cost(),
+            ChurnConfig::default(),
+            500.0,
+            s,
+            &bank,
+        )
+        .is_err());
     }
 
     /// The portfolio control loop equals the routed-optimal DP loop

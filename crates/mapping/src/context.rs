@@ -664,6 +664,17 @@ impl<'a> SolveContext<'a> {
         self.kernel.get().cloned()
     }
 
+    /// Pre-installs `kernel` as this context's memoized evaluation kernel,
+    /// so [`Self::eval_kernel`] hands it out instead of building one.
+    /// Returns `false` (and installs nothing) when a kernel is already
+    /// memoized. This is how a churn loop reuses a row-patched kernel
+    /// ([`crate::EvalKernel::patched_for_churn`]) on the next epoch's
+    /// context: the caller owes the same contract the builder meets — the
+    /// kernel must equal `EvalKernel::build(self)` bit-for-bit.
+    pub fn install_eval_kernel(&self, kernel: Arc<crate::eval::EvalKernel>) -> bool {
+        self.kernel.set(kernel).is_ok()
+    }
+
     /// Shorthand for [`MetricClosure::routed_from`].
     pub fn routed_from(&self, src: NodeId, bytes: f64) -> Arc<ShortestPaths> {
         self.closure.routed_from(src, bytes)

@@ -107,7 +107,16 @@ impl CostModel {
         edge: elpc_netgraph::EdgeId,
         bytes: f64,
     ) -> f64 {
-        let link = net.link(edge).expect("valid edge id");
+        self.raw_link_transfer_ms(net.link(edge).expect("valid edge id"), bytes)
+    }
+
+    /// Transport time of `bytes` over a bare [`elpc_netsim::Link`] value,
+    /// independent of any network. This is [`Self::edge_transfer_ms`]
+    /// factored down to the link itself, and is bit-identical to it for
+    /// the edge carrying `link` — which is what lets the incremental
+    /// (churn) layer price a perturbed edge's old and new cost without
+    /// materializing two networks.
+    pub fn raw_link_transfer_ms(&self, link: &elpc_netsim::Link, bytes: f64) -> f64 {
         if self.include_mld {
             link.transfer_time_ms(bytes)
         } else {

@@ -1,0 +1,522 @@
+//! Incremental (churn) maintenance of the routed metric closure.
+//!
+//! A bandwidth/MLD/power perturbation used to invalidate *everything*: the
+//! `ClosureBank` keys on the full topology fingerprint, so any change —
+//! even one link of ten thousand — forced a complete all-pairs rebuild.
+//! This module repairs instead of rebuilding: given a [`NetworkDelta`]
+//! (the exact set of perturbed links and nodes between an old and a new
+//! network), it decides *per cached tree* whether the perturbation can
+//! affect that tree, keeps the untouched majority as shared `Arc`s, and
+//! rebuilds only the stale sources through the existing CSR kernel
+//! ([`crate::MetricClosure::par_warm`]).
+//!
+//! ## The invalidation rule
+//!
+//! For a tree rooted at `s` for payload `m`, and a perturbed directed edge
+//! `e = (u, v)` whose cost under the tree's payload moved from `w_old` to
+//! `w_new` (costs priced through [`CostModel::raw_link_transfer_ms`]; a
+//! perturbation that leaves the cost bit-identical — e.g. a bandwidth
+//! change under a zero-byte payload — is *no* change):
+//!
+//! 1. **The tree traverses `e`** (its per-tree touched-edge bitset,
+//!    [`elpc_netgraph::algo::TreeEdges`], contains `e`): every distance
+//!    downstream of `e` is built on the old cost → **rebuild**.
+//! 2. **`e` is off-tree but could now compete**: `dist[u] + w_new <=
+//!    dist[v]` with `dist[u]` finite. A strict `<` would change distances;
+//!    equality could change predecessor tie resolution → **rebuild**
+//!    (conservative).
+//! 3. **Otherwise** (`dist[u] + w_new > dist[v]`, or `u` unreachable): a
+//!    path through `e` is strictly worse than the retained distance. By
+//!    induction over path prefixes no path beats the old distances under
+//!    the new costs, and the tree itself avoids every changed edge, so its
+//!    distances still *achieve* them → **keep, bit-for-bit**.
+//!
+//! Node power perturbations never touch transfer trees at all — edge costs
+//! depend only on bandwidth, MLD, and payload — they only re-price
+//! `EvalKernel` compute columns (see [`crate::EvalKernel::patched_for_churn`])
+//! and re-key the bank.
+//!
+//! Kept trees are reused as `Arc`s, so their exported bytes are *identical*
+//! (not merely equal) to the pre-perturbation export; rebuilt trees go
+//! through the same CSR kernel as a cold build, so the repaired closure's
+//! [`crate::MetricClosure::export`] is byte-identical to a from-scratch
+//! closure over the perturbed network. One caveat, pinned by the
+//! differential suite on tie-free instances: when distinct shortest paths
+//! *tie exactly* in `f64`, a fresh Dijkstra may resolve a kept tree's
+//! predecessor links differently than the retained tree does — distances
+//! are always bit-identical, predecessors only in generic position.
+
+use crate::context::{CachedTree, MetricClosure, TreeKey};
+use crate::{CostModel, MappingError, Result};
+use elpc_netgraph::algo::ShortestPaths;
+use elpc_netgraph::{EdgeId, NodeId};
+use elpc_netsim::{Link, Network};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One perturbed directed edge: its endpoints and its old/new link values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkPerturbation {
+    /// The directed edge id (both directions of a symmetric link appear as
+    /// separate perturbations).
+    pub edge: EdgeId,
+    /// Tail of the directed edge.
+    pub src: NodeId,
+    /// Head of the directed edge.
+    pub dst: NodeId,
+    /// The link value before the perturbation.
+    pub old: Link,
+    /// The link value after it.
+    pub new: Link,
+}
+
+/// One perturbed node: its old and new compute power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePerturbation {
+    /// The node.
+    pub node: NodeId,
+    /// Power before the perturbation.
+    pub old_power: f64,
+    /// Power after it.
+    pub new_power: f64,
+}
+
+/// The exact difference between two same-shaped networks: which directed
+/// edges and nodes changed, with old and new values. Serializable, so a
+/// remap client can ship it to the serving daemon for an in-place bank
+/// repair.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetworkDelta {
+    /// Perturbed directed edges.
+    pub links: Vec<LinkPerturbation>,
+    /// Perturbed nodes.
+    pub nodes: Vec<NodePerturbation>,
+}
+
+/// What a [`repair_closure`] run did, for the exact-accounting pins:
+/// `kept + rebuilt == total` always.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Cached trees examined (the old closure's full export).
+    pub total: usize,
+    /// Trees the invalidation rule retained, reused as shared `Arc`s.
+    pub kept: usize,
+    /// Trees rebuilt from scratch through the CSR kernel.
+    pub rebuilt: usize,
+}
+
+impl NetworkDelta {
+    /// Diffs two structurally identical networks (same node count, same
+    /// edge ids with the same endpoints — the shape every
+    /// `DynamicNetwork::snapshot_at` pair has). Values are compared by bit
+    /// pattern, so the delta is empty exactly when the networks would
+    /// fingerprint identically.
+    pub fn between(old: &Network, new: &Network) -> Result<NetworkDelta> {
+        if old.node_count() != new.node_count()
+            || old.graph().edge_count() != new.graph().edge_count()
+        {
+            return Err(MappingError::BadConfig(format!(
+                "delta requires same-shaped networks, got {}n/{}e vs {}n/{}e",
+                old.node_count(),
+                old.graph().edge_count(),
+                new.node_count(),
+                new.graph().edge_count()
+            )));
+        }
+        let mut links = Vec::new();
+        for (id, e_old) in old.graph().edges() {
+            let e_new = new.graph().edge(id).expect("edge counts match");
+            if e_old.src != e_new.src || e_old.dst != e_new.dst {
+                return Err(MappingError::BadConfig(format!(
+                    "delta requires identical wiring, edge {} moved endpoints",
+                    id.index()
+                )));
+            }
+            let (lo, ln) = (&e_old.payload, &e_new.payload);
+            if lo.bw_mbps.to_bits() != ln.bw_mbps.to_bits()
+                || lo.mld_ms.to_bits() != ln.mld_ms.to_bits()
+            {
+                links.push(LinkPerturbation {
+                    edge: id,
+                    src: e_old.src,
+                    dst: e_old.dst,
+                    old: lo.clone(),
+                    new: ln.clone(),
+                });
+            }
+        }
+        let mut nodes = Vec::new();
+        for i in 0..old.node_count() {
+            let id = NodeId::from_index(i);
+            let (po, pn) = (old.power(id), new.power(id));
+            if po.to_bits() != pn.to_bits() {
+                nodes.push(NodePerturbation {
+                    node: id,
+                    old_power: po,
+                    new_power: pn,
+                });
+            }
+        }
+        Ok(NetworkDelta { links, nodes })
+    }
+
+    /// True when nothing changed: old and new networks are value-identical.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.nodes.is_empty()
+    }
+
+    /// Builds a delta from a *known* changed-element set (e.g.
+    /// `DynamicNetwork::changes_between`) in O(|changes|), instead of
+    /// diffing whole networks like [`NetworkDelta::between`]. `links` may
+    /// name either direction of an undirected pair — both directed edges
+    /// are diffed (pair ids differ by exactly one, a graph-construction
+    /// invariant) and duplicates are ignored. Elements whose values turn
+    /// out bit-identical are dropped, so over-reporting changes is
+    /// harmless; *under*-reporting is the caller's contract to avoid.
+    pub fn from_changed_elements(
+        old: &Network,
+        new: &Network,
+        links: &[EdgeId],
+        nodes: &[NodeId],
+    ) -> Result<NetworkDelta> {
+        let mut directed: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for id in links {
+            directed.insert(id.0);
+            directed.insert(id.0 ^ 1); // the undirected pair's other half
+        }
+        let mut out = NetworkDelta::default();
+        for d in directed {
+            let id = EdgeId(d);
+            let e_old = old.graph().edge(id).map_err(|e| {
+                MappingError::BadConfig(format!("changed edge {d} not in old network: {e}"))
+            })?;
+            let e_new = new.graph().edge(id).map_err(|e| {
+                MappingError::BadConfig(format!("changed edge {d} not in new network: {e}"))
+            })?;
+            if e_old.src != e_new.src || e_old.dst != e_new.dst {
+                return Err(MappingError::BadConfig(format!(
+                    "delta requires identical wiring, edge {d} moved endpoints"
+                )));
+            }
+            let (lo, ln) = (&e_old.payload, &e_new.payload);
+            if lo.bw_mbps.to_bits() != ln.bw_mbps.to_bits()
+                || lo.mld_ms.to_bits() != ln.mld_ms.to_bits()
+            {
+                out.links.push(LinkPerturbation {
+                    edge: id,
+                    src: e_old.src,
+                    dst: e_old.dst,
+                    old: lo.clone(),
+                    new: ln.clone(),
+                });
+            }
+        }
+        for &node in nodes {
+            if node.index() >= old.node_count() || node.index() >= new.node_count() {
+                return Err(MappingError::BadConfig(format!(
+                    "changed node {} out of range",
+                    node.index()
+                )));
+            }
+            let (po, pn) = (old.power(node), new.power(node));
+            if po.to_bits() != pn.to_bits() {
+                out.nodes.push(NodePerturbation {
+                    node,
+                    old_power: po,
+                    new_power: pn,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The perturbed link costs under `cost` for one payload size, with
+    /// no-op changes (bit-identical old/new cost) already dropped.
+    fn priced_links(&self, cost: &CostModel, bytes: f64) -> Vec<PricedChange> {
+        self.links
+            .iter()
+            .filter_map(|lp| {
+                let w_old = cost.raw_link_transfer_ms(&lp.old, bytes);
+                let w_new = cost.raw_link_transfer_ms(&lp.new, bytes);
+                (w_old.to_bits() != w_new.to_bits()).then_some(PricedChange {
+                    edge: lp.edge,
+                    u: lp.src.index(),
+                    v: lp.dst.index(),
+                    w_new,
+                })
+            })
+            .collect()
+    }
+}
+
+/// A link perturbation priced for one payload: all the invalidation rule
+/// needs per tree.
+struct PricedChange {
+    edge: EdgeId,
+    u: usize,
+    v: usize,
+    w_new: f64,
+}
+
+/// The invalidation rule (module docs) for one tree against one payload's
+/// priced changes.
+fn tree_is_stale(tree: &ShortestPaths, edge_count: usize, priced: &[PricedChange]) -> bool {
+    if priced.is_empty() {
+        return false;
+    }
+    let on_tree = tree.tree_edges(edge_count);
+    priced.iter().any(|pc| {
+        if on_tree.contains(pc.edge) {
+            return true; // rule 1: the tree traverses the changed edge
+        }
+        let du = tree.dist[pc.u];
+        // rule 2: a changed off-tree edge now matches or beats the
+        // retained distance at its head
+        du.is_finite() && du + pc.w_new <= tree.dist[pc.v]
+    })
+}
+
+/// Repairs `entries` (an old closure's [`crate::MetricClosure::export`])
+/// into `target`, a closure over the *perturbed* network, per `delta`:
+/// trees the invalidation rule retains are seeded as shared `Arc`s, stale
+/// sources are rebuilt through the CSR kernel on `threads` workers.
+///
+/// After this returns, `target` answers every key `entries` held,
+/// byte-identically to a from-scratch closure over the perturbed network
+/// (predecessor links in generic position; see the module docs for the
+/// exact-tie caveat). Rebuilds count as closure misses, exactly like a
+/// cold build of the same trees; seeding kept trees is stat-free.
+pub fn repair_closure(
+    target: &MetricClosure<'_>,
+    entries: &[CachedTree],
+    delta: &NetworkDelta,
+    threads: usize,
+) -> RepairReport {
+    let edge_count = target.network().graph().edge_count();
+    // price each distinct payload once; BTreeMap keeps rebuild order
+    // deterministic regardless of entry order
+    let mut priced_of: BTreeMap<u64, Vec<PricedChange>> = BTreeMap::new();
+    let mut kept: Vec<CachedTree> = Vec::with_capacity(entries.len());
+    let mut stale: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+    for e in entries {
+        let bits = e.key.payload().to_bits();
+        let priced = priced_of
+            .entry(bits)
+            .or_insert_with(|| delta.priced_links(target.cost(), e.key.payload()));
+        if tree_is_stale(&e.tree, edge_count, priced) {
+            stale.entry(bits).or_default().push(e.key.source_node());
+        } else {
+            kept.push(e.clone());
+        }
+    }
+    let kept_count = target.seed(&kept);
+    let mut rebuilt = 0;
+    for (bits, sources) in &stale {
+        rebuilt += target.par_warm(sources, &[f64::from_bits(*bits)], threads);
+    }
+    RepairReport {
+        total: entries.len(),
+        kept: kept_count,
+        rebuilt,
+    }
+}
+
+/// Splits an export into (kept, stale-keys) under `delta` without touching
+/// any closure — the decision half of [`repair_closure`], exposed so
+/// callers that patch an [`crate::EvalKernel`] know exactly which
+/// `(payload, source)` rows moved.
+pub fn partition_stale(
+    entries: &[CachedTree],
+    net: &Network,
+    cost: &CostModel,
+    delta: &NetworkDelta,
+) -> (Vec<CachedTree>, Vec<TreeKey>) {
+    let edge_count = net.graph().edge_count();
+    let mut priced_of: BTreeMap<u64, Vec<PricedChange>> = BTreeMap::new();
+    let mut kept = Vec::new();
+    let mut stale = Vec::new();
+    for e in entries {
+        let bits = e.key.payload().to_bits();
+        let priced = priced_of
+            .entry(bits)
+            .or_insert_with(|| delta.priced_links(cost, e.key.payload()));
+        if tree_is_stale(&e.tree, edge_count, priced) {
+            stale.push(e.key);
+        } else {
+            kept.push(e.clone());
+        }
+    }
+    (kept, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::MetricClosure;
+    use elpc_netsim::Network;
+
+    /// 4-node diamond with a detour: 0-1-3 is the fast route, 0-2-3 slow.
+    fn diamond() -> Network {
+        let mut b = Network::builder();
+        let n0 = b.add_node(100.0).unwrap();
+        let n1 = b.add_node(100.0).unwrap();
+        let n2 = b.add_node(100.0).unwrap();
+        let n3 = b.add_node(100.0).unwrap();
+        b.add_link(n0, n1, 1000.0, 0.1).unwrap();
+        b.add_link(n1, n3, 1000.0, 0.1).unwrap();
+        b.add_link(n0, n2, 100.0, 0.1).unwrap();
+        b.add_link(n2, n3, 100.0, 0.1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn perturb_link(net: &Network, undirected: usize, bw_scale: f64) -> Network {
+        let mut out = net.clone();
+        let id = EdgeId((2 * undirected) as u32);
+        let old = net.link(id).unwrap().clone();
+        out.set_link_symmetric(id, Link::new(old.bw_mbps * bw_scale, old.mld_ms))
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn between_reports_exactly_the_perturbed_elements() {
+        let old = diamond();
+        let new = perturb_link(&old, 1, 0.5);
+        let delta = NetworkDelta::between(&old, &new).unwrap();
+        // both directions of undirected link 1 = edge ids 2 and 3
+        let ids: Vec<u32> = delta.links.iter().map(|l| l.edge.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert!(delta.nodes.is_empty());
+        assert!(NetworkDelta::between(&old, &old).unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_changed_elements_agrees_with_a_full_diff() {
+        let old = diamond();
+        let mut new = perturb_link(&old, 1, 0.5);
+        new.node_mut(NodeId(2)).unwrap().power = 50.0;
+        let full = NetworkDelta::between(&old, &new).unwrap();
+        // Either direction of the pair names the same undirected link, and
+        // duplicates collapse; unchanged elements are dropped.
+        for links in [vec![EdgeId(2)], vec![EdgeId(3)], vec![EdgeId(2), EdgeId(3)]] {
+            let sparse = NetworkDelta::from_changed_elements(
+                &old,
+                &new,
+                &links,
+                &[NodeId(2), NodeId(0)], // NodeId(0) is unchanged — dropped
+            )
+            .unwrap();
+            assert_eq!(sparse, full);
+        }
+        assert!(NetworkDelta::from_changed_elements(&old, &new, &[EdgeId(99)], &[]).is_err());
+    }
+
+    #[test]
+    fn between_rejects_shape_mismatches() {
+        let old = diamond();
+        let mut b = Network::builder();
+        let a = b.add_node(100.0).unwrap();
+        let c = b.add_node(100.0).unwrap();
+        b.add_link(a, c, 100.0, 0.1).unwrap();
+        let other = b.build().unwrap();
+        assert!(NetworkDelta::between(&old, &other).is_err());
+    }
+
+    #[test]
+    fn power_only_deltas_keep_every_tree() {
+        let old = diamond();
+        let mut new = old.clone();
+        new.node_mut(NodeId(2)).unwrap().power = 50.0;
+        let delta = NetworkDelta::between(&old, &new).unwrap();
+        assert!(delta.links.is_empty());
+        assert_eq!(delta.nodes.len(), 1);
+
+        let cost = CostModel::default();
+        let closure = MetricClosure::new(&old, cost);
+        let sources: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+        closure.par_warm(&sources, &[1_000_000.0], 1);
+        let entries = closure.export();
+
+        let target = MetricClosure::new(&new, cost);
+        let report = repair_closure(&target, &entries, &delta, 1);
+        assert_eq!(report.kept, report.total);
+        assert_eq!(report.rebuilt, 0);
+    }
+
+    #[test]
+    fn repair_matches_a_cold_build_bit_for_bit() {
+        let old = diamond();
+        let cost = CostModel::default();
+        let payloads = [1_000_000.0, 250_000.0];
+        let sources: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+
+        let closure = MetricClosure::new(&old, cost);
+        closure.par_warm(&sources, &payloads, 1);
+        let entries = closure.export();
+
+        for (undirected, scale) in [(0usize, 0.25), (1, 4.0), (2, 0.5), (3, 2.0)] {
+            let new = perturb_link(&old, undirected, scale);
+            let delta = NetworkDelta::between(&old, &new).unwrap();
+
+            let repaired = MetricClosure::new(&new, cost);
+            let report = repair_closure(&repaired, &entries, &delta, 1);
+            assert_eq!(report.kept + report.rebuilt, report.total);
+
+            let cold = MetricClosure::new(&new, cost);
+            cold.par_warm(&sources, &payloads, 1);
+
+            let (a, b) = (repaired.export(), cold.export());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.key, y.key);
+                let bits_a: Vec<u64> = x.tree.dist.iter().map(|d| d.to_bits()).collect();
+                let bits_b: Vec<u64> = y.tree.dist.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "dist diverged (link {undirected} ×{scale})");
+                assert_eq!(
+                    x.tree.prev, y.tree.prev,
+                    "prev diverged (link {undirected} ×{scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn an_irrelevant_cost_increase_keeps_every_tree() {
+        // ring 0-1-3-2-0 where 0-2 is so slow that every shortest path
+        // reaches 2 via 3: link 0-2 sits on no tree and can't compete
+        let mut b = Network::builder();
+        let n0 = b.add_node(100.0).unwrap();
+        let n1 = b.add_node(100.0).unwrap();
+        let n2 = b.add_node(100.0).unwrap();
+        let n3 = b.add_node(100.0).unwrap();
+        b.add_link(n0, n1, 1000.0, 0.1).unwrap(); // link 0
+        b.add_link(n1, n3, 1000.0, 0.1).unwrap(); // link 1
+        b.add_link(n0, n2, 1.0, 0.1).unwrap(); // link 2: dead slow
+        b.add_link(n2, n3, 1000.0, 0.1).unwrap(); // link 3
+        let old = b.build().unwrap();
+
+        let cost = CostModel::default();
+        let sources: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+        let closure = MetricClosure::new(&old, cost);
+        closure.par_warm(&sources, &[1_000_000.0], 1);
+        let entries = closure.export();
+
+        // the dead-slow off-tree link gets even slower: rule 3 retains all
+        let new = perturb_link(&old, 2, 0.5);
+        let delta = NetworkDelta::between(&old, &new).unwrap();
+        let target = MetricClosure::new(&new, cost);
+        let report = repair_closure(&target, &entries, &delta, 1);
+        assert_eq!(report.kept, report.total, "no tree traverses link 0-2");
+        assert_eq!(report.rebuilt, 0);
+        // and the repaired closure is still exactly a cold build
+        let cold = MetricClosure::new(&new, cost);
+        cold.par_warm(&sources, &[1_000_000.0], 1);
+        let (a, b) = (target.export(), cold.export());
+        for (x, y) in a.iter().zip(&b) {
+            let bits_a: Vec<u64> = x.tree.dist.iter().map(|d| d.to_bits()).collect();
+            let bits_b: Vec<u64> = y.tree.dist.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+            assert_eq!(x.tree.prev, y.tree.prev);
+        }
+    }
+}

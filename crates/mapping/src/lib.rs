@@ -75,6 +75,7 @@
 
 mod context;
 mod cost;
+pub mod delta;
 pub mod elpc_delay;
 pub mod elpc_rate;
 mod error;
@@ -93,6 +94,7 @@ mod test_fixtures;
 
 pub use context::{CachedTree, ClosureStats, MetricClosure, SolveContext, TreeKey};
 pub use cost::{CostModel, Stage};
+pub use delta::{LinkPerturbation, NetworkDelta, NodePerturbation, RepairReport};
 pub use error::MappingError;
 pub use eval::{BoundedEval, DeltaEval, EvalKernel, MoveSpec};
 pub use mapping::{AssignmentSolution, DelaySolution, Mapping, RateSolution};

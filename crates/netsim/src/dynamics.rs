@@ -71,6 +71,18 @@ impl LoadModel {
         }
     }
 
+    /// True when the factor is the same at every `t` — a `Constant` model,
+    /// or a degenerate time-varying model (zero-amplitude sinusoid, or
+    /// random epochs with `floor == 1`). Static elements can never appear
+    /// in [`DynamicNetwork::changes_between`].
+    pub fn is_static(&self) -> bool {
+        match *self {
+            LoadModel::Constant(_) => true,
+            LoadModel::Sinusoid { amplitude, .. } => amplitude == 0.0,
+            LoadModel::RandomEpochs { floor, .. } => floor >= 1.0,
+        }
+    }
+
     /// Validates model parameters.
     pub fn validate(&self) -> Result<()> {
         let bad = |msg: String| Err(crate::NetworkError::Invalid(msg));
@@ -189,6 +201,58 @@ impl DynamicNetwork {
         }
         net
     }
+
+    /// The elements whose availability factor actually differs between
+    /// `t0_ms` and `t1_ms` — the exact set of nodes and links by which
+    /// `snapshot_at(t0_ms)` and `snapshot_at(t1_ms)` disagree.
+    ///
+    /// Static models ([`LoadModel::is_static`]: any `Constant`, a
+    /// zero-amplitude sinusoid, unit-floor random epochs) are skipped
+    /// without evaluation; everything else is compared by factor bit
+    /// pattern, so a sinusoid sampled a whole period apart or a random-
+    /// epochs model sampled within one epoch correctly reports "no
+    /// change". This is the delta source incremental closure maintenance
+    /// consumes: repair only what moved, instead of diffing (or worse,
+    /// rebuilding) whole snapshots.
+    pub fn changes_between(&self, t0_ms: f64, t1_ms: f64) -> ChangeSet {
+        let moved = |m: &LoadModel| {
+            !m.is_static() && m.factor(t0_ms).to_bits() != m.factor(t1_ms).to_bits()
+        };
+        ChangeSet {
+            nodes: self
+                .node_models
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| moved(m))
+                .map(|(i, _)| elpc_netgraph::NodeId::from_index(i))
+                .collect(),
+            links: self
+                .link_models
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| moved(m))
+                .map(|(k, _)| elpc_netgraph::EdgeId((2 * k) as u32))
+                .collect(),
+        }
+    }
+}
+
+/// The nodes and links [`DynamicNetwork::changes_between`] found perturbed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeSet {
+    /// Nodes whose power factor moved.
+    pub nodes: Vec<elpc_netgraph::NodeId>,
+    /// Links whose bandwidth factor moved, identified by the *even*
+    /// directed edge id of the undirected pair (ids `2k`/`2k+1` both
+    /// changed — symmetric links scale together).
+    pub links: Vec<elpc_netgraph::EdgeId>,
+}
+
+impl ChangeSet {
+    /// True when nothing moved: the two snapshots are identical networks.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.links.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +365,96 @@ mod tests {
     fn mismatched_model_counts_are_rejected() {
         assert!(DynamicNetwork::new(base(), vec![], vec![LoadModel::Constant(1.0)]).is_err());
         assert!(DynamicNetwork::new(base(), vec![LoadModel::Constant(1.0); 2], vec![]).is_err());
+    }
+
+    #[test]
+    fn changes_between_skips_static_models() {
+        // two nodes, one link; only node 1 actually varies
+        let dyn_net = DynamicNetwork::new(
+            base(),
+            vec![
+                LoadModel::Constant(0.7), // constant ≠ 1.0 is still static
+                LoadModel::Sinusoid {
+                    period_ms: 1000.0,
+                    amplitude: 0.5,
+                    phase_ms: 0.0,
+                },
+            ],
+            vec![LoadModel::Sinusoid {
+                period_ms: 1000.0,
+                amplitude: 0.0, // zero amplitude: degenerate static
+                phase_ms: 0.0,
+            }],
+        )
+        .unwrap();
+        let changes = dyn_net.changes_between(0.0, 250.0);
+        assert_eq!(changes.nodes, vec![NodeId(1)]);
+        assert!(changes.links.is_empty());
+        assert!(!changes.is_empty());
+    }
+
+    #[test]
+    fn changes_between_respects_model_periodicity() {
+        let dyn_net = DynamicNetwork::new(
+            base(),
+            vec![LoadModel::Constant(1.0); 2],
+            vec![LoadModel::RandomEpochs {
+                epoch_ms: 100.0,
+                floor: 0.5,
+                seed: 42,
+            }],
+        )
+        .unwrap();
+        // same epoch: the factor is identical, so nothing changed
+        assert!(dyn_net.changes_between(10.0, 90.0).is_empty());
+        // crossing an epoch boundary perturbs the link (even edge id)
+        let crossed = dyn_net.changes_between(10.0, 110.0);
+        assert_eq!(crossed.links, vec![EdgeId(0)]);
+        assert!(crossed.nodes.is_empty());
+    }
+
+    #[test]
+    fn changes_between_agrees_with_snapshot_diffs() {
+        let dyn_net = DynamicNetwork::new(
+            base(),
+            vec![
+                LoadModel::RandomEpochs {
+                    epoch_ms: 50.0,
+                    floor: 0.6,
+                    seed: 7,
+                },
+                LoadModel::Constant(0.9),
+            ],
+            vec![LoadModel::Sinusoid {
+                period_ms: 300.0,
+                amplitude: 0.3,
+                phase_ms: 10.0,
+            }],
+        )
+        .unwrap();
+        for (t0, t1) in [(0.0, 0.0), (0.0, 75.0), (20.0, 620.0), (5.0, 305.0)] {
+            let (s0, s1) = (dyn_net.snapshot_at(t0), dyn_net.snapshot_at(t1));
+            let changes = dyn_net.changes_between(t0, t1);
+            for i in 0..s0.node_count() {
+                let id = NodeId::from_index(i);
+                let differs = s0.power(id).to_bits() != s1.power(id).to_bits();
+                assert_eq!(
+                    changes.nodes.contains(&id),
+                    differs,
+                    "node {i} at ({t0},{t1})"
+                );
+            }
+            for k in 0..dyn_net.base().link_count() {
+                let id = EdgeId((2 * k) as u32);
+                let differs = s0.link(id).unwrap().bw_mbps.to_bits()
+                    != s1.link(id).unwrap().bw_mbps.to_bits();
+                assert_eq!(
+                    changes.links.contains(&id),
+                    differs,
+                    "link {k} at ({t0},{t1})"
+                );
+            }
+        }
     }
 
     #[test]

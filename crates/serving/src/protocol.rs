@@ -15,7 +15,7 @@
 //! encode→decode bit-identity for every request and response variant,
 //! including every typed error.
 
-use elpc_mapping::{CostModel, MappingError};
+use elpc_mapping::{CostModel, MappingError, NetworkDelta};
 use elpc_netgraph::NodeId;
 use elpc_workloads::ProblemInstance;
 use serde::{Deserialize, Serialize};
@@ -228,13 +228,25 @@ pub struct SolveRequest {
     pub instance: ProblemInstance,
 }
 
-/// A remap order: a solve plus the assignment it would replace.
+/// A remap order: a solve plus the assignment it would replace. A client
+/// that knows *what* changed can ship the bank key of the pre-change
+/// instance plus the exact [`NetworkDelta`]; the server then repairs the
+/// banked closure in place ([hit-with-repair]) instead of building the
+/// perturbed topology's closure cold.
+///
+/// [hit-with-repair]: elpc_workloads::ClosureBank::update_in_place
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RemapRequest {
     /// The fresh solve to run against the (possibly changed) topology.
     pub solve: SolveRequest,
     /// The assignment currently deployed.
     pub previous: Vec<NodeId>,
+    /// Bank key of the *pre-change* instance (as banked by an earlier
+    /// solve), when the client wants an in-place repair.
+    pub previous_key: Option<u64>,
+    /// The exact perturbation between the banked instance and
+    /// `solve.instance`, when the client wants an in-place repair.
+    pub delta: Option<NetworkDelta>,
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +308,9 @@ pub struct RemapReply {
     pub reply: SolveReply,
     /// True when the fresh assignment differs from `previous`.
     pub changed: bool,
+    /// True when the request's `previous_key`/`delta` repaired a banked
+    /// closure in place (the solve then reports `banked: true`).
+    pub repaired: bool,
 }
 
 /// Latency summary over completed requests, in milliseconds.
@@ -336,6 +351,8 @@ pub struct StatsReply {
     pub bank_misses: u64,
     /// Closure-bank deposits.
     pub bank_deposits: u64,
+    /// Closure-bank in-place repairs (remap hit-with-repair migrations).
+    pub bank_repairs: u64,
     /// End-to-end latency summary over completed requests.
     pub latency: LatencySummary,
 }

@@ -158,6 +158,7 @@ impl Shared {
             bank_hits: bank.hits,
             bank_misses: bank.misses,
             bank_deposits: bank.deposits,
+            bank_repairs: bank.repairs,
             latency: LatencySummary {
                 count: sorted.len() as u64,
                 p50_ms: percentile(&sorted, 0.50),
@@ -450,10 +451,17 @@ fn handle_item(shared: &Arc<Shared>, item: WorkItem) {
     } else {
         let run = std::panic::catch_unwind(AssertUnwindSafe(|| match &item.kind {
             WorkKind::Solve(s) => run_solve(shared, s, queue_ms).map(Response::Solved),
-            WorkKind::Remap(r) => run_solve(shared, &r.solve, queue_ms).map(|reply| {
-                let changed = reply.assignment != r.previous;
-                Response::Remapped(RemapReply { reply, changed })
-            }),
+            WorkKind::Remap(r) => {
+                let repaired = try_repair(shared, r);
+                run_solve(shared, &r.solve, queue_ms).map(|reply| {
+                    let changed = reply.assignment != r.previous;
+                    Response::Remapped(RemapReply {
+                        reply,
+                        changed,
+                        repaired,
+                    })
+                })
+            }
         }));
         match run {
             Ok(Ok(_)) if expired(&item) => Response::Error(timeout_error(&item)),
@@ -499,6 +507,35 @@ fn panic_detail(panic: &(dyn std::any::Any + Send)) -> String {
     } else {
         "worker panicked".to_string()
     }
+}
+
+/// Attempts a remap's in-place bank repair: migrates the closure banked
+/// under `previous_key` to the perturbed instance's key (rebuilding only
+/// the trees the delta can affect), so the solve that follows checks out
+/// a **hit**. Requests without the repair fields, naming an unbanked key,
+/// or carrying an empty delta fall through to the normal path — a failed
+/// repair is never an error, just a cold solve. The delta is the client's
+/// contract: it must be the exact perturbation between the instance it
+/// banked earlier and `solve.instance`.
+fn try_repair(shared: &Arc<Shared>, r: &RemapRequest) -> bool {
+    let (Some(prev_key), Some(delta)) = (r.previous_key, r.delta.as_ref()) else {
+        return false;
+    };
+    if delta.is_empty() {
+        return false;
+    }
+    let Ok(inst) = Instance::new(
+        &r.solve.instance.network,
+        &r.solve.instance.pipeline,
+        r.solve.instance.src,
+        r.solve.instance.dst,
+    ) else {
+        return false; // run_solve will surface the Malformed error
+    };
+    shared
+        .bank
+        .update_in_place(prev_key, inst, r.solve.cost, delta, r.solve.threads)
+        .is_some()
 }
 
 /// Runs one solve request to a reply, coalescing closure builds.

@@ -10,7 +10,9 @@
 //!   corrupt length prefixes must come back as typed [`FrameError`]s,
 //!   never a panic.
 
-use elpc_mapping::{CostModel, NodeId};
+use elpc_mapping::{CostModel, LinkPerturbation, NetworkDelta, NodeId, NodePerturbation};
+use elpc_netgraph::EdgeId;
+use elpc_netsim::Link;
 use elpc_serving::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     FrameError, LatencySummary, RemapReply, RemapRequest, Request, RequestFrame, Response,
@@ -84,19 +86,66 @@ fn arb_solve_request() -> impl Strategy<Value = SolveRequest> {
         )
 }
 
+/// Perturbation deltas with wild-but-finite link/power values — the remap
+/// repair fields must round-trip exactly like every other payload.
+fn arb_delta() -> impl Strategy<Value = NetworkDelta> {
+    (
+        prop::collection::vec(
+            (
+                any::<u32>(),
+                arb_node(),
+                arb_node(),
+                arb_finite_f64(),
+                arb_finite_f64(),
+            ),
+            0..3,
+        ),
+        prop::collection::vec((arb_node(), arb_finite_f64(), arb_finite_f64()), 0..3),
+    )
+        .prop_map(|(links, nodes)| NetworkDelta {
+            links: links
+                .into_iter()
+                .map(|(e, src, dst, old_bw, new_bw)| LinkPerturbation {
+                    edge: EdgeId(e % 64),
+                    src,
+                    dst,
+                    old: Link::new(old_bw.abs().max(1.0), 0.1),
+                    new: Link::new(new_bw.abs().max(1.0), 0.2),
+                })
+                .collect(),
+            nodes: nodes
+                .into_iter()
+                .map(|(node, old_power, new_power)| NodePerturbation {
+                    node,
+                    old_power,
+                    new_power,
+                })
+                .collect(),
+        })
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     (
         0u8..5,
         arb_solve_request(),
         prop::collection::vec(arb_node(), 0..6),
+        (any::<bool>(), any::<u64>()),
+        (any::<bool>(), arb_delta()),
     )
-        .prop_map(|(sel, solve, previous)| match sel {
-            0 => Request::Ping,
-            1 => Request::Solve(solve),
-            2 => Request::Remap(RemapRequest { solve, previous }),
-            3 => Request::Stats,
-            _ => Request::Shutdown,
-        })
+        .prop_map(
+            |(sel, solve, previous, (has_key, key), (has_delta, delta))| match sel {
+                0 => Request::Ping,
+                1 => Request::Solve(solve),
+                2 => Request::Remap(RemapRequest {
+                    solve,
+                    previous,
+                    previous_key: has_key.then_some(key),
+                    delta: has_delta.then_some(delta),
+                }),
+                3 => Request::Stats,
+                _ => Request::Shutdown,
+            },
+        )
 }
 
 fn arb_solve_reply() -> impl Strategy<Value = SolveReply> {
@@ -123,7 +172,7 @@ fn arb_solve_reply() -> impl Strategy<Value = SolveReply> {
 
 fn arb_stats_reply() -> impl Strategy<Value = StatsReply> {
     (
-        prop::collection::vec(any::<u64>(), 11..12),
+        prop::collection::vec(any::<u64>(), 12..13),
         (arb_finite_f64(), arb_finite_f64(), arb_finite_f64()),
         any::<u64>(),
     )
@@ -139,6 +188,7 @@ fn arb_stats_reply() -> impl Strategy<Value = StatsReply> {
             bank_hits: counts[8],
             bank_misses: counts[9],
             bank_deposits: counts[10],
+            bank_repairs: counts[11],
             latency: LatencySummary {
                 count: lat_count,
                 p50_ms,
@@ -179,16 +229,22 @@ fn arb_response() -> impl Strategy<Value = Response> {
         arb_solve_reply(),
         arb_stats_reply(),
         arb_serve_error(),
-        any::<bool>(),
+        (any::<bool>(), any::<bool>()),
     )
-        .prop_map(|(sel, reply, stats, error, changed)| match sel {
-            0 => Response::Pong,
-            1 => Response::Solved(reply),
-            2 => Response::Remapped(RemapReply { reply, changed }),
-            3 => Response::Stats(stats),
-            4 => Response::ShuttingDown,
-            _ => Response::Error(error),
-        })
+        .prop_map(
+            |(sel, reply, stats, error, (changed, repaired))| match sel {
+                0 => Response::Pong,
+                1 => Response::Solved(reply),
+                2 => Response::Remapped(RemapReply {
+                    reply,
+                    changed,
+                    repaired,
+                }),
+                3 => Response::Stats(stats),
+                4 => Response::ShuttingDown,
+                _ => Response::Error(error),
+            },
+        )
 }
 
 // ---------------------------------------------------------------------------

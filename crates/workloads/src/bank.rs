@@ -21,7 +21,10 @@
 //! The bank is `Send + Sync` (one mutex around the store, atomic
 //! statistics) so a parallel sweep can share a single bank across workers.
 
-use elpc_mapping::{CachedTree, CostModel, Instance, SolveContext};
+use elpc_mapping::delta::repair_closure;
+use elpc_mapping::{
+    CachedTree, CostModel, Instance, MetricClosure, NetworkDelta, RepairReport, SolveContext,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +39,10 @@ pub struct BankStats {
     pub misses: u64,
     /// Deposits that stored or enriched an entry.
     pub deposits: u64,
+    /// In-place repairs ([`ClosureBank::update_in_place`]) that migrated an
+    /// entry to a perturbed topology's key. Not checkouts: `hits + misses`
+    /// still equals the number of [`ClosureBank::context_for`] calls.
+    pub repairs: u64,
 }
 
 impl BankStats {
@@ -95,6 +102,7 @@ pub struct ClosureBank {
     hits: AtomicU64,
     misses: AtomicU64,
     deposits: AtomicU64,
+    repairs: AtomicU64,
 }
 
 impl Default for ClosureBank {
@@ -150,6 +158,7 @@ impl ClosureBank {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             deposits: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
         }
     }
 
@@ -253,12 +262,94 @@ impl ClosureBank {
         self.store.lock().entries.contains_key(&key)
     }
 
+    /// Repairs the entry banked under `old_key` into the key of `inst` ×
+    /// `cost` — a perturbed topology becomes a bank *hit-with-repair*
+    /// instead of the guaranteed miss the strict fingerprint key would
+    /// force. The entry's trees are run through the churn invalidation rule
+    /// ([`elpc_mapping::delta`]): untouched trees migrate as shared `Arc`s,
+    /// stale sources are rebuilt on `threads` workers, and the repaired
+    /// entry is stored under the new key **in the old key's eviction
+    /// slot** (the topology aged as one resident; its identity moved, not
+    /// its tenure).
+    ///
+    /// Returns the repair accounting, or `None` when nothing is banked
+    /// under `old_key` (the caller falls back to a cold solve). `delta`
+    /// must be the [`NetworkDelta`] from the old entry's network to
+    /// `inst.network` — the caller vouches for that pairing exactly as it
+    /// vouches for `old_key`. Not a checkout and not a deposit: only the
+    /// `repairs` statistic moves, so `hits + misses` still equals the
+    /// number of [`ClosureBank::context_for`] calls and a subsequent
+    /// checkout of the new key counts its own hit.
+    pub fn update_in_place(
+        &self,
+        old_key: u64,
+        inst: Instance<'_>,
+        cost: CostModel,
+        delta: &NetworkDelta,
+        threads: usize,
+    ) -> Option<RepairReport> {
+        let entries = self.store.lock().entries.get(&old_key).cloned()?;
+        let new_key = bank_key(&inst, &cost);
+        if new_key == old_key {
+            // value-identical topology (empty delta): nothing to migrate
+            self.repairs.fetch_add(1, Ordering::Relaxed);
+            return Some(RepairReport {
+                total: entries.len(),
+                kept: entries.len(),
+                rebuilt: 0,
+            });
+        }
+        // repair outside the lock — stale-tree rebuilds can be expensive
+        let closure = MetricClosure::new(inst.network, cost);
+        let report = repair_closure(&closure, &entries, delta, threads);
+        let repaired = Arc::new(closure.export());
+
+        let mut store = self.store.lock();
+        store.entries.remove(&old_key);
+        let slot = store.order.iter().position(|&k| k == old_key);
+        match store.entries.get(&new_key) {
+            // the new key is somehow already banked: richer-wins, and the
+            // old key's slot simply retires
+            Some(existing) if existing.len() >= repaired.len() => {
+                if let Some(i) = slot {
+                    store.order.remove(i);
+                }
+            }
+            Some(_) => {
+                if let Some(i) = slot {
+                    store.order.remove(i);
+                }
+                store.entries.insert(new_key, repaired);
+            }
+            None => {
+                match slot {
+                    Some(i) => store.order[i] = new_key,
+                    // the old entry was evicted while we repaired: the
+                    // repaired closure is still valid, bank it as new
+                    None => {
+                        while store.order.len() >= self.capacity {
+                            if let Some(evicted) = store.order.pop_front() {
+                                store.entries.remove(&evicted);
+                            }
+                        }
+                        store.order.push_back(new_key);
+                    }
+                }
+                store.entries.insert(new_key, repaired);
+            }
+        }
+        drop(store);
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+        Some(report)
+    }
+
     /// Access statistics so far.
     pub fn stats(&self) -> BankStats {
         BankStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             deposits: self.deposits.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
         }
     }
 
@@ -414,7 +505,8 @@ mod tests {
             BankStats {
                 hits: 0,
                 misses: 3,
-                deposits: 2
+                deposits: 2,
+                repairs: 0
             }
         );
 
@@ -448,9 +540,70 @@ mod tests {
             BankStats {
                 hits: 1,
                 misses: 4,
-                deposits: 3
+                deposits: 3,
+                repairs: 0
             }
         );
+    }
+
+    #[test]
+    fn update_in_place_turns_a_perturbation_into_a_hit_with_repair() {
+        let spec = InstanceSpec::sized(5, 12, 26);
+        let base = spec.generate(21).unwrap();
+        let bank = ClosureBank::new();
+        let s = solver("elpc_delay_routed").unwrap();
+
+        // bank the base topology
+        let ctx = bank.context_for(base.as_instance(), cost(), 1);
+        s.solve(&ctx).unwrap();
+        bank.deposit(&ctx);
+        let old_key = bank_key(&base.as_instance(), &cost());
+
+        // perturb two links; the strict key would miss
+        let mut pert = base.clone();
+        for id in [EdgeId(0), EdgeId(4)] {
+            let old = pert.network.link(id).unwrap().clone();
+            pert.network
+                .set_link_symmetric(id, Link::new(old.bw_mbps * 0.5, old.mld_ms))
+                .unwrap();
+        }
+        let new_key = bank_key(&pert.as_instance(), &cost());
+        assert_ne!(old_key, new_key);
+        assert!(!bank.contains_key(new_key));
+
+        let delta = NetworkDelta::between(&base.network, &pert.network).unwrap();
+        let report = bank
+            .update_in_place(old_key, pert.as_instance(), cost(), &delta, 1)
+            .expect("old key is banked");
+        assert_eq!(report.kept + report.rebuilt, report.total);
+        assert!(report.total > 0);
+
+        // the entry moved: new key banked, old key retired, same slot count
+        assert!(bank.contains_key(new_key));
+        assert!(!bank.contains_key(old_key));
+        assert_eq!(bank.len(), 1);
+        let stats = bank.stats();
+        assert_eq!((stats.hits, stats.misses, stats.repairs), (0, 1, 1));
+
+        // checking out the repaired entry is a plain hit, and the solve is
+        // bit-identical to a cold solve of the perturbed instance
+        let warm = bank.context_for(pert.as_instance(), cost(), 1);
+        assert_eq!(bank.stats().hits, 1);
+        let warm_sol = s.solve(&warm).unwrap();
+        let cold_sol = s
+            .solve(&SolveContext::new(pert.as_instance(), cost()))
+            .unwrap();
+        assert_eq!(warm_sol.assignment, cold_sol.assignment);
+        assert_eq!(
+            warm_sol.objective_ms.to_bits(),
+            cold_sol.objective_ms.to_bits()
+        );
+
+        // repairing an unbanked key reports None and changes nothing
+        assert!(bank
+            .update_in_place(0xDEAD_BEEF, pert.as_instance(), cost(), &delta, 1)
+            .is_none());
+        assert_eq!(bank.stats().repairs, 1);
     }
 
     #[test]

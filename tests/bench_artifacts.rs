@@ -155,6 +155,90 @@ fn serving_artifact_shows_the_bank_amortizing_closures() {
     );
 }
 
+/// Mirror of the `churn` bench's row schema — repair vs full rebuild under
+/// link perturbations of the banked topology.
+#[derive(Debug, Deserialize)]
+struct ChurnRow {
+    nodes: usize,
+    links: usize,
+    perturbed_links: usize,
+    total_trees: usize,
+    rebuilt_trees: usize,
+    full_rebuild_ms: f64,
+    repair_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct ChurnArtifact {
+    group: String,
+    rows: Vec<ChurnRow>,
+}
+
+#[test]
+fn churn_artifact_pins_the_repair_speedup_floor() {
+    let path = bench_dir().join("BENCH_churn.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must be committed and readable: {e}", path.display()));
+    let a: ChurnArtifact = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{} must carry the expected keys: {e}", path.display()));
+
+    assert_eq!(a.group, "churn", "artifact group name is pinned");
+    assert!(!a.rows.is_empty(), "at least one churn row");
+    for row in &a.rows {
+        let tag = format!("{}n/{} perturbed", row.nodes, row.perturbed_links);
+        assert!(row.links > 0, "{tag}: links recorded");
+        assert!(row.perturbed_links > 0, "{tag}: a churn row perturbs");
+        assert!(row.total_trees > 0, "{tag}: closure is non-empty");
+        assert!(
+            row.rebuilt_trees <= row.total_trees,
+            "{tag}: rebuilt set is a subset of the closure"
+        );
+        assert!(row.full_rebuild_ms > 0.0 && row.repair_ms > 0.0);
+        let ratio = row.full_rebuild_ms / row.repair_ms;
+        assert!(
+            (ratio - row.speedup).abs() < 1e-6 * row.speedup.max(1.0),
+            "{tag}: speedup column must equal the timing ratio"
+        );
+    }
+
+    // the sweep shape the bench commits: 200- and 1000-node topologies
+    // under 1/5/20-link perturbations
+    let shape: Vec<(usize, usize)> = a
+        .rows
+        .iter()
+        .map(|r| (r.nodes, r.perturbed_links))
+        .collect();
+    assert_eq!(
+        shape,
+        vec![
+            (200, 1),
+            (200, 5),
+            (200, 20),
+            (1000, 1),
+            (1000, 5),
+            (1000, 20)
+        ],
+        "churn sweep shape is pinned"
+    );
+
+    // The tentpole's acceptance floor: repairing after a ≤5-link
+    // perturbation at 1000 nodes must beat a full rebuild by ≥5x
+    // (measured ~39-46x on the reference machine).
+    for row in a
+        .rows
+        .iter()
+        .filter(|r| r.nodes == 1000 && r.perturbed_links <= 5)
+    {
+        assert!(
+            row.speedup >= 5.0,
+            "1000n/{}-link repair speedup regressed below 5x: {:.2}",
+            row.perturbed_links,
+            row.speedup
+        );
+    }
+}
+
 #[test]
 fn all_committed_bench_artifacts_parse() {
     // every committed BENCH_*.json must at least be valid JSON with a
@@ -175,5 +259,5 @@ fn all_committed_bench_artifacts_parse() {
             assert!(!v.group.is_empty(), "{name} carries a group name");
         }
     }
-    assert!(seen >= 6, "expected the committed artifact set, saw {seen}");
+    assert!(seen >= 7, "expected the committed artifact set, saw {seen}");
 }

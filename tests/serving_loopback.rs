@@ -199,9 +199,12 @@ fn remap_reports_movement_against_previous_assignment() {
         .remap(RemapRequest {
             solve: solve.clone(),
             previous: fresh.iter().map(|&n| elpc_mapping::NodeId(n)).collect(),
+            previous_key: None,
+            delta: None,
         })
         .expect("remap");
     assert!(!same.changed, "identical previous assignment cannot move");
+    assert!(!same.repaired, "no repair fields, no repair");
     assert_eq!(
         same.reply
             .assignment
@@ -216,6 +219,8 @@ fn remap_reports_movement_against_previous_assignment() {
         .remap(RemapRequest {
             solve,
             previous: Vec::new(),
+            previous_key: None,
+            delta: None,
         })
         .expect("remap");
     assert!(moved.changed, "empty previous assignment always differs");

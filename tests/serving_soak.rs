@@ -10,8 +10,9 @@
 //! * perturbed topologies never hit the base topology's entry,
 //! * per-reply `banked`/`coalesced` flags sum to the server counters.
 
-use elpc_mapping::CostModel;
-use elpc_serving::{Client, Server, ServerConfig, SolveRequest};
+use elpc_mapping::{solver, CostModel, EdgeId, NetworkDelta, SolveContext};
+use elpc_netsim::Link;
+use elpc_serving::{Client, RemapRequest, Server, ServerConfig, SolveRequest};
 use elpc_workloads::bank::bank_key;
 use elpc_workloads::{InstanceSpec, ProblemInstance};
 use std::path::PathBuf;
@@ -147,6 +148,113 @@ fn racing_clients_build_each_closure_exactly_once() {
 
     assert_eq!(stats.queue_depth, 0, "drain must leave an empty queue");
     assert!(!socket.exists(), "drain must remove the socket file");
+}
+
+/// Degrades `count` undirected links of a copy of `inst` by halving their
+/// bandwidth, returning the perturbed instance.
+fn degraded(inst: &ProblemInstance, count: usize) -> ProblemInstance {
+    let mut out = inst.clone();
+    for k in 0..count {
+        let id = EdgeId((2 * k) as u32);
+        let old = out.network.link(id).expect("valid link").clone();
+        out.network
+            .set_link_symmetric(id, Link::new(old.bw_mbps * 0.5, old.mld_ms))
+            .expect("same shape");
+    }
+    out
+}
+
+/// The churn serving path: a client that knows what changed ships the old
+/// bank key plus the exact delta, and the server repairs the banked
+/// closure in place — the perturbed-topology solve is a bank **hit**, not
+/// a cold rebuild, and every counter stays exact.
+#[test]
+fn perturb_then_remap_repairs_the_banked_closure_in_place() {
+    let base = base_instance();
+    let cost = CostModel::default();
+    let base_key = bank_key(&base.as_instance(), &cost);
+
+    let live = degraded(&base, 2);
+    let delta = NetworkDelta::between(&base.network, &live.network).expect("same shape");
+    assert_eq!(delta.links.len(), 4, "two links, both directions each");
+
+    let socket = socket_path("remap-repair");
+    let server = Server::bind(
+        &socket,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(&socket).expect("connect");
+
+    // 1. a cold solve banks the pre-churn topology
+    let first = client.solve(solve_req(&base)).expect("base solve");
+    assert!(!first.banked, "first sight of this topology");
+
+    // 2. perturb-then-remap with the repair fields: the banked entry
+    //    migrates to the perturbed key, so this solve is banked
+    let remap = client
+        .remap(RemapRequest {
+            solve: solve_req(&live),
+            previous: first.assignment.clone(),
+            previous_key: Some(base_key),
+            delta: Some(delta.clone()),
+        })
+        .expect("remap");
+    assert!(remap.repaired, "the delta must repair the banked closure");
+    assert!(
+        remap.reply.banked,
+        "an in-place repair turns the perturbed solve into a bank hit"
+    );
+    assert!(!remap.reply.coalesced, "nothing to coalesce with");
+
+    // the repaired solve is bit-identical to solving the perturbed
+    // instance from scratch
+    let ctx = SolveContext::new(live.as_instance(), cost);
+    let cold = solver("elpc_delay_routed")
+        .expect("registered")
+        .solve(&ctx)
+        .expect("cold solve");
+    assert_eq!(remap.reply.assignment, cold.assignment);
+    assert_eq!(
+        remap.reply.objective_ms.to_bits(),
+        cold.objective_ms.to_bits(),
+        "repaired and cold objectives must be bit-identical"
+    );
+
+    // 3. a remap naming a key that was never banked falls back to the
+    //    normal cold path — no repair, no error
+    let other = degraded(&base, 4);
+    let other_delta = NetworkDelta::between(&live.network, &other.network).expect("same shape");
+    let fallback = client
+        .remap(RemapRequest {
+            solve: solve_req(&other),
+            previous: remap.reply.assignment.clone(),
+            previous_key: Some(0xDEAD_BEEF),
+            delta: Some(other_delta),
+        })
+        .expect("fallback remap");
+    assert!(!fallback.repaired, "unknown key cannot repair");
+    assert!(!fallback.reply.banked, "fallback is a cold build");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.completed, 3, "every request must succeed");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.bank_repairs, 1, "exactly the one repair");
+    assert_eq!(
+        stats.bank_misses, 2,
+        "base cold build + fallback cold build; the repaired remap hit"
+    );
+    assert_eq!(stats.bank_hits, 1, "the repaired remap");
+    assert_eq!(
+        stats.bank_hits + stats.bank_misses,
+        3,
+        "bank consulted exactly once per request, repairs are not checkouts"
+    );
+    assert_eq!(stats.coalesced, 0);
 }
 
 /// Sequential control: with one client and one worker there is nothing to
