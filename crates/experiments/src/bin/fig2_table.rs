@@ -23,6 +23,7 @@ fn main() {
         "Anneal delay (ms)",
         "GA delay (ms)",
         "Tabu delay (ms)",
+        "LNS delay (ms)",
         "Portfolio delay (ms)",
         "ELPC rate (fps)",
         "Streamline rate (fps)",
@@ -30,6 +31,7 @@ fn main() {
         "Anneal rate (fps)",
         "GA rate (fps)",
         "Tabu rate (fps)",
+        "LNS rate (fps)",
         "Portfolio rate (fps)",
         "quality gap (delay)",
         "quality gap (rate)",
@@ -54,6 +56,7 @@ fn main() {
             fmt_ms(&r.delay_anneal),
             fmt_ms(&r.delay_genetic),
             fmt_ms(&r.delay_tabu),
+            fmt_ms(&r.delay_lns),
             fmt_ms(&r.delay_portfolio),
             fmt_fps(&r.rate_elpc),
             fmt_fps(&r.rate_streamline),
@@ -61,6 +64,7 @@ fn main() {
             fmt_fps(&r.rate_anneal),
             fmt_fps(&r.rate_genetic),
             fmt_fps(&r.rate_tabu),
+            fmt_fps(&r.rate_lns),
             fmt_fps(&r.rate_portfolio),
             fmt_gap(r.quality_gap_delay),
             fmt_gap(r.quality_gap_rate),

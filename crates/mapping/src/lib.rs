@@ -16,11 +16,12 @@
 //! | [`greedy`]     | local greedy                     | §3.3 | heuristic, `O(m·n)` |
 //! | [`metaheuristic`] | simulated annealing + genetic search over free assignments | related work | heuristic, seeded-deterministic |
 //! | [`tabu`]       | tabu search over free assignments | related work | heuristic, seeded-deterministic |
+//! | [`lns`]        | adaptive large-neighborhood search (destroy/repair over stage segments) | related work | heuristic, seeded-deterministic |
 //! | [`portfolio`]  | concurrent slate race over registry members | — | best member wins, deterministic tie-break |
 //!
 //! ## The `Solver` registry and `SolveContext`
 //!
-//! All eighteen solver entry points (the algorithms × two objectives —
+//! All twenty solver entry points (the algorithms × two objectives —
 //! strict, routed, metaheuristic, and portfolio variants) are registered behind the [`Solver`] trait;
 //! [`registry()`] enumerates them and [`solver()`] looks one up by name.
 //! Every solver receives a [`SolveContext`] — the instance, the cost model,
@@ -82,6 +83,7 @@ mod error;
 pub mod eval;
 pub mod exact;
 pub mod greedy;
+pub mod lns;
 mod mapping;
 pub mod metaheuristic;
 pub mod portfolio;
@@ -97,9 +99,10 @@ pub use cost::{CostModel, Stage};
 pub use delta::{LinkPerturbation, NetworkDelta, NodePerturbation, RepairReport};
 pub use error::MappingError;
 pub use eval::{BoundedEval, DeltaEval, EvalKernel, MoveSpec};
+pub use lns::LnsConfig;
 pub use mapping::{AssignmentSolution, DelaySolution, Mapping, RateSolution};
 pub use metaheuristic::{AnnealConfig, GeneticConfig};
-pub use portfolio::{MemberReport, PortfolioConfig, PortfolioSolution};
+pub use portfolio::{FannedMember, MemberReport, PortfolioConfig, PortfolioSolution};
 pub use solver::{registry, solver, solvers_for, Objective, Solution, Solver};
 pub use tabu::TabuConfig;
 

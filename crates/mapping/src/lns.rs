@@ -1,0 +1,574 @@
+//! Large-neighborhood search over free stage→node assignments: destroy a
+//! contiguous stage segment, rebuild it by greedy best-insertion, adapt the
+//! destroy-operator mix to what actually pays off.
+//!
+//! PR 5's dense [`crate::eval::EvalKernel`] made a candidate evaluation a
+//! few array reads (~25 ns), but the equal-budget metaheuristics spend that
+//! budget one move at a time and still leave a measurable quality gap on
+//! the larger fig. 2 instances. LNS (Shaw's destroy/repair scheme with
+//! Ropke & Pisinger's adaptive operator weights) converts the same budget
+//! into *coordinated* multi-stage rewrites: ejecting a whole window of
+//! stages and re-inserting it greedily crosses the valleys that defeat
+//! single-move neighborhoods. The solver is registered as `lns_delay` /
+//! `lns_rate` and searches the exact space the other metaheuristics do —
+//! endpoints pinned, MinDelay may reuse hosts, MaxRate requires
+//! pairwise-distinct hosts, every candidate scored under routed transport.
+//!
+//! ## Destroy operators
+//!
+//! Each round draws a segment length and one of three window selectors:
+//!
+//! * **random segment** — a uniformly random interior window; pure
+//!   diversification.
+//! * **worst-contribution segment** — the window whose owned stage terms
+//!   (its compute terms plus every transfer term entering, inside, or
+//!   leaving it, read straight from the kernel at the current assignment)
+//!   score worst: largest sum under MinDelay, largest single term under
+//!   MaxRate, with an unreachable (infinite) term beating everything.
+//!   Targets the provably most expensive part of the incumbent.
+//! * **closure-distance-clustered segment** — seeds a random stage and
+//!   picks, among the windows containing it, the one whose hosts are
+//!   mutually closest under the routed closure metric (smallest sum of
+//!   internal transfer terms). Ejecting a co-located cluster lets the
+//!   repair relocate it *as a group*, which single moves cannot.
+//!
+//! Under MinDelay the destroy collapses the window onto its left anchor's
+//! host (internal transfers become zero — the relaxation's natural "empty"
+//! state); under MaxRate the window is only marked, since collapsing would
+//! violate distinctness, and the repair rescans each stage against the
+//! unused-host pool instead.
+//!
+//! ## Repair and acceptance
+//!
+//! Repair walks the window left to right; each stage scans its candidate
+//! hosts in ascending node order through
+//! [`crate::eval::DeltaEval::eval_move_bounded`] (O(1) per candidate,
+//! allocation-free, first-wins ties via the strict bound) and commits the
+//! best with [`crate::eval::DeltaEval::apply`], which re-derives the exact
+//! objective — so every recorded value reconciles bit-for-bit with the
+//! routed evaluators. A repaired incumbent is accepted when it is no worse
+//! than the current one (sideways moves keep the walk mobile); otherwise
+//! the state resets to the incumbent. Every candidate scan counts against
+//! [`LnsConfig::budget`], the same currency the other metaheuristics
+//! meter, and the search opens with one greedy coordinate-descent sweep of
+//! the whole interior before the destroy/repair rounds begin.
+//!
+//! ## Adaptive operator weights
+//!
+//! Each operator carries a weight, updated after every round by
+//! exponential smoothing (`reaction`) toward a score: finding a new global
+//! best scores highest, improving the incumbent less, an accepted sideways
+//! move less still, a rejected round zero. Weighted roulette selection
+//! then favors whichever destroy operator is currently earning its keep —
+//! the classic ALNS scheme, floored so no operator ever starves.
+//!
+//! ## Determinism
+//!
+//! All randomness flows from one seeded [`rand_chacha::ChaCha8Rng`]; the
+//! search itself is single-threaded on top of the immutable kernel
+//! snapshot, and the kernel's values are identical at every
+//! [`crate::SolveContext`] thread count (closure warm-up order changes
+//! *when* trees are built, never what a candidate scores). The same
+//! [`LnsConfig`] on the same instance therefore reproduces the identical
+//! mapping bit-for-bit at any thread count — the property
+//! `tests/solver_invariants.rs` and the determinism proptest pin.
+
+use crate::eval::{BoundedEval, DeltaEval, EvalKernel, MoveSpec};
+use crate::metaheuristic::{track_best, Search};
+use crate::{tabu, AssignmentSolution, MappingError, Objective, Result, SolveContext};
+use elpc_netgraph::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of destroy operators (random / worst-contribution / clustered).
+const OPERATORS: usize = 3;
+/// Operator indices, in weight-array order.
+const OP_RANDOM: usize = 0;
+const OP_WORST: usize = 1;
+const OP_CLUSTER: usize = 2;
+/// Weights never smooth below this floor, so no operator starves.
+const MIN_WEIGHT: f64 = 0.05;
+/// Scores feeding the weight update: new global best, improved incumbent,
+/// accepted sideways move, rejected round.
+const SCORE_BEST: f64 = 3.0;
+const SCORE_IMPROVED: f64 = 1.5;
+const SCORE_ACCEPTED: f64 = 0.5;
+const SCORE_REJECTED: f64 = 0.0;
+
+/// Configuration of the large-neighborhood-search solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LnsConfig {
+    /// RNG seed; equal seeds reproduce the search exactly.
+    pub seed: u64,
+    /// Candidate-evaluation budget — the same currency as
+    /// `iterations × neighborhood` for tabu and `iterations × restarts`
+    /// for annealing, so the registry entries compare at equal budgets.
+    pub budget: usize,
+    /// Smallest destroyed segment (stages).
+    pub min_segment: usize,
+    /// Largest destroyed segment (clamped to the interior length).
+    pub max_segment: usize,
+    /// Exponential-smoothing factor of the adaptive operator weights, in
+    /// `(0, 1]`: `w ← (1 − reaction)·w + reaction·score`.
+    pub reaction: f64,
+}
+
+impl Default for LnsConfig {
+    /// The default budget matches the other metaheuristics' 5000 candidate
+    /// evaluations (see [`crate::TabuConfig::default`]).
+    fn default() -> Self {
+        LnsConfig {
+            seed: crate::metaheuristic::DEFAULT_SEED,
+            budget: 5000,
+            min_segment: 2,
+            max_segment: 8,
+            reaction: 0.25,
+        }
+    }
+}
+
+impl LnsConfig {
+    fn validate(&self) -> Result<()> {
+        if self.budget == 0 {
+            return Err(MappingError::BadConfig(
+                "lns needs a positive evaluation budget".into(),
+            ));
+        }
+        if self.min_segment == 0 || self.min_segment > self.max_segment {
+            return Err(MappingError::BadConfig(
+                "lns segment bounds need 1 ≤ min_segment ≤ max_segment".into(),
+            ));
+        }
+        if !(self.reaction > 0.0 && self.reaction <= 1.0) {
+            return Err(MappingError::BadConfig(
+                "lns reaction factor must lie in (0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The stage terms a window `[lo, hi)` owns at the current assignment: its
+/// stages' compute terms plus every transfer term entering, inside, or
+/// leaving it. Summed under MinDelay, max'd under MaxRate; an infinite
+/// term makes the window score infinite either way.
+fn window_contribution(
+    kernel: &EvalKernel,
+    objective: Objective,
+    a: &[NodeId],
+    lo: usize,
+    hi: usize,
+) -> f64 {
+    let n = a.len();
+    let mut sum = 0.0_f64;
+    let mut max = 0.0_f64;
+    let mut add = |t: f64| {
+        sum += t;
+        max = if t > max { t } else { max };
+    };
+    for j in lo..hi {
+        add(kernel.compute_ms(j, a[j]));
+    }
+    // boundaries lo−1 .. hi−1: the transfers entering, inside, and leaving
+    for j in lo - 1..hi.min(n - 1) {
+        add(kernel.transfer_ms(j, a[j], a[j + 1]));
+    }
+    match objective {
+        Objective::MinDelay => sum,
+        Objective::MaxRate => max,
+    }
+}
+
+/// How tightly a window's hosts cluster under the routed closure metric:
+/// the sum of its internal transfer terms at the current assignment.
+fn window_spread(kernel: &EvalKernel, a: &[NodeId], lo: usize, hi: usize) -> f64 {
+    let mut spread = 0.0_f64;
+    for j in lo..hi - 1 {
+        spread += kernel.transfer_ms(j, a[j], a[j + 1]);
+    }
+    spread
+}
+
+/// Weighted roulette over the adaptive operator weights. Weights are
+/// positive (floored at [`MIN_WEIGHT`]), so the draw always lands.
+fn pick_operator(weights: &[f64; OPERATORS], rng: &mut ChaCha8Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (op, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw < 0.0 {
+            return op;
+        }
+    }
+    OPERATORS - 1
+}
+
+/// The destroy window `[lo, lo + len)` the operator selects. `len` is
+/// already clamped to the interior, so a valid `lo ∈ [1, n − 1 − len]`
+/// always exists. Ties in the scored operators break toward the lowest
+/// `lo` (strict comparisons), keeping the choice deterministic.
+fn choose_window(
+    op: usize,
+    objective: Objective,
+    search: &Search,
+    state: &DeltaEval,
+    len: usize,
+    rng: &mut ChaCha8Rng,
+) -> usize {
+    let n = search.n;
+    let interior = n - 2;
+    let positions = interior - len + 1;
+    match op {
+        OP_RANDOM => 1 + rng.gen_range(0..positions),
+        OP_WORST => {
+            let a = state.assignment();
+            let kernel = search.kernel();
+            let mut best_lo = 1;
+            let mut best_score = f64::NEG_INFINITY;
+            for lo in 1..=n - 1 - len {
+                let s = window_contribution(kernel, objective, a, lo, lo + len);
+                if s > best_score {
+                    best_score = s;
+                    best_lo = lo;
+                }
+            }
+            best_lo
+        }
+        _ => {
+            debug_assert_eq!(op, OP_CLUSTER);
+            // clustered: a random seed stage, then the tightest window
+            // (by internal closure spread) containing it
+            let seed = 1 + rng.gen_range(0..interior);
+            let a = state.assignment();
+            let kernel = search.kernel();
+            let lo_min = seed.saturating_sub(len - 1).max(1);
+            let lo_max = seed.min(n - 1 - len);
+            let mut best_lo = lo_min;
+            let mut best_spread = f64::INFINITY;
+            for lo in lo_min..=lo_max {
+                let s = window_spread(kernel, a, lo, lo + len);
+                if s < best_spread {
+                    best_spread = s;
+                    best_lo = lo;
+                }
+            }
+            best_lo
+        }
+    }
+}
+
+/// Greedy best-insertion repair of the window `[lo, hi)`: left to right,
+/// each stage scans its candidate hosts in ascending node order — all `k`
+/// hosts under MinDelay, the current host plus every unused one under
+/// MaxRate — through `eval_move_bounded` with the best score so far as the
+/// bound (strict, so the lowest-index host wins ties) and commits the
+/// winner. Every scanned candidate counts one evaluation against the
+/// budget; the scan stops mid-stage when the budget runs dry.
+fn repair_segment(
+    search: &Search,
+    state: &mut DeltaEval,
+    lo: usize,
+    hi: usize,
+    evals: &mut usize,
+    budget: usize,
+) {
+    for j in lo..hi {
+        let mut chosen: Option<MoveSpec> = None;
+        let mut bound = f64::INFINITY;
+        let cur = state.assignment()[j];
+        for v in 0..search.k {
+            if *evals >= budget {
+                break;
+            }
+            let to = NodeId::from_index(v);
+            if search.distinct() && to != cur && state.used_hosts()[v] {
+                continue; // distinctness: only the current or an unused host
+            }
+            *evals += 1;
+            let mv = MoveSpec::Reassign { stage: j, to };
+            if let BoundedEval::Feasible(ms) = state.eval_move_bounded(mv, bound) {
+                bound = ms;
+                chosen = Some(mv);
+            }
+        }
+        if let Some(mv) = chosen {
+            let _ = state.apply(mv);
+        }
+        if *evals >= budget {
+            return;
+        }
+    }
+}
+
+/// Large-neighborhood search over stage→node assignments.
+///
+/// Warm-starts exactly like [`crate::tabu`] (baseline, greedy re-scored
+/// under routed semantics, random draws), runs one greedy
+/// coordinate-descent sweep over the interior, then destroy/repair rounds
+/// until the evaluation budget is spent: an adaptively weighted destroy
+/// operator ejects a contiguous stage segment and greedy best-insertion
+/// rebuilds it through the kernel's O(1) delta moves (see the module docs
+/// for the operators, acceptance rule, and weight scheme). Deterministic
+/// for a fixed `(instance, cost model, config)` at any thread count, and —
+/// because the greedy solution is a starting candidate — never worse than
+/// the greedy baseline of the same objective under routed evaluation.
+pub fn solve_lns(
+    ctx: &SolveContext<'_>,
+    objective: Objective,
+    config: &LnsConfig,
+) -> Result<AssignmentSolution> {
+    config.validate()?;
+    let search = Search::new(ctx, objective)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let Some((mut current, mut cur_cost)) = tabu::warm_start(ctx, objective, &search, &mut rng)
+    else {
+        return search.finish(None);
+    };
+    let mut best: Option<(Vec<NodeId>, f64)> = None;
+    track_best(&mut best, &current, cur_cost);
+
+    let n = search.n;
+    let interior = n.saturating_sub(2);
+    if interior == 0 {
+        // a 2-module pipeline has exactly one assignment
+        return search.finish(best);
+    }
+
+    let mut state = search.delta_state(&current);
+    let mut evals = 0usize;
+
+    // the opening sweep: one greedy pass over every interior stage —
+    // coordinate descent the destroy/repair rounds then perturb out of
+    // its local optimum. "Stay" is always a scanned candidate, so the
+    // sweep can only improve the incumbent.
+    repair_segment(&search, &mut state, 1, n - 1, &mut evals, config.budget);
+    match state.objective_ms() {
+        Some(ms) if ms <= cur_cost => {
+            cur_cost = ms;
+            current.copy_from_slice(state.assignment());
+            track_best(&mut best, &current, cur_cost);
+        }
+        _ => state.reset(&current),
+    }
+
+    let mut weights = [1.0_f64; OPERATORS];
+    while evals < config.budget {
+        let op = pick_operator(&weights, &mut rng);
+        let hi_len = config.max_segment.min(interior);
+        let lo_len = config.min_segment.min(hi_len);
+        let len = lo_len + rng.gen_range(0..hi_len - lo_len + 1);
+        let lo = choose_window(op, objective, &search, &state, len, &mut rng);
+        let hi = lo + len;
+
+        if !search.distinct() {
+            // MinDelay destroy: collapse the window onto its left
+            // anchor's host — internal transfers vanish, and DeltaEval
+            // tolerates the transient state either way
+            let anchor = state.assignment()[lo - 1];
+            for j in lo..hi {
+                let _ = state.apply(MoveSpec::Reassign {
+                    stage: j,
+                    to: anchor,
+                });
+            }
+        }
+        repair_segment(&search, &mut state, lo, hi, &mut evals, config.budget);
+
+        let (score, accept) = match state.objective_ms() {
+            Some(ms) => {
+                if best.as_ref().is_none_or(|(_, b)| ms < *b) {
+                    (SCORE_BEST, true)
+                } else if ms < cur_cost {
+                    (SCORE_IMPROVED, true)
+                } else if ms <= cur_cost {
+                    (SCORE_ACCEPTED, true)
+                } else {
+                    (SCORE_REJECTED, false)
+                }
+            }
+            None => (SCORE_REJECTED, false),
+        };
+        if accept {
+            cur_cost = state.objective_ms().expect("accepted rounds are feasible");
+            current.copy_from_slice(state.assignment());
+            track_best(&mut best, &current, cur_cost);
+        } else {
+            state.reset(&current);
+        }
+        weights[op] =
+            ((1.0 - config.reaction) * weights[op] + config.reaction * score).max(MIN_WEIGHT);
+    }
+    search.finish(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{k5, pipe4};
+    use crate::{elpc_delay, greedy, routed, CostModel, Instance};
+    use elpc_pipeline::Pipeline;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn lns_is_seed_deterministic() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let a = solve_lns(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &LnsConfig::default(),
+            )
+            .unwrap();
+            let b = solve_lns(
+                &SolveContext::new(inst, cost()),
+                objective,
+                &LnsConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.objective_ms.to_bits(), b.objective_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn lns_delay_matches_the_routed_optimum_on_a_small_instance() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let exact = elpc_delay::solve_routed_ctx(&ctx).unwrap();
+        let sol = solve_lns(&ctx, Objective::MinDelay, &LnsConfig::default()).unwrap();
+        assert!(sol.objective_ms >= exact.objective_ms - 1e-9);
+        assert!(
+            (sol.objective_ms - exact.objective_ms).abs() <= 1e-6 * exact.objective_ms,
+            "lns missed the optimum on a trivial instance: {} vs {}",
+            sol.objective_ms,
+            exact.objective_ms
+        );
+    }
+
+    #[test]
+    fn lns_never_ends_worse_than_greedy() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let sol = solve_lns(&ctx, Objective::MinDelay, &LnsConfig::default()).unwrap();
+        let g = greedy::solve_min_delay(ctx.instance(), ctx.cost()).unwrap();
+        assert!(sol.objective_ms <= g.delay_ms + 1e-9);
+        let sol = solve_lns(&ctx, Objective::MaxRate, &LnsConfig::default()).unwrap();
+        let g = greedy::solve_max_rate(ctx.instance(), ctx.cost()).unwrap();
+        assert!(sol.objective_ms <= g.bottleneck_ms + 1e-9);
+    }
+
+    #[test]
+    fn rate_solutions_respect_the_distinctness_constraint() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let sol = solve_lns(&ctx, Objective::MaxRate, &LnsConfig::default()).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for &h in &sol.assignment {
+            assert!(seen.insert(h), "host {h} reused in a MaxRate mapping");
+        }
+        assert_eq!(sol.assignment[0], NodeId(0));
+        assert_eq!(*sol.assignment.last().unwrap(), NodeId(4));
+        let re = routed::routed_bottleneck_ms_ctx(&ctx, &sol.assignment, true).unwrap();
+        assert_eq!(re.to_bits(), sol.objective_ms.to_bits());
+    }
+
+    #[test]
+    fn infeasible_instances_are_reported() {
+        let net = k5();
+        // 6 modules on 5 nodes: MaxRate is structurally infeasible
+        let pipe = Pipeline::from_stages(1e5, &[(1.0, 1e4); 4], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        assert!(matches!(
+            solve_lns(&ctx, Objective::MaxRate, &LnsConfig::default()),
+            Err(MappingError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        for bad in [
+            LnsConfig {
+                budget: 0,
+                ..Default::default()
+            },
+            LnsConfig {
+                min_segment: 0,
+                ..Default::default()
+            },
+            LnsConfig {
+                min_segment: 5,
+                max_segment: 3,
+                ..Default::default()
+            },
+            LnsConfig {
+                reaction: 0.0,
+                ..Default::default()
+            },
+            LnsConfig {
+                reaction: 1.5,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                solve_lns(&ctx, Objective::MinDelay, &bad),
+                Err(MappingError::BadConfig(_))
+            ));
+        }
+        // a segment range wider than the interior is legal (it clamps)
+        assert!(solve_lns(
+            &ctx,
+            Objective::MinDelay,
+            &LnsConfig {
+                min_segment: 1,
+                max_segment: 100,
+                ..Default::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn two_module_pipelines_have_one_assignment() {
+        let net = k5();
+        let pipe = Pipeline::from_stages(1e5, &[], 1.0).unwrap();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let sol = solve_lns(&ctx, Objective::MinDelay, &LnsConfig::default()).unwrap();
+        assert_eq!(sol.assignment, vec![NodeId(0), NodeId(4)]);
+    }
+
+    #[test]
+    fn tiny_budgets_still_return_the_warm_start() {
+        let net = k5();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, NodeId(0), NodeId(4)).unwrap();
+        let ctx = SolveContext::new(inst, cost());
+        let g = greedy::solve_min_delay(ctx.instance(), ctx.cost()).unwrap();
+        let sol = solve_lns(
+            &ctx,
+            Objective::MinDelay,
+            &LnsConfig {
+                budget: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(sol.objective_ms <= g.delay_ms + 1e-9);
+    }
+}

@@ -209,6 +209,11 @@ impl Search {
         self.objective == Objective::MaxRate
     }
 
+    /// The context's dense evaluation kernel backing this search.
+    pub(crate) fn kernel(&self) -> &Arc<EvalKernel> {
+        &self.kernel
+    }
+
     /// Routed objective of a full assignment through the dense kernel —
     /// bit-identical to the closure-backed evaluators; `None` when the
     /// assignment is infeasible (an unreachable transfer or a violated
@@ -429,6 +434,17 @@ pub fn solve_anneal(
     search.finish(best)
 }
 
+/// Elitism ordering: population indices by ascending fitness, ties broken
+/// by position. A degenerate cost evaluation can surface NaN (0/0 — e.g. a
+/// zero-byte payload priced over a zero-bandwidth link); the sort must not
+/// panic on it, and `total_cmp` orders NaN above +∞, so such individuals
+/// rank strictly worse than every infeasible one and die out.
+pub(crate) fn elite_order(fitness: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..fitness.len()).collect();
+    order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]).then(a.cmp(&b)));
+    order
+}
+
 /// Genetic search over stage→node assignments.
 ///
 /// A generational GA: tournament selection picks parents, one-point
@@ -478,14 +494,7 @@ pub fn solve_genetic(
     };
 
     for _ in 0..config.generations {
-        // elitism: index sort by fitness, ties broken by position
-        let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&a, &b| {
-            fitness[a]
-                .partial_cmp(&fitness[b])
-                .expect("fitness is never NaN")
-                .then(a.cmp(&b))
-        });
+        let order = elite_order(&fitness);
         let mut next: Vec<Vec<NodeId>> = order
             .iter()
             .take(config.elite)
@@ -561,6 +570,51 @@ mod tests {
 
     fn cost() -> CostModel {
         CostModel::default()
+    }
+
+    /// ISSUE 9 regression: the elitism sort used `partial_cmp(..).expect`
+    /// and panicked the whole GA on the first NaN fitness — which a
+    /// degenerate cost evaluation can produce (0/0, e.g. a zero-byte
+    /// payload priced over a zero-bandwidth link). NaN must instead rank
+    /// strictly worse than every infeasible (+∞) individual.
+    #[test]
+    fn elite_order_survives_nan_fitness() {
+        let fitness = [f64::NAN, 1.0, f64::INFINITY, f64::NAN, 0.5];
+        let order = elite_order(&fitness);
+        assert_eq!(
+            order,
+            vec![4, 1, 2, 0, 3],
+            "finite < +inf < NaN, index ties"
+        );
+        // all-degenerate populations must not panic either
+        assert_eq!(elite_order(&[f64::NAN, f64::NAN]), vec![0, 1]);
+        assert_eq!(elite_order(&[]), Vec::<usize>::new());
+    }
+
+    /// End-to-end companion: a population where every random individual is
+    /// infeasible (non-finite fitness) still runs every generation's
+    /// elitism sort without panicking and recovers the one feasible
+    /// mapping.
+    #[test]
+    fn genetic_survives_an_all_infeasible_population() {
+        // line 0-1-2: any interior assignment off the line is unreachable
+        // in one hop for some boundary, so most random draws are ∞
+        let mut b = elpc_netsim::Network::builder();
+        let n0 = b.add_node(100.0).unwrap();
+        let n1 = b.add_node(50.0).unwrap();
+        let n2 = b.add_node(200.0).unwrap();
+        b.add_link(n0, n1, 10.0, 1.0).unwrap();
+        b.add_link(n1, n2, 10.0, 1.0).unwrap();
+        let net = b.build().unwrap();
+        let pipe = pipe4();
+        let inst = Instance::new(&net, &pipe, n0, n2).unwrap();
+        let sol = solve_genetic(
+            &SolveContext::new(inst, cost()),
+            Objective::MinDelay,
+            &GeneticConfig::default(),
+        )
+        .expect("the line mapping is feasible");
+        assert!(sol.objective_ms.is_finite());
     }
 
     #[test]

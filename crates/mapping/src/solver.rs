@@ -27,11 +27,13 @@
 //! | `genetic_rate` | max rate | genetic algorithm, routed evaluation |
 //! | `tabu_delay` | min delay | tabu search, routed evaluation |
 //! | `tabu_rate` | max rate | tabu search, routed evaluation |
+//! | `lns_delay` | min delay | adaptive large-neighborhood search, routed evaluation |
+//! | `lns_rate` | max rate | adaptive large-neighborhood search, routed evaluation |
 //! | `portfolio_delay` | min delay | concurrent slate race over the registry |
 //! | `portfolio_rate` | max rate | concurrent slate race over the registry |
 //!
-//! The metaheuristic entries (see [`crate::metaheuristic`] and
-//! [`crate::tabu`]) are seeded and fully deterministic;
+//! The metaheuristic entries (see [`crate::metaheuristic`],
+//! [`crate::tabu`], and [`crate::lns`]) are seeded and fully deterministic;
 //! `workloads::compare` reports their *quality gap* against the exact
 //! solver of the same semantics. The portfolio entries (see
 //! [`crate::portfolio`]) race the default slates on the context's
@@ -65,7 +67,7 @@
 //! ```
 
 use crate::{
-    elpc_delay, elpc_rate, exact, greedy, metaheuristic, portfolio, streamline, tabu,
+    elpc_delay, elpc_rate, exact, greedy, lns, metaheuristic, portfolio, streamline, tabu,
     AssignmentSolution, DelaySolution, Mapping, RateSolution, Result, SolveContext,
 };
 use elpc_netgraph::NodeId;
@@ -366,6 +368,30 @@ declare_solver!(
 );
 
 declare_solver!(
+    LnsDelay,
+    "lns_delay",
+    Objective::MinDelay,
+    false,
+    uses_eval_kernel,
+    |ctx| {
+        lns::solve_lns(ctx, Objective::MinDelay, &lns::LnsConfig::default())
+            .map(Solution::from_assignment)
+    }
+);
+
+declare_solver!(
+    LnsRate,
+    "lns_rate",
+    Objective::MaxRate,
+    false,
+    uses_eval_kernel,
+    |ctx| {
+        lns::solve_lns(ctx, Objective::MaxRate, &lns::LnsConfig::default())
+            .map(Solution::from_assignment)
+    }
+);
+
+declare_solver!(
     PortfolioDelay,
     "portfolio_delay",
     Objective::MinDelay,
@@ -397,7 +423,7 @@ declare_solver!(
     }
 );
 
-static REGISTRY: [&dyn Solver; 18] = [
+static REGISTRY: [&dyn Solver; 20] = [
     &ElpcDelay,
     &ElpcDelayRouted,
     &ElpcRate,
@@ -414,6 +440,8 @@ static REGISTRY: [&dyn Solver; 18] = [
     &GeneticRate,
     &TabuDelay,
     &TabuRate,
+    &LnsDelay,
+    &LnsRate,
     &PortfolioDelay,
     &PortfolioRate,
 ];
@@ -482,6 +510,8 @@ mod tests {
             "genetic_rate",
             "tabu_delay",
             "tabu_rate",
+            "lns_delay",
+            "lns_rate",
             "portfolio_delay",
             "portfolio_rate",
         ] {
@@ -496,7 +526,7 @@ mod tests {
     #[test]
     fn exactly_the_kernel_backed_family_declares_uses_eval_kernel() {
         for s in registry() {
-            let expected = ["anneal", "genetic", "tabu"]
+            let expected = ["anneal", "genetic", "tabu", "lns"]
                 .iter()
                 .any(|p| s.name().starts_with(p));
             assert_eq!(
@@ -510,8 +540,8 @@ mod tests {
 
     #[test]
     fn objectives_split_the_registry_in_half() {
-        assert_eq!(solvers_for(Objective::MinDelay).len(), 9);
-        assert_eq!(solvers_for(Objective::MaxRate).len(), 9);
+        assert_eq!(solvers_for(Objective::MinDelay).len(), 10);
+        assert_eq!(solvers_for(Objective::MaxRate).len(), 10);
     }
 
     #[test]

@@ -96,7 +96,8 @@ impl TabuConfig {
 
 /// The best feasible starting point: the deterministic baseline, the greedy
 /// solver's assignment re-scored under routed semantics, and random draws.
-fn warm_start(
+/// Shared with [`crate::lns`], which starts from the same candidates.
+pub(crate) fn warm_start(
     ctx: &SolveContext<'_>,
     objective: Objective,
     search: &Search,

@@ -9,8 +9,8 @@
 //! * baselines never beat the optimal DP on the delay objective.
 
 use elpc_mapping::{
-    elpc_delay, elpc_rate, exact, greedy, portfolio, solver, tabu, CostModel, Instance,
-    MappingError, NodeId, Objective, SolveContext, TabuConfig,
+    elpc_delay, elpc_rate, exact, greedy, lns, portfolio, solver, tabu, CostModel, Instance,
+    LnsConfig, MappingError, NodeId, Objective, SolveContext, TabuConfig,
 };
 use elpc_netsim::{Link, Network, Node};
 use elpc_pipeline::gen::PipelineSpec;
@@ -197,6 +197,44 @@ proptest! {
             if let (Ok(t), Some(g)) = (&serial, greedy_ms) {
                 prop_assert!(t.objective_ms <= g + 1e-9 * g.max(1.0),
                     "tabu {} worse than greedy {} ({objective:?})", t.objective_ms, g);
+            }
+        }
+    }
+
+    /// LNS is seed-deterministic at any thread count and — starting from
+    /// the same warm-start candidates as tabu (greedy among them) — never
+    /// worse than greedy on the same instance.
+    #[test]
+    fn lns_is_deterministic_and_never_worse_than_greedy(seed in any::<u64>()) {
+        let (net, pipe) = build_instance(seed);
+        let (src, dst) = endpoints(&net);
+        let inst = Instance::new(&net, &pipe, src, dst).unwrap();
+        let cm = CostModel::default();
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let config = LnsConfig {
+                budget: 600,
+                ..Default::default()
+            };
+            let serial = lns::solve_lns(&SolveContext::new(inst, cm), objective, &config);
+            let parallel =
+                lns::solve_lns(&SolveContext::with_threads(inst, cm, 0), objective, &config);
+            match (&serial, &parallel) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.assignment, &b.assignment);
+                    prop_assert_eq!(a.objective_ms.to_bits(), b.objective_ms.to_bits());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                other => prop_assert!(false, "divergent feasibility {:?}", other),
+            }
+            let greedy_ms = match objective {
+                Objective::MinDelay => greedy::solve_min_delay(&inst, &cm).ok().map(|s| s.delay_ms),
+                Objective::MaxRate => {
+                    greedy::solve_max_rate(&inst, &cm).ok().map(|s| s.bottleneck_ms)
+                }
+            };
+            if let (Ok(l), Some(g)) = (&serial, greedy_ms) {
+                prop_assert!(l.objective_ms <= g + 1e-9 * g.max(1.0),
+                    "lns {} worse than greedy {} ({objective:?})", l.objective_ms, g);
             }
         }
     }

@@ -450,10 +450,10 @@ fn handle_item(shared: &Arc<Shared>, item: WorkItem) {
         Response::Error(timeout_error(&item))
     } else {
         let run = std::panic::catch_unwind(AssertUnwindSafe(|| match &item.kind {
-            WorkKind::Solve(s) => run_solve(shared, s, queue_ms).map(Response::Solved),
+            WorkKind::Solve(s) => run_solve(shared, s, &item, queue_ms).map(Response::Solved),
             WorkKind::Remap(r) => {
                 let repaired = try_repair(shared, r);
-                run_solve(shared, &r.solve, queue_ms).map(|reply| {
+                run_solve(shared, &r.solve, &item, queue_ms).map(|reply| {
                     let changed = reply.assignment != r.previous;
                     Response::Remapped(RemapReply {
                         reply,
@@ -542,6 +542,7 @@ fn try_repair(shared: &Arc<Shared>, r: &RemapRequest) -> bool {
 fn run_solve(
     shared: &Arc<Shared>,
     sreq: &SolveRequest,
+    item: &WorkItem,
     queue_ms: f64,
 ) -> Result<SolveReply, ServeError> {
     let entry = solver(&sreq.solver).ok_or_else(|| ServeError::UnknownSolver {
@@ -559,6 +560,16 @@ fn run_solve(
     let key = bank_key(&inst, &sreq.cost);
     let start = Instant::now();
     let (coalesced, leader) = coalesce(shared, key);
+    // A coalesce follower blocks on the leader's closure build and can
+    // out-wait its deadline in there — the dequeue-time expiry check has
+    // already passed. Answer `Timeout` before the bank checkout below:
+    // an expired request must not burn a solve, and hits + misses must
+    // keep counting only executed solves. Dropping the guard lets any
+    // remaining followers re-elect a leader.
+    if expired(item) {
+        drop(leader);
+        return Err(timeout_error(item));
+    }
     let banked = shared.bank.contains_key(key);
     // The one and only `context_for` call this request makes: the bank's
     // hits + misses stays exactly equal to executed solve requests.

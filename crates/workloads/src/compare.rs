@@ -17,8 +17,9 @@
 //! Greedy walks real edges, so its strict and routed values coincide.
 //!
 //! The metaheuristic columns (`delay_anneal`, `delay_genetic`,
-//! `delay_tabu`, `rate_anneal`, `rate_genetic`, `rate_tabu` —
-//! `elpc_mapping::metaheuristic` and `elpc_mapping::tabu`) search the same
+//! `delay_tabu`, `delay_lns`, `rate_anneal`, `rate_genetic`, `rate_tabu`,
+//! `rate_lns` — `elpc_mapping::metaheuristic`, `elpc_mapping::tabu`, and
+//! `elpc_mapping::lns`) search the same
 //! routed free-assignment space, and the **`quality_gap`** columns divide
 //! the best metaheuristic objective by the exact optimum of that space:
 //! `elpc_delay_routed` for delay (optimal by construction) and the
@@ -112,6 +113,8 @@ pub struct CaseResult {
     pub delay_genetic: Outcome,
     /// Tabu-search delay (routed evaluation, seeded-deterministic).
     pub delay_tabu: Outcome,
+    /// Large-neighborhood-search delay (routed, seeded-deterministic).
+    pub delay_lns: Outcome,
     /// Portfolio meta-solver delay (best of the default delay slate).
     pub delay_portfolio: Outcome,
     /// Simulated-annealing bottleneck (routed, distinct hosts).
@@ -120,6 +123,8 @@ pub struct CaseResult {
     pub rate_genetic: Outcome,
     /// Tabu-search bottleneck (routed, distinct hosts).
     pub rate_tabu: Outcome,
+    /// Large-neighborhood-search bottleneck (routed, distinct hosts).
+    pub rate_lns: Outcome,
     /// Portfolio meta-solver bottleneck (best of the default rate slate).
     pub rate_portfolio: Outcome,
     /// Per-member attribution of the delay portfolio race, recorded when
@@ -197,7 +202,7 @@ impl MemberAttribution {
 }
 
 /// The registry names behind the [`CaseResult`] columns, in column order.
-pub const CASE_COLUMNS: [&str; 16] = [
+pub const CASE_COLUMNS: [&str; 18] = [
     "elpc_delay_routed",
     "elpc_delay",
     "streamline_delay",
@@ -205,6 +210,7 @@ pub const CASE_COLUMNS: [&str; 16] = [
     "anneal_delay",
     "genetic_delay",
     "tabu_delay",
+    "lns_delay",
     "portfolio_delay",
     "elpc_rate_routed",
     "elpc_rate",
@@ -213,6 +219,7 @@ pub const CASE_COLUMNS: [&str; 16] = [
     "anneal_rate",
     "genetic_rate",
     "tabu_rate",
+    "lns_rate",
     "portfolio_rate",
 ];
 
@@ -222,11 +229,13 @@ pub const CASE_COLUMNS: [&str; 16] = [
 pub const QUALITY_GAP_RATE_BUDGET: usize = 50_000;
 
 /// The smallest solved objective among metaheuristic outcomes, if any.
+/// `total_cmp` so a NaN objective (a degenerate cost model) orders last
+/// instead of panicking the comparison.
 fn best_ms(outcomes: &[&Outcome]) -> Option<f64> {
     outcomes
         .iter()
         .filter_map(|o| o.ms())
-        .min_by(|a, b| a.partial_cmp(b).expect("objectives are never NaN"))
+        .min_by(|a, b| a.total_cmp(b))
 }
 
 /// Runs one registered solver on a shared context, as an [`Outcome`].
@@ -384,7 +393,7 @@ fn derive_portfolio(slate_columns: &[&Outcome]) -> Outcome {
     Outcome::Infeasible
 }
 
-/// Runs all sixteen [`CASE_COLUMNS`] solver×objective combinations on one
+/// Runs all eighteen [`CASE_COLUMNS`] solver×objective combinations on one
 /// instance through the registry — plus the exhaustive routed-rate
 /// reference behind the `quality_gap` columns — sharing one metric-closure
 /// context across all of them.
@@ -417,10 +426,12 @@ pub fn run_case_opts(
         delay_anneal: run_solver(&ctx, "anneal_delay"),
         delay_genetic: run_solver(&ctx, "genetic_delay"),
         delay_tabu: run_solver(&ctx, "tabu_delay"),
+        delay_lns: run_solver(&ctx, "lns_delay"),
         delay_portfolio: Outcome::Infeasible, // filled below
         rate_anneal: run_solver(&ctx, "anneal_rate"),
         rate_genetic: run_solver(&ctx, "genetic_rate"),
         rate_tabu: run_solver(&ctx, "tabu_rate"),
+        rate_lns: run_solver(&ctx, "lns_rate"),
         rate_portfolio: Outcome::Infeasible, // filled below
         delay_portfolio_members: None,
         rate_portfolio_members: None,
@@ -458,23 +469,33 @@ pub fn run_case_opts(
     // delay gap: `elpc_delay_routed` is the exact optimum of the routed
     // free-assignment space the metaheuristics search, so the ratio is a
     // true optimality gap (≥ 1 up to float noise)
-    row.quality_gap_delay = best_ms(&[&row.delay_anneal, &row.delay_genetic, &row.delay_tabu])
-        .zip(row.delay_elpc.ms())
-        .map(|(meta, exact)| meta / exact);
+    row.quality_gap_delay = best_ms(&[
+        &row.delay_anneal,
+        &row.delay_genetic,
+        &row.delay_tabu,
+        &row.delay_lns,
+    ])
+    .zip(row.delay_elpc.ms())
+    .map(|(meta, exact)| meta / exact);
     // rate gap: the exhaustive routed reference, skipped (None) beyond the
     // enumeration budget — and not run at all when no metaheuristic found
     // a feasible rate assignment (the numerator drives the enumeration)
-    row.quality_gap_rate = best_ms(&[&row.rate_anneal, &row.rate_genetic, &row.rate_tabu])
-        .and_then(|meta| {
-            exact::max_rate_routed(
-                &ctx,
-                exact::ExactLimits {
-                    budget: QUALITY_GAP_RATE_BUDGET,
-                },
-            )
-            .ok()
-            .map(|s| meta / s.objective_ms)
-        });
+    row.quality_gap_rate = best_ms(&[
+        &row.rate_anneal,
+        &row.rate_genetic,
+        &row.rate_tabu,
+        &row.rate_lns,
+    ])
+    .and_then(|meta| {
+        exact::max_rate_routed(
+            &ctx,
+            exact::ExactLimits {
+                budget: QUALITY_GAP_RATE_BUDGET,
+            },
+        )
+        .ok()
+        .map(|s| meta / s.objective_ms)
+    });
     opts.finish(&ctx);
     row
 }

@@ -19,15 +19,17 @@
 //! (the one documented caveat of the kept-tree rule) occur with
 //! probability zero.
 
-use elpc_mapping::delta::repair_closure;
+use elpc_mapping::delta::{partition_stale, repair_closure};
 use elpc_mapping::{
-    registry, CachedTree, CostModel, EdgeId, MetricClosure, NetworkDelta, NodeId, SolveContext,
+    registry, CachedTree, CostModel, DeltaEval, EdgeId, EvalKernel, Instance, MetricClosure,
+    MoveSpec, NetworkDelta, NodeId, Objective, SolveContext,
 };
 use elpc_netsim::{Link, Network};
 use elpc_workloads::bank::bank_key;
 use elpc_workloads::{ClosureBank, InstanceSpec, ProblemInstance, TopologyKind};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 const STEPS: usize = 6;
 
@@ -171,6 +173,166 @@ fn power_only_churn_keeps_the_entire_closure() {
     let control = MetricClosure::new(&next, cost);
     control.par_warm(&sources, &payloads, 1);
     assert_byte_identical("power-only", &target.export(), &control.export());
+}
+
+/// Drives every candidate kernel through the exact workload `reference`
+/// sees — seeded random full evaluations under both objectives, then
+/// delta-applied reassign/swap sequences — and requires every produced
+/// number to match `reference` to the bit.
+fn assert_kernels_indistinguishable(
+    tag: &str,
+    inst: &Instance<'_>,
+    reference: &Arc<EvalKernel>,
+    candidates: &[(&str, &Arc<EvalKernel>)],
+    seed: u64,
+) {
+    let k = inst.network.node_count();
+    let n = inst.n_modules();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // full evaluations on random (often infeasible) assignments: ∞ and
+    // finite values alike must agree bitwise
+    for _ in 0..30 {
+        let mut a: Vec<NodeId> = (0..n)
+            .map(|_| NodeId::from_index(rng.gen_range(0..k)))
+            .collect();
+        a[0] = inst.src;
+        *a.last_mut().unwrap() = inst.dst;
+        for objective in [Objective::MinDelay, Objective::MaxRate] {
+            let want = reference.full_objective_ms(objective, &a);
+            for (name, kernel) in candidates {
+                assert_eq!(
+                    want.to_bits(),
+                    kernel.full_objective_ms(objective, &a).to_bits(),
+                    "{tag}: {name} full {objective:?} differs on {a:?}"
+                );
+            }
+        }
+    }
+
+    // delta-move sequences: candidate verdicts and committed objectives
+    // must stay locked to the reference move by move
+    for objective in [Objective::MinDelay, Objective::MaxRate] {
+        let mut start = vec![inst.src; n];
+        *start.last_mut().unwrap() = inst.dst;
+        if objective == Objective::MaxRate {
+            // distinct interior hosts so the rate walk starts feasible
+            let mut next = 0usize;
+            for slot in start.iter_mut().take(n - 1).skip(1) {
+                while next < k {
+                    let cand = NodeId::from_index(next);
+                    next += 1;
+                    if cand != inst.src && cand != inst.dst {
+                        *slot = cand;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut state = DeltaEval::new(Arc::clone(reference), objective, &start);
+        let mut shadows: Vec<(&str, DeltaEval)> = candidates
+            .iter()
+            .map(|(name, kernel)| (*name, DeltaEval::new(Arc::clone(kernel), objective, &start)))
+            .collect();
+        for _ in 0..60 {
+            let mv = if rng.gen_bool(0.5) {
+                MoveSpec::Reassign {
+                    stage: 1 + rng.gen_range(0..n - 2),
+                    to: NodeId::from_index(rng.gen_range(0..k)),
+                }
+            } else {
+                let a = 1 + rng.gen_range(0..n - 2);
+                let mut b = 1 + rng.gen_range(0..n - 2);
+                if b == a {
+                    b = if b + 1 < n - 1 { b + 1 } else { 1 };
+                }
+                MoveSpec::Swap { a, b }
+            };
+            let want = state.eval_move(mv).map(f64::to_bits);
+            for (name, shadow) in &mut shadows {
+                assert_eq!(
+                    want,
+                    shadow.eval_move(mv).map(f64::to_bits),
+                    "{tag}: {name} verdict differs on {mv:?}"
+                );
+            }
+            if want.is_some() {
+                let committed = state.apply(mv).map(f64::to_bits);
+                for (name, shadow) in &mut shadows {
+                    assert_eq!(
+                        committed,
+                        shadow.apply(mv).map(f64::to_bits),
+                        "{tag}: {name} committed objective drifted on {mv:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// ISSUE 9: the dense eval kernel a churn-repaired bank context lazily
+/// rebuilds must be **bit-identical** to a cold context's kernel — full
+/// evaluations AND delta-applied move sequences — across chained
+/// perturbations (the repaired bank state, not the cold control, carries
+/// into the next step). The previous step's kernel patched via
+/// [`EvalKernel::patched_for_churn`] over `partition_stale`'s verdicts is
+/// held to the same standard, so the O(stale) patch path can never drift
+/// from a from-scratch build.
+#[test]
+fn repaired_context_kernels_are_bit_identical_across_chained_churn() {
+    let cost = CostModel::default();
+    for (label, topology) in topologies() {
+        let base = instance(topology, 0x6E55);
+
+        let bank = ClosureBank::new();
+        let (mut prev_kernel, mut prev_entries) = {
+            let ctx = bank.context_for(base.as_instance(), cost, 1);
+            // the kernel build materializes every (payload, source) tree,
+            // so the deposit banks the full table the repairs will chew on
+            let kernel = ctx.eval_kernel();
+            let entries = ctx.closure().export();
+            bank.deposit(&ctx);
+            (kernel, entries)
+        };
+
+        let mut live = base.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(0x6B31 + label.len() as u64);
+        for step in 0..STEPS {
+            let old_key = bank_key(&live.as_instance(), &cost);
+            let next = perturb(&live.network, &mut rng);
+            let delta = NetworkDelta::between(&live.network, &next).expect("same shape");
+            live.network = next;
+
+            bank.update_in_place(old_key, live.as_instance(), cost, &delta, 1)
+                .expect("the chained entry is banked");
+            let warm = bank.context_for(live.as_instance(), cost, 1);
+            let cold = SolveContext::new(live.as_instance(), cost);
+            let rebuilt = warm.eval_kernel();
+            let reference = cold.eval_kernel();
+
+            let (_, stale) = partition_stale(&prev_entries, &live.network, &cost, &delta);
+            let patched = Arc::new(prev_kernel.patched_for_churn(&warm, &delta, &stale));
+
+            assert_kernels_indistinguishable(
+                &format!("{label} step {step}"),
+                &live.as_instance(),
+                &reference,
+                &[("repaired-rebuilt", &rebuilt), ("patched", &patched)],
+                0x4B4E ^ (step as u64) ^ label.len() as u64,
+            );
+
+            // chain the REPAIRED state forward; a wrongly kept tree or a
+            // mispatched row would compound into later steps
+            bank.deposit(&warm);
+            prev_entries = warm.closure().export();
+            prev_kernel = rebuilt;
+        }
+        let stats = bank.stats();
+        assert_eq!(
+            stats.repairs, STEPS as u64,
+            "{label}: every step must repair in place"
+        );
+    }
 }
 
 /// End-to-end: every registry solver returns the bit-identical solution on

@@ -12,7 +12,9 @@
 
 use elpc_mapping::{solver, CostModel, EdgeId, NetworkDelta, SolveContext};
 use elpc_netsim::Link;
-use elpc_serving::{Client, RemapRequest, Server, ServerConfig, SolveRequest};
+use elpc_serving::{
+    Client, ClientError, RemapRequest, ServeError, Server, ServerConfig, SolveRequest,
+};
 use elpc_workloads::bank::bank_key;
 use elpc_workloads::{InstanceSpec, ProblemInstance};
 use std::path::PathBuf;
@@ -255,6 +257,131 @@ fn perturb_then_remap_repairs_the_banked_closure_in_place() {
         "bank consulted exactly once per request, repairs are not checkouts"
     );
     assert_eq!(stats.coalesced, 0);
+}
+
+/// A topology whose serial all-pairs closure build takes long enough to
+/// reliably out-wait the millisecond deadlines below.
+fn slow_instance() -> ProblemInstance {
+    InstanceSpec::sized(6, 300, 900).generate(77).expect("gen")
+}
+
+fn expect_timeout(tag: &str, r: Result<elpc_serving::SolveReply, ClientError>) {
+    match r {
+        Err(ClientError::Server(ServeError::Timeout { .. })) => {}
+        other => panic!("{tag}: expected a Timeout answer, got {other:?}"),
+    }
+}
+
+/// ISSUE 9 queued-timeout fix, part 1: requests whose deadline expires
+/// while they sit in the queue behind a saturated worker are answered
+/// `Timeout` at dequeue and never burn a solve — the bank counters keep
+/// counting executed solves only (`hits + misses` excludes every expired
+/// request).
+#[test]
+fn expired_in_queue_requests_never_burn_a_solve() {
+    let slow = slow_instance();
+    let socket = socket_path("expired-queue");
+    let server = Server::bind(
+        &socket,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    const FOLLOWERS: usize = 4;
+    std::thread::scope(|s| {
+        let socket = &socket;
+        let slow = &slow;
+        // saturate the single worker with a no-deadline cold solve
+        let blocker = s.spawn(move || {
+            let mut client = Client::connect(socket).expect("connect");
+            client.solve(solve_req(slow)).expect("blocker solve")
+        });
+        // let the worker dequeue the blocker, then enqueue requests whose
+        // 1 ms deadlines expire long before the blocker's build finishes
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let followers: Vec<_> = (0..FOLLOWERS)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(socket).expect("connect");
+                    let mut req = solve_req(slow);
+                    req.timeout_ms = Some(1);
+                    client.solve(req)
+                })
+            })
+            .collect();
+        for (i, h) in followers.into_iter().enumerate() {
+            expect_timeout(&format!("queued follower {i}"), h.join().expect("thread"));
+        }
+        blocker.join().expect("thread");
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 1 + FOLLOWERS as u64);
+    assert_eq!(stats.timeouts, FOLLOWERS as u64, "every follower expired");
+    assert_eq!(stats.completed, 1, "only the blocker solved");
+    assert_eq!(stats.errors, 0, "timeouts are not errors");
+    // the exactness invariant the fix protects: expired requests never
+    // check the bank out, so hits + misses counts executed solves only
+    assert_eq!(stats.bank_misses, 1, "one cold build for the blocker");
+    assert_eq!(
+        stats.bank_hits + stats.bank_misses,
+        stats.completed,
+        "expired-in-queue requests must not increment the solve counters"
+    );
+}
+
+/// ISSUE 9 queued-timeout fix, part 2: a coalesce *follower* — dequeued in
+/// time, but blocked inside `coalesce()` on another request's closure
+/// build until past its deadline — is answered `Timeout` after the wait
+/// without checking out a context or burning a solve.
+#[test]
+fn expired_coalesce_followers_never_burn_a_solve() {
+    let slow = slow_instance();
+    let socket = socket_path("expired-coalesce");
+    let server = Server::bind(
+        &socket,
+        ServerConfig {
+            workers: 2, // the follower is dequeued while the leader builds
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    std::thread::scope(|s| {
+        let socket = &socket;
+        let slow = &slow;
+        let leader = s.spawn(move || {
+            let mut client = Client::connect(socket).expect("connect");
+            client.solve(solve_req(slow)).expect("leader solve")
+        });
+        // same bank key, a deadline far shorter than the leader's build:
+        // the free second worker dequeues this immediately (so the
+        // dequeue-time expiry check passes) and it blocks in coalesce()
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let follower = s.spawn(move || {
+            let mut client = Client::connect(socket).expect("connect");
+            let mut req = solve_req(slow);
+            req.timeout_ms = Some(25);
+            client.solve(req)
+        });
+        expect_timeout("coalesce follower", follower.join().expect("thread"));
+        leader.join().expect("thread");
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.timeouts, 1, "the follower expired in coalesce()");
+    assert_eq!(stats.completed, 1, "only the leader solved");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.bank_misses, 1, "one cold build by the leader");
+    assert_eq!(
+        stats.bank_hits + stats.bank_misses,
+        stats.completed,
+        "an expired coalesce follower must not check a context out"
+    );
 }
 
 /// Sequential control: with one client and one worker there is nothing to
