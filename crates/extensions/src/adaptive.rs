@@ -18,6 +18,13 @@
 //!    epoch where the switch happens);
 //! 3. compare against the *static* strategy that keeps the epoch-0 mapping
 //!    forever.
+//!
+//! Beyond load churn, [`run_failover_remap`] handles outright *failures*:
+//! a seeded [`FaultSchedule`] of crashes, cuts, and degradations plays out
+//! over the dynamic network, the closure bank is repaired in place through
+//! the removal-aware [`NetworkDelta`], and only the pipelines a failure
+//! actually touched (dead host, or drifted delay) are re-solved — with
+//! measured time-to-recovery against the cold re-solve baseline.
 
 use elpc_mapping::{
     routed, solver, CostModel, Instance, MappingError, NetworkDelta, Objective, RepairReport,
@@ -25,6 +32,7 @@ use elpc_mapping::{
 };
 use elpc_netgraph::NodeId;
 use elpc_netsim::dynamics::DynamicNetwork;
+use elpc_netsim::faults::FaultSchedule;
 use elpc_netsim::Network;
 use elpc_pipeline::Pipeline;
 use elpc_workloads::bank::bank_key;
@@ -530,6 +538,290 @@ pub fn run_churn_adaptation(
     })
 }
 
+/// Failover-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailoverConfig {
+    /// Sampling period in ms.
+    pub period_ms: f64,
+    /// Relative degradation of a pipeline's re-evaluated delay (vs the
+    /// delay accepted at its adoption or last remap) that marks it
+    /// *affected* and triggers a targeted re-solve. Pipelines whose host
+    /// died are always affected, regardless of this threshold.
+    pub drift_threshold: f64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            period_ms: 1_000.0,
+            drift_threshold: 0.10,
+        }
+    }
+}
+
+/// One epoch of the failover loop: what failed, what the repair salvaged,
+/// which pipelines had to move, and what the recovery cost against the
+/// cold-re-solve baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailoverEpoch {
+    /// Snapshot time.
+    pub t_ms: f64,
+    /// Directed edges that failed since the previous epoch.
+    pub failed_links: usize,
+    /// Nodes that crashed since the previous epoch.
+    pub failed_nodes: usize,
+    /// Ordinary perturbations in the same delta (degrades and restores).
+    pub perturbed_elements: usize,
+    /// Cached trees examined by this epoch's in-place repairs.
+    pub trees_total: usize,
+    /// Trees the invalidation rule kept bit-for-bit.
+    pub trees_kept: usize,
+    /// Trees rebuilt through the CSR kernel.
+    pub trees_rebuilt: usize,
+    /// Pipelines whose host died this epoch (forced remaps).
+    pub forced_remaps: usize,
+    /// Pipelines re-solved this epoch (forced + drift-affected).
+    pub remapped: usize,
+    /// Measured wall-clock of the targeted path: bank repair + per-pipeline
+    /// re-evaluation + affected re-solves. Zero on no-change epochs.
+    pub recovery_ms: f64,
+    /// Measured wall-clock of the baseline a naive system pays: fresh
+    /// contexts and full re-solves for *every* pipeline. Zero on no-change
+    /// epochs (a naive system would also do nothing).
+    pub cold_resolve_ms: f64,
+}
+
+/// Outcome of a failover run: time-to-recovery accounting for the targeted
+/// repair-and-remap path against the cold re-solve baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailoverReport {
+    /// Per-epoch records.
+    pub epochs: Vec<FailoverEpoch>,
+    /// Number of pipelines under management.
+    pub pipelines: usize,
+    /// Total forced remaps (dead hosts) across the run.
+    pub forced_remaps_total: usize,
+    /// Total targeted re-solves across the run.
+    pub remapped_total: usize,
+    /// Total measured time-to-recovery of the targeted path, ms.
+    pub recovery_ms_total: f64,
+    /// Total measured cost of the cold re-solve baseline, ms.
+    pub cold_resolve_ms_total: f64,
+}
+
+impl FailoverReport {
+    /// How many times faster the targeted repair-and-remap path recovered
+    /// than cold re-solving everything (> 1 = targeted wins).
+    pub fn recovery_speedup(&self) -> f64 {
+        if self.recovery_ms_total <= 0.0 {
+            return 1.0;
+        }
+        self.cold_resolve_ms_total / self.recovery_ms_total
+    }
+}
+
+/// Failure-driven remap loop: a [`FaultSchedule`] plays out over a
+/// [`DynamicNetwork`], and the loop repairs the closure bank in place and
+/// re-solves **only the affected pipelines**, measuring time-to-recovery
+/// against the cold baseline that rebuilds and re-solves everything.
+///
+/// Every `period_ms` the loop materializes the degraded snapshot
+/// ([`FaultSchedule::apply_at`] over [`DynamicNetwork::snapshot_at`]) and
+/// diffs it against the previous one through the union of
+/// [`DynamicNetwork::changes_between`] and
+/// [`FaultSchedule::changed_elements_between`] — an O(|changes|)
+/// [`NetworkDelta`] that now carries *failures* (removals) separately from
+/// perturbations. The bank entry migrates via
+/// [`ClosureBank::update_in_place`] (trees crossing a failed element
+/// rebuild, everything else is kept bit-for-bit), then each pipeline is
+/// re-evaluated through the repaired closure: pipelines whose host died
+/// ([`NetworkDelta::forces_remap`]) or whose delay drifted past
+/// `drift_threshold` re-solve on the banked context; the rest keep their
+/// mapping untouched. Restores (flapping elements healing) flow through the
+/// same path as ordinary perturbations.
+///
+/// Both sides of the reported comparison are measured on this process, back
+/// to back: `recovery_ms` times the targeted path, `cold_resolve_ms` times
+/// fresh per-pipeline contexts + full re-solves on the same snapshot (the
+/// bank is never touched by the baseline).
+#[allow(clippy::too_many_arguments)]
+pub fn run_failover_remap(
+    dyn_net: &DynamicNetwork,
+    faults: &FaultSchedule,
+    pipelines: &[(Pipeline, NodeId, NodeId)],
+    cost: &CostModel,
+    config: FailoverConfig,
+    horizon_ms: f64,
+    remap_solver: &dyn Solver,
+    bank: &ClosureBank,
+) -> crate::Result<FailoverReport> {
+    if remap_solver.objective() != Objective::MinDelay {
+        return Err(MappingError::BadConfig(format!(
+            "failover remapping optimizes delay; solver `{}` optimizes rate",
+            remap_solver.name()
+        )));
+    }
+    if pipelines.is_empty() {
+        return Err(MappingError::BadConfig(
+            "failover loop needs at least one pipeline".into(),
+        ));
+    }
+    if !(config.period_ms > 0.0) {
+        return Err(MappingError::BadConfig(format!(
+            "period must be positive, got {}",
+            config.period_ms
+        )));
+    }
+    if !(config.drift_threshold >= 0.0) {
+        return Err(MappingError::BadConfig(format!(
+            "drift threshold must be non-negative, got {}",
+            config.drift_threshold
+        )));
+    }
+    if !(horizon_ms >= config.period_ms) {
+        return Err(MappingError::BadConfig(
+            "horizon shorter than one period".into(),
+        ));
+    }
+
+    let mut epochs: Vec<FailoverEpoch> = Vec::new();
+    let mut incumbents: Vec<Option<Solution>> = vec![None; pipelines.len()];
+    let mut references: Vec<f64> = vec![f64::INFINITY; pipelines.len()];
+    // previous epoch's applied snapshot plus each pipeline's bank key
+    let mut previous: Option<(f64, Network, Vec<u64>)> = None;
+
+    let mut t = 0.0;
+    while t < horizon_ms {
+        let snapshot = faults.apply_at(&dyn_net.snapshot_at(t), t)?;
+
+        let mut record = FailoverEpoch {
+            t_ms: t,
+            failed_links: 0,
+            failed_nodes: 0,
+            perturbed_elements: 0,
+            trees_total: 0,
+            trees_kept: 0,
+            trees_rebuilt: 0,
+            forced_remaps: 0,
+            remapped: 0,
+            recovery_ms: 0.0,
+            cold_resolve_ms: 0.0,
+        };
+
+        match &previous {
+            None => {
+                // epoch 0: mandatory cold adoption for every pipeline
+                for (i, (pipe, src, dst)) in pipelines.iter().enumerate() {
+                    let inst = Instance::new(&snapshot, pipe, *src, *dst)?;
+                    let ctx = bank.context_for(inst, *cost, 1);
+                    let sol = remap_solver.solve(&ctx)?;
+                    references[i] = sol.objective_ms;
+                    incumbents[i] = Some(sol);
+                    bank.deposit(&ctx);
+                }
+            }
+            Some((t_prev, prev_net, prev_keys)) => {
+                let mut changes = dyn_net.changes_between(*t_prev, t);
+                let fault_changes = faults.changed_elements_between(dyn_net.base(), *t_prev, t);
+                changes.links.extend(fault_changes.links);
+                changes.nodes.extend(fault_changes.nodes);
+                let delta = if changes.is_empty() {
+                    NetworkDelta::default()
+                } else {
+                    NetworkDelta::from_changed_elements(
+                        prev_net,
+                        &snapshot,
+                        &changes.links,
+                        &changes.nodes,
+                    )?
+                };
+                record.failed_links = delta.link_failures.len();
+                record.failed_nodes = delta.node_failures.len();
+                record.perturbed_elements = delta.links.len() + delta.nodes.len();
+
+                if !delta.is_empty() {
+                    // ---- targeted path, timed end to end ----
+                    let started = std::time::Instant::now();
+                    // migrate each distinct bank entry exactly once
+                    let mut migrated: Vec<u64> = Vec::new();
+                    for (i, (pipe, src, dst)) in pipelines.iter().enumerate() {
+                        let prev_key = prev_keys[i];
+                        if migrated.contains(&prev_key) {
+                            continue;
+                        }
+                        migrated.push(prev_key);
+                        let inst = Instance::new(&snapshot, pipe, *src, *dst)?;
+                        if let Some(rep) = bank.update_in_place(prev_key, inst, *cost, &delta, 1) {
+                            record.trees_total += rep.total;
+                            record.trees_kept += rep.kept;
+                            record.trees_rebuilt += rep.rebuilt;
+                        }
+                    }
+                    for (i, (pipe, src, dst)) in pipelines.iter().enumerate() {
+                        let inst = Instance::new(&snapshot, pipe, *src, *dst)?;
+                        let ctx = bank.context_for(inst, *cost, 1);
+                        let current = incumbents[i].as_ref().expect("adopted at epoch 0");
+                        let forced = delta.forces_remap(&current.assignment);
+                        let cur = if forced {
+                            f64::INFINITY // dead host: not worth re-pricing
+                        } else {
+                            current_delay(&ctx, current)?
+                        };
+                        let affected = forced
+                            || !cur.is_finite()
+                            || cur > references[i] * (1.0 + config.drift_threshold);
+                        if affected {
+                            let cand = remap_solver.solve(&ctx)?;
+                            record.remapped += 1;
+                            if forced {
+                                record.forced_remaps += 1;
+                            }
+                            if forced || cand.objective_ms < cur {
+                                references[i] = cand.objective_ms;
+                                incumbents[i] = Some(cand);
+                            } else {
+                                // nothing better exists: accept the degraded
+                                // delay as the new reference (plateau)
+                                references[i] = cur;
+                            }
+                        }
+                        bank.deposit(&ctx);
+                    }
+                    record.recovery_ms = started.elapsed().as_secs_f64() * 1e3;
+
+                    // ---- cold baseline, same snapshot, no bank ----
+                    let started = std::time::Instant::now();
+                    for (pipe, src, dst) in pipelines {
+                        let inst = Instance::new(&snapshot, pipe, *src, *dst)?;
+                        let ctx = SolveContext::new(inst, *cost);
+                        let _ = remap_solver.solve(&ctx)?;
+                    }
+                    record.cold_resolve_ms = started.elapsed().as_secs_f64() * 1e3;
+                }
+            }
+        }
+
+        let keys = pipelines
+            .iter()
+            .map(|(pipe, src, dst)| {
+                Instance::new(&snapshot, pipe, *src, *dst).map(|inst| bank_key(&inst, cost))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        epochs.push(record);
+        previous = Some((t, snapshot, keys));
+        t += config.period_ms;
+    }
+
+    Ok(FailoverReport {
+        pipelines: pipelines.len(),
+        forced_remaps_total: epochs.iter().map(|e| e.forced_remaps).sum(),
+        remapped_total: epochs.iter().map(|e| e.remapped).sum(),
+        recovery_ms_total: epochs.iter().map(|e| e.recovery_ms).sum(),
+        cold_resolve_ms_total: epochs.iter().map(|e| e.cold_resolve_ms).sum(),
+        epochs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -903,6 +1195,185 @@ mod tests {
             &bank,
         )
         .is_err());
+    }
+
+    use elpc_netsim::faults::{FaultEvent, FaultKind};
+    use elpc_netsim::EdgeId;
+
+    /// A crash of node `a` (the fast route's host) at t = 2100, permanent.
+    fn crash_of_a() -> FaultSchedule {
+        FaultSchedule::from_events(vec![FaultEvent {
+            kind: FaultKind::NodeCrash { node: NodeId(1) },
+            start_ms: 2_100.0,
+            end_ms: f64::INFINITY,
+        }])
+    }
+
+    #[test]
+    fn failover_loop_is_quiet_without_faults() {
+        let dyn_net = DynamicNetwork::steady(base_net());
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        let report = run_failover_remap(
+            &dyn_net,
+            &FaultSchedule::from_events(vec![]),
+            &[(pipe(), NodeId(0), NodeId(3))],
+            &cost(),
+            FailoverConfig::default(),
+            5_000.0,
+            s,
+            &bank,
+        )
+        .unwrap();
+        assert_eq!(report.epochs.len(), 5);
+        assert_eq!(report.remapped_total, 0);
+        assert_eq!(report.forced_remaps_total, 0);
+        assert_eq!(report.recovery_ms_total, 0.0);
+        assert_eq!(report.cold_resolve_ms_total, 0.0);
+        let stats = bank.stats();
+        assert_eq!(stats.misses, 1, "only epoch 0 builds");
+    }
+
+    #[test]
+    fn node_crash_forces_a_targeted_remap_and_the_pipeline_recovers() {
+        let dyn_net = DynamicNetwork::steady(base_net());
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        let report = run_failover_remap(
+            &dyn_net,
+            &crash_of_a(),
+            &[(pipe(), NodeId(0), NodeId(3))],
+            &cost(),
+            FailoverConfig {
+                period_ms: 1_000.0,
+                drift_threshold: 0.05,
+            },
+            6_000.0,
+            s,
+            &bank,
+        )
+        .unwrap();
+        assert_eq!(report.epochs.len(), 6);
+        // the crash lands between epochs 2 and 3
+        let hit = &report.epochs[3];
+        assert_eq!(hit.failed_nodes, 1);
+        assert_eq!(hit.failed_links, 4, "both incident links, both directions");
+        assert_eq!(hit.forced_remaps, 1, "the incumbent hosted on node a");
+        assert_eq!(hit.remapped, 1);
+        assert!(hit.recovery_ms > 0.0);
+        assert!(hit.cold_resolve_ms > 0.0);
+        assert!(hit.trees_kept + hit.trees_rebuilt == hit.trees_total);
+        assert_eq!(report.forced_remaps_total, 1);
+        // epochs after the crash are quiet again — the remapped pipeline
+        // holds steady on the surviving route
+        for e in &report.epochs[4..] {
+            assert_eq!(e.remapped, 0);
+            assert_eq!(e.failed_nodes + e.failed_links, 0);
+        }
+        let stats = bank.stats();
+        assert_eq!(stats.misses, 1, "repair keeps every later epoch banked");
+    }
+
+    #[test]
+    fn flapping_link_recovers_through_restore() {
+        // cut the a-d link for one epoch, then it heals; both transitions
+        // must flow through the delta path without a cold rebuild
+        let sched = FaultSchedule::from_events(vec![FaultEvent {
+            kind: FaultKind::LinkCut { link: EdgeId(2) }, // undirected link 1
+            start_ms: 1_100.0,
+            end_ms: 2_100.0,
+        }]);
+        let dyn_net = DynamicNetwork::steady(base_net());
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        let report = run_failover_remap(
+            &dyn_net,
+            &sched,
+            &[(pipe(), NodeId(0), NodeId(3))],
+            &cost(),
+            FailoverConfig {
+                period_ms: 1_000.0,
+                drift_threshold: 0.05,
+            },
+            5_000.0,
+            s,
+            &bank,
+        )
+        .unwrap();
+        let cut = &report.epochs[2];
+        assert_eq!(cut.failed_links, 2, "one undirected link, two directions");
+        assert_eq!(cut.forced_remaps, 0, "no host died");
+        let heal = &report.epochs[3];
+        assert_eq!(heal.failed_links, 0);
+        assert_eq!(heal.perturbed_elements, 2, "restore is a perturbation");
+        let stats = bank.stats();
+        assert_eq!(stats.misses, 1, "cut and restore both repair in place");
+        // structural determinism: a rerun reports identical non-timing data
+        let bank2 = ClosureBank::new();
+        let rerun = run_failover_remap(
+            &dyn_net,
+            &sched,
+            &[(pipe(), NodeId(0), NodeId(3))],
+            &cost(),
+            FailoverConfig {
+                period_ms: 1_000.0,
+                drift_threshold: 0.05,
+            },
+            5_000.0,
+            s,
+            &bank2,
+        )
+        .unwrap();
+        for (a, b) in report.epochs.iter().zip(&rerun.epochs) {
+            assert_eq!(a.failed_links, b.failed_links);
+            assert_eq!(a.failed_nodes, b.failed_nodes);
+            assert_eq!(a.perturbed_elements, b.perturbed_elements);
+            assert_eq!(a.trees_kept, b.trees_kept);
+            assert_eq!(a.trees_rebuilt, b.trees_rebuilt);
+            assert_eq!(a.remapped, b.remapped);
+            assert_eq!(a.forced_remaps, b.forced_remaps);
+        }
+    }
+
+    #[test]
+    fn failover_loop_rejects_bad_configs() {
+        let dyn_net = DynamicNetwork::steady(base_net());
+        let s = solver("elpc_delay_routed").expect("registered");
+        let bank = ClosureBank::new();
+        let sched = FaultSchedule::from_events(vec![]);
+        let pipes = [(pipe(), NodeId(0), NodeId(3))];
+        for (config, horizon, pipelines) in [
+            (
+                FailoverConfig {
+                    period_ms: 0.0,
+                    ..FailoverConfig::default()
+                },
+                5_000.0,
+                &pipes[..],
+            ),
+            (
+                FailoverConfig {
+                    drift_threshold: -0.1,
+                    ..FailoverConfig::default()
+                },
+                5_000.0,
+                &pipes[..],
+            ),
+            (FailoverConfig::default(), 500.0, &pipes[..]),
+            (FailoverConfig::default(), 5_000.0, &[][..]),
+        ] {
+            assert!(run_failover_remap(
+                &dyn_net,
+                &sched,
+                pipelines,
+                &cost(),
+                config,
+                horizon,
+                s,
+                &bank,
+            )
+            .is_err());
+        }
     }
 
     /// The portfolio control loop equals the routed-optimal DP loop

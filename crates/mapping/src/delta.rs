@@ -36,6 +36,19 @@
 //! `EvalKernel` compute columns (see [`crate::EvalKernel::patched_for_churn`])
 //! and re-key the bank.
 //!
+//! ## Failures are removals, not perturbations
+//!
+//! A *failed* element (link cut to the `bw = 0` sentinel, node crashed to
+//! `power = 0` — see `elpc_netsim::faults`) is carried separately as a
+//! [`LinkFailure`] / [`NodeFailure`]. A failed link prices at `+∞`, so rule
+//! 1 applies unchanged (any tree traversing it rebuilds) while rule 2 is
+//! skipped — an edge that only got worse can never newly compete. A crashed
+//! node's incident links arrive as their own `LinkFailure`s (the crash cuts
+//! them), and the crash itself re-prices compute to `+∞` and flags every
+//! mapped pipeline hosted there for forced remap
+//! ([`NetworkDelta::forces_remap`]). Restores (failed → healthy) diff as
+//! ordinary perturbations — no special casing.
+//!
 //! Kept trees are reused as `Arc`s, so their exported bytes are *identical*
 //! (not merely equal) to the pre-perturbation export; rebuilt trees go
 //! through the same CSR kernel as a cold build, so the repaired closure's
@@ -81,16 +94,55 @@ pub struct NodePerturbation {
     pub new_power: f64,
 }
 
+/// One *failed* directed edge — a removal, not a value perturbation. The
+/// edge stays in the graph carrying the `bw = 0` sentinel
+/// ([`elpc_netsim::Link::is_failed`]), so its cost is `+∞` under every
+/// payload: any cached tree traversing it must rebuild, and an off-tree
+/// failed edge can never newly compete (rule 2 is skipped — a removal only
+/// makes the edge worse).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFailure {
+    /// The failed directed edge id (both directions of a symmetric link
+    /// appear as separate failures).
+    pub edge: EdgeId,
+    /// Tail of the directed edge.
+    pub src: NodeId,
+    /// Head of the directed edge.
+    pub dst: NodeId,
+    /// The link value before the failure (healthy: `bw > 0`), kept so a
+    /// later restore diffs as an ordinary perturbation.
+    pub old: Link,
+}
+
+/// One *crashed* node — its power dropped to the `0.0` failure sentinel.
+/// Compute there prices at `+∞`, and any mapped pipeline hosting a module
+/// on it is flagged for forced remap ([`NetworkDelta::forces_remap`]). The
+/// links a crash takes down with it appear as separate [`LinkFailure`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeFailure {
+    /// The crashed node.
+    pub node: NodeId,
+    /// Power before the crash.
+    pub old_power: f64,
+}
+
 /// The exact difference between two same-shaped networks: which directed
 /// edges and nodes changed, with old and new values. Serializable, so a
 /// remap client can ship it to the serving daemon for an in-place bank
 /// repair.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct NetworkDelta {
-    /// Perturbed directed edges.
+    /// Perturbed directed edges (value changes, including restores of
+    /// previously failed elements).
     pub links: Vec<LinkPerturbation>,
-    /// Perturbed nodes.
+    /// Perturbed nodes (power changes, including restores).
     pub nodes: Vec<NodePerturbation>,
+    /// Directed edges that *failed* (healthy → `bw = 0` sentinel) between
+    /// old and new — removals in cost space.
+    pub link_failures: Vec<LinkFailure>,
+    /// Nodes that *crashed* (healthy → `power = 0` sentinel) between old
+    /// and new.
+    pub node_failures: Vec<NodeFailure>,
 }
 
 /// What a [`repair_closure`] run did, for the exact-accounting pins:
@@ -123,7 +175,7 @@ impl NetworkDelta {
                 new.graph().edge_count()
             )));
         }
-        let mut links = Vec::new();
+        let mut out = NetworkDelta::default();
         for (id, e_old) in old.graph().edges() {
             let e_new = new.graph().edge(id).expect("edge counts match");
             if e_old.src != e_new.src || e_old.dst != e_new.dst {
@@ -136,33 +188,64 @@ impl NetworkDelta {
             if lo.bw_mbps.to_bits() != ln.bw_mbps.to_bits()
                 || lo.mld_ms.to_bits() != ln.mld_ms.to_bits()
             {
-                links.push(LinkPerturbation {
-                    edge: id,
-                    src: e_old.src,
-                    dst: e_old.dst,
-                    old: lo.clone(),
-                    new: ln.clone(),
-                });
+                if ln.is_failed() && !lo.is_failed() {
+                    out.link_failures.push(LinkFailure {
+                        edge: id,
+                        src: e_old.src,
+                        dst: e_old.dst,
+                        old: lo.clone(),
+                    });
+                } else {
+                    out.links.push(LinkPerturbation {
+                        edge: id,
+                        src: e_old.src,
+                        dst: e_old.dst,
+                        old: lo.clone(),
+                        new: ln.clone(),
+                    });
+                }
             }
         }
-        let mut nodes = Vec::new();
         for i in 0..old.node_count() {
             let id = NodeId::from_index(i);
             let (po, pn) = (old.power(id), new.power(id));
             if po.to_bits() != pn.to_bits() {
-                nodes.push(NodePerturbation {
-                    node: id,
-                    old_power: po,
-                    new_power: pn,
-                });
+                if pn == 0.0 {
+                    out.node_failures.push(NodeFailure {
+                        node: id,
+                        old_power: po,
+                    });
+                } else {
+                    out.nodes.push(NodePerturbation {
+                        node: id,
+                        old_power: po,
+                        new_power: pn,
+                    });
+                }
             }
         }
-        Ok(NetworkDelta { links, nodes })
+        Ok(out)
     }
 
     /// True when nothing changed: old and new networks are value-identical.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty() && self.nodes.is_empty()
+        self.links.is_empty()
+            && self.nodes.is_empty()
+            && self.link_failures.is_empty()
+            && self.node_failures.is_empty()
+    }
+
+    /// True when the delta contains a removal — a failed link or a crashed
+    /// node (as opposed to pure value perturbations and restores).
+    pub fn has_failures(&self) -> bool {
+        !self.link_failures.is_empty() || !self.node_failures.is_empty()
+    }
+
+    /// True when any of `hosts` (a mapped pipeline's assignment) sits on a
+    /// node that crashed in this delta — that pipeline *must* be remapped;
+    /// no amount of closure repair can salvage a dead host.
+    pub fn forces_remap(&self, hosts: &[NodeId]) -> bool {
+        self.node_failures.iter().any(|nf| hosts.contains(&nf.node))
     }
 
     /// Builds a delta from a *known* changed-element set (e.g.
@@ -202,13 +285,22 @@ impl NetworkDelta {
             if lo.bw_mbps.to_bits() != ln.bw_mbps.to_bits()
                 || lo.mld_ms.to_bits() != ln.mld_ms.to_bits()
             {
-                out.links.push(LinkPerturbation {
-                    edge: id,
-                    src: e_old.src,
-                    dst: e_old.dst,
-                    old: lo.clone(),
-                    new: ln.clone(),
-                });
+                if ln.is_failed() && !lo.is_failed() {
+                    out.link_failures.push(LinkFailure {
+                        edge: id,
+                        src: e_old.src,
+                        dst: e_old.dst,
+                        old: lo.clone(),
+                    });
+                } else {
+                    out.links.push(LinkPerturbation {
+                        edge: id,
+                        src: e_old.src,
+                        dst: e_old.dst,
+                        old: lo.clone(),
+                        new: ln.clone(),
+                    });
+                }
             }
         }
         for &node in nodes {
@@ -220,32 +312,53 @@ impl NetworkDelta {
             }
             let (po, pn) = (old.power(node), new.power(node));
             if po.to_bits() != pn.to_bits() {
-                out.nodes.push(NodePerturbation {
-                    node,
-                    old_power: po,
-                    new_power: pn,
-                });
+                if pn == 0.0 {
+                    out.node_failures.push(NodeFailure {
+                        node,
+                        old_power: po,
+                    });
+                } else {
+                    out.nodes.push(NodePerturbation {
+                        node,
+                        old_power: po,
+                        new_power: pn,
+                    });
+                }
             }
         }
         Ok(out)
     }
 
     /// The perturbed link costs under `cost` for one payload size, with
-    /// no-op changes (bit-identical old/new cost) already dropped.
+    /// no-op changes (bit-identical old/new cost) already dropped. Failures
+    /// price at `+∞` and carry the `removal` flag, which restricts the
+    /// invalidation rule to rule 1 — an off-tree edge that only got worse
+    /// can never newly compete.
     fn priced_links(&self, cost: &CostModel, bytes: f64) -> Vec<PricedChange> {
-        self.links
-            .iter()
-            .filter_map(|lp| {
-                let w_old = cost.raw_link_transfer_ms(&lp.old, bytes);
-                let w_new = cost.raw_link_transfer_ms(&lp.new, bytes);
-                (w_old.to_bits() != w_new.to_bits()).then_some(PricedChange {
-                    edge: lp.edge,
-                    u: lp.src.index(),
-                    v: lp.dst.index(),
-                    w_new,
-                })
+        let perturbed = self.links.iter().filter_map(|lp| {
+            let w_old = cost.raw_link_transfer_ms(&lp.old, bytes);
+            let w_new = cost.raw_link_transfer_ms(&lp.new, bytes);
+            (w_old.to_bits() != w_new.to_bits()).then_some(PricedChange {
+                edge: lp.edge,
+                u: lp.src.index(),
+                v: lp.dst.index(),
+                w_new,
+                removal: false,
             })
-            .collect()
+        });
+        let failed = self.link_failures.iter().filter_map(|lf| {
+            // a healthy link's cost is finite; if it already priced at +∞
+            // (degenerate payload) the failure is a cost no-op
+            let w_old = cost.raw_link_transfer_ms(&lf.old, bytes);
+            w_old.is_finite().then_some(PricedChange {
+                edge: lf.edge,
+                u: lf.src.index(),
+                v: lf.dst.index(),
+                w_new: f64::INFINITY,
+                removal: true,
+            })
+        });
+        perturbed.chain(failed).collect()
     }
 }
 
@@ -256,6 +369,8 @@ struct PricedChange {
     u: usize,
     v: usize,
     w_new: f64,
+    /// True for failures: the edge went to `+∞`, so only rule 1 applies.
+    removal: bool,
 }
 
 /// The invalidation rule (module docs) for one tree against one payload's
@@ -268,6 +383,10 @@ fn tree_is_stale(tree: &ShortestPaths, edge_count: usize, priced: &[PricedChange
     priced.iter().any(|pc| {
         if on_tree.contains(pc.edge) {
             return true; // rule 1: the tree traverses the changed edge
+        }
+        if pc.removal {
+            // a removed off-tree edge only got worse — it cannot compete
+            return false;
         }
         let du = tree.dist[pc.u];
         // rule 2: a changed off-tree edge now matches or beats the
@@ -477,6 +596,123 @@ mod tests {
                     "prev diverged (link {undirected} ×{scale})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn failures_are_classified_as_removals_and_restores_as_perturbations() {
+        let old = diamond();
+        let mut failed = old.clone();
+        failed.fail_link_symmetric(EdgeId(2)).unwrap(); // undirected link 1
+        failed.fail_node(NodeId(2)).unwrap(); // cuts links 2 and 3 too
+
+        let delta = NetworkDelta::between(&old, &failed).unwrap();
+        assert!(delta.links.is_empty(), "no value perturbations");
+        assert!(delta.nodes.is_empty());
+        assert_eq!(delta.node_failures.len(), 1);
+        assert_eq!(delta.node_failures[0].node, NodeId(2));
+        assert_eq!(delta.node_failures[0].old_power, 100.0);
+        // failed directed edges: links 1, 2, 3 → ids 2,3,4,5,6,7
+        let mut ids: Vec<u32> = delta.link_failures.iter().map(|l| l.edge.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3, 4, 5, 6, 7]);
+        assert!(delta.has_failures());
+        assert!(!delta.is_empty());
+        // forced remap exactly when a host died
+        assert!(delta.forces_remap(&[NodeId(0), NodeId(2)]));
+        assert!(!delta.forces_remap(&[NodeId(0), NodeId(1), NodeId(3)]));
+
+        // the sparse path classifies identically
+        let sparse = NetworkDelta::from_changed_elements(
+            &old,
+            &failed,
+            &[EdgeId(2), EdgeId(4), EdgeId(6)],
+            &[NodeId(2)],
+        )
+        .unwrap();
+        assert_eq!(sparse, delta);
+
+        // restoring diffs back as ordinary perturbations
+        let restore = NetworkDelta::between(&failed, &old).unwrap();
+        assert!(restore.link_failures.is_empty());
+        assert!(restore.node_failures.is_empty());
+        assert_eq!(restore.links.len(), 6);
+        assert_eq!(restore.nodes.len(), 1);
+    }
+
+    #[test]
+    fn repair_after_failure_matches_a_cold_build_bit_for_bit() {
+        let old = diamond();
+        let cost = CostModel::default();
+        let payloads = [1_000_000.0, 250_000.0];
+        let sources: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+
+        let closure = MetricClosure::new(&old, cost);
+        closure.par_warm(&sources, &payloads, 1);
+        let entries = closure.export();
+
+        // cut the fast route's second hop, then crash the detour node
+        for scenario in [0usize, 1] {
+            let mut new = old.clone();
+            if scenario == 0 {
+                new.fail_link_symmetric(EdgeId(2)).unwrap();
+            } else {
+                new.fail_node(NodeId(2)).unwrap();
+            }
+            let delta = NetworkDelta::between(&old, &new).unwrap();
+            assert!(delta.has_failures());
+
+            let repaired = MetricClosure::new(&new, cost);
+            let report = repair_closure(&repaired, &entries, &delta, 1);
+            assert_eq!(report.kept + report.rebuilt, report.total);
+
+            let cold = MetricClosure::new(&new, cost);
+            cold.par_warm(&sources, &payloads, 1);
+
+            let (a, b) = (repaired.export(), cold.export());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.key, y.key);
+                let bits_a: Vec<u64> = x.tree.dist.iter().map(|d| d.to_bits()).collect();
+                let bits_b: Vec<u64> = y.tree.dist.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "dist diverged (scenario {scenario})");
+                assert_eq!(
+                    x.tree.prev, y.tree.prev,
+                    "prev diverged (scenario {scenario})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn off_tree_failure_keeps_every_tree() {
+        // the slow detour 0-2-3 sits on no shortest-path tree; cutting it
+        // must keep everything (removal skips rule 2 entirely)
+        let old = diamond();
+        let cost = CostModel::default();
+        let sources: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+        let closure = MetricClosure::new(&old, cost);
+        closure.par_warm(&sources, &[1_000_000.0], 1);
+        let entries = closure.export();
+
+        // links 2 (0-2) and 3 (2-3) are the slow route; only trees rooted
+        // at or reaching *through* them use them. Source 2's tree does use
+        // its incident links, so cut only 0-2 and check the trees that
+        // never traverse it are retained.
+        let mut new = old.clone();
+        new.fail_link_symmetric(EdgeId(4)).unwrap(); // undirected link 2 = 0-2
+        let delta = NetworkDelta::between(&old, &new).unwrap();
+        let target = MetricClosure::new(&new, cost);
+        let report = repair_closure(&target, &entries, &delta, 1);
+        assert_eq!(report.kept + report.rebuilt, report.total);
+        // and byte-identity regardless of the kept/rebuilt split
+        let cold = MetricClosure::new(&new, cost);
+        cold.par_warm(&sources, &[1_000_000.0], 1);
+        let (a, b) = (target.export(), cold.export());
+        for (x, y) in a.iter().zip(&b) {
+            let bits_a: Vec<u64> = x.tree.dist.iter().map(|d| d.to_bits()).collect();
+            let bits_b: Vec<u64> = y.tree.dist.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
         }
     }
 

@@ -276,12 +276,19 @@ impl EvalKernel {
             row.copy_from_slice(&tree.dist);
             row[a] = 0.0;
         }
-        for np in &delta.nodes {
-            let v = np.node.index();
+        let repriced_nodes = delta
+            .nodes
+            .iter()
+            .map(|np| np.node)
+            .chain(delta.node_failures.iter().map(|nf| nf.node));
+        for node in repriced_nodes {
+            let v = node.index();
             for j in 0..self.n {
                 let work = pipe.compute_work(j);
                 if work > 0.0 {
-                    patched.compute[j * k + v] = work / net.power(np.node);
+                    // a crashed node's power is 0 → compute prices at +∞,
+                    // exactly what a cold build over the failed network does
+                    patched.compute[j * k + v] = work / net.power(node);
                 }
             }
         }

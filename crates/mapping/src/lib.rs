@@ -96,7 +96,9 @@ mod test_fixtures;
 
 pub use context::{CachedTree, ClosureStats, MetricClosure, SolveContext, TreeKey};
 pub use cost::{CostModel, Stage};
-pub use delta::{LinkPerturbation, NetworkDelta, NodePerturbation, RepairReport};
+pub use delta::{
+    LinkFailure, LinkPerturbation, NetworkDelta, NodeFailure, NodePerturbation, RepairReport,
+};
 pub use error::MappingError;
 pub use eval::{BoundedEval, DeltaEval, EvalKernel, MoveSpec};
 pub use lns::LnsConfig;

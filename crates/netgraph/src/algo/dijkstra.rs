@@ -102,7 +102,10 @@ impl Ord for HeapEntry {
 }
 
 /// Runs Dijkstra from `src`; `cost` maps each directed edge to a
-/// non-negative, finite, non-NaN additive cost.
+/// non-negative, non-NaN additive cost. `+∞` is allowed and means "edge
+/// removed": an infinite relaxation can never beat any retained distance,
+/// so such edges are simply never taken (this is how failed links — the
+/// `bw = 0` sentinel — route around).
 ///
 /// # Panics
 /// Panics (in debug builds) if `cost` returns a negative or NaN value — the
@@ -131,8 +134,8 @@ pub fn dijkstra<N, E>(
         for (nb, e) in g.out_edges(u) {
             let w = cost(nb.edge, e);
             debug_assert!(
-                w >= 0.0 && w.is_finite(),
-                "Dijkstra requires finite non-negative costs, got {w}"
+                w >= 0.0 && !w.is_nan(),
+                "Dijkstra requires non-negative non-NaN costs, got {w}"
             );
             let nd = d + w;
             if nd < dist[nb.node.index()] {

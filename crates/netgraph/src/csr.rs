@@ -254,8 +254,8 @@ impl SsspScratch {
                 let e = csr.offsets[u as usize + 1] as usize;
                 for (i, (&w, &tv)) in costs[s..e].iter().zip(&csr.targets[s..e]).enumerate() {
                     debug_assert!(
-                        w >= 0.0 && w.is_finite(),
-                        "Dijkstra requires finite non-negative costs, got {w}"
+                        w >= 0.0 && !w.is_nan(),
+                        "Dijkstra requires non-negative non-NaN costs, got {w}"
                     );
                     let v = tv as usize;
                     let nd = d + w;

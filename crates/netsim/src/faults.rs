@@ -1,0 +1,464 @@
+//! Seeded fault injection over [`Network`] /
+//! [`DynamicNetwork`](crate::dynamics::DynamicNetwork) snapshots.
+//!
+//! The paper assumes a healthy network; this module models the unhealthy
+//! one. A [`FaultSchedule`] is a reproducible, seed-generated sequence of
+//! [`FaultEvent`]s — node crashes, link cuts, and link degradations, each
+//! either permanent or transient (a *flap* that restores itself) — laid out
+//! on a time horizon. Applying the schedule at a time `t` produces the
+//! degraded network an adaptive mapper actually faces at `t`.
+//!
+//! Failures are *removals in cost space, not in the graph*: a cut link
+//! keeps its edge ids but carries the `bw = 0` sentinel
+//! ([`Link::is_failed`](crate::model::Link::is_failed))
+//! so every transfer over it prices at `+∞`; a crashed node additionally
+//! zeroes its power ([`Network::fail_node`]). Stable indices are what make
+//! repaired metric closures byte-comparable to cold builds on the degraded
+//! network — the whole point of the differential fault suite.
+//!
+//! Generation is *connectivity-aware*: the caller lists protected nodes
+//! (typically every pipeline's source and destination), and the generator
+//! only accepts a crash/cut if the protected set stays mutually reachable
+//! over healthy elements even when **all** accepted removals are active at
+//! once (the worst-case overlap). Degradations are always safe — their
+//! factor is bounded away from zero.
+
+use crate::dynamics::ChangeSet;
+use crate::model::Network;
+use crate::Result;
+use elpc_netgraph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+/// What a single fault does to the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node's power drops to the failure sentinel and every incident
+    /// link is cut in both directions (a dead host neither computes nor
+    /// forwards).
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// The undirected link (given by its even, representative edge id) is
+    /// cut in both directions.
+    LinkCut {
+        /// Representative (even) edge id of the undirected link.
+        link: EdgeId,
+    },
+    /// The undirected link keeps working but its bandwidth is multiplied by
+    /// `factor` (in `(0, 1)`), modelling congestion or a flaky NIC.
+    LinkDegrade {
+        /// Representative (even) edge id of the undirected link.
+        link: EdgeId,
+        /// Bandwidth multiplier in `(0, 1)`.
+        factor: f64,
+    },
+}
+
+/// One scheduled fault: a kind plus its active window `[start_ms, end_ms)`.
+/// Permanent faults have `end_ms = +∞`; transient ones (flaps) restore
+/// themselves when the window closes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What happens.
+    pub kind: FaultKind,
+    /// When it starts (ms on the schedule's clock).
+    pub start_ms: f64,
+    /// When it heals (`+∞` = never).
+    pub end_ms: f64,
+}
+
+impl FaultEvent {
+    /// True when the fault is in effect at time `t_ms`.
+    #[inline]
+    pub fn active_at(&self, t_ms: f64) -> bool {
+        self.start_ms <= t_ms && t_ms < self.end_ms
+    }
+
+    /// True for flaps — faults that restore themselves.
+    #[inline]
+    pub fn is_transient(&self) -> bool {
+        self.end_ms.is_finite()
+    }
+}
+
+/// Knobs for [`FaultSchedule::generate`].
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// How many events to draw (accepted events may be fewer if
+    /// connectivity constraints reject too many candidates).
+    pub events: usize,
+    /// Time horizon: start times are drawn uniformly in `[0, horizon_ms)`.
+    pub horizon_ms: f64,
+    /// Relative draw weight of node crashes.
+    pub crash_weight: u32,
+    /// Relative draw weight of link cuts.
+    pub cut_weight: u32,
+    /// Relative draw weight of link degradations.
+    pub degrade_weight: u32,
+    /// Fraction of events that are transient flaps (restore themselves).
+    pub transient_fraction: f64,
+    /// Minimum flap duration in ms.
+    pub min_duration_ms: f64,
+    /// Maximum flap duration in ms.
+    pub max_duration_ms: f64,
+    /// Degradation factors are drawn uniformly in `[degrade_floor, 1)`.
+    pub degrade_floor: f64,
+    /// Nodes that must never crash and must stay mutually reachable over
+    /// healthy elements even with every accepted removal active at once.
+    /// List every pipeline's source and destination here.
+    pub protect: Vec<NodeId>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            events: 8,
+            horizon_ms: 10_000.0,
+            crash_weight: 1,
+            cut_weight: 2,
+            degrade_weight: 1,
+            transient_fraction: 0.5,
+            min_duration_ms: 500.0,
+            max_duration_ms: 3_000.0,
+            degrade_floor: 0.1,
+            protect: Vec::new(),
+        }
+    }
+}
+
+/// A reproducible sequence of faults over a network. Same base network,
+/// config, and seed ⇒ bit-identical schedule, on any machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+/// SplitMix64 — tiny, deterministic, and good enough for drawing fault
+/// targets; keeping it local avoids coupling schedule reproducibility to
+/// any external RNG crate's stream layout.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// Marks, for every node, whether it is reachable from `start` over healthy
+/// elements only (links with positive bandwidth, nodes with positive
+/// power). This is the *cost-space* connectivity a mapper sees — the
+/// structural [`Network::is_connected`] ignores failure sentinels.
+pub fn healthy_component(net: &Network, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; net.node_count()];
+    if net.node_is_failed(start) {
+        return seen;
+    }
+    seen[start.index()] = true;
+    let mut queue = VecDeque::from([start]);
+    while let Some(u) = queue.pop_front() {
+        for nb in net.neighbors(u) {
+            let dead_link = net.link(nb.edge).map(|l| l.is_failed()).unwrap_or(true);
+            if dead_link || seen[nb.node.index()] || net.node_is_failed(nb.node) {
+                continue;
+            }
+            seen[nb.node.index()] = true;
+            queue.push_back(nb.node);
+        }
+    }
+    seen
+}
+
+fn protected_still_connected(net: &Network, protect: &[NodeId]) -> bool {
+    match protect.first() {
+        None => true,
+        Some(&start) => {
+            let seen = healthy_component(net, start);
+            protect.iter().all(|p| seen[p.index()])
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from an explicit event list (for hand-crafted
+    /// scenarios and tests).
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultSchedule { events }
+    }
+
+    /// Draws a reproducible schedule of `cfg.events` faults against `base`.
+    ///
+    /// Each removal candidate (crash or cut) is checked against the
+    /// worst-case network in which every previously accepted removal is
+    /// active; candidates that would disconnect the protected set are
+    /// redrawn (a bounded number of times, then skipped), so an accepted
+    /// schedule can never strand a protected endpoint no matter how the
+    /// active windows overlap.
+    pub fn generate(base: &Network, cfg: &FaultConfig, seed: u64) -> Result<FaultSchedule> {
+        let mut rng = SplitMix64(seed);
+        let protected: BTreeSet<u32> = cfg.protect.iter().map(|n| n.0).collect();
+        let total_w = u64::from(cfg.crash_weight + cfg.cut_weight + cfg.degrade_weight).max(1);
+        // worst case: every accepted removal active at once
+        let mut worst = base.clone();
+        let mut events = Vec::with_capacity(cfg.events);
+        for _ in 0..cfg.events {
+            let mut accepted = None;
+            for _attempt in 0..16 {
+                let w = rng.below(total_w);
+                let kind = if w < u64::from(cfg.crash_weight) {
+                    let node = NodeId(rng.below(base.node_count() as u64) as u32);
+                    if protected.contains(&node.0) || worst.node_is_failed(node) {
+                        continue;
+                    }
+                    FaultKind::NodeCrash { node }
+                } else if w < u64::from(cfg.crash_weight + cfg.cut_weight) {
+                    let link = EdgeId(2 * rng.below(base.link_count() as u64) as u32);
+                    if worst.link(link)?.is_failed() {
+                        continue;
+                    }
+                    FaultKind::LinkCut { link }
+                } else {
+                    let link = EdgeId(2 * rng.below(base.link_count() as u64) as u32);
+                    let factor = cfg.degrade_floor + rng.unit() * (1.0 - cfg.degrade_floor);
+                    FaultKind::LinkDegrade { link, factor }
+                };
+                // removals must keep the protected set connected in the
+                // worst-case overlap; degradations are always safe
+                let mut trial = worst.clone();
+                match &kind {
+                    FaultKind::NodeCrash { node } => {
+                        trial.fail_node(*node)?;
+                    }
+                    FaultKind::LinkCut { link } => {
+                        trial.fail_link_symmetric(*link)?;
+                    }
+                    FaultKind::LinkDegrade { .. } => {}
+                }
+                if !protected_still_connected(&trial, &cfg.protect) {
+                    continue;
+                }
+                worst = trial;
+                accepted = Some(kind);
+                break;
+            }
+            let Some(kind) = accepted else { continue };
+            let start_ms = rng.unit() * cfg.horizon_ms;
+            let end_ms = if rng.unit() < cfg.transient_fraction {
+                let span = (cfg.max_duration_ms - cfg.min_duration_ms).max(0.0);
+                start_ms + cfg.min_duration_ms + rng.unit() * span
+            } else {
+                f64::INFINITY
+            };
+            events.push(FaultEvent {
+                kind,
+                start_ms,
+                end_ms,
+            });
+        }
+        Ok(FaultSchedule { events })
+    }
+
+    /// The scheduled events, in draw order (the order they are applied in).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events in effect at `t_ms`.
+    pub fn active_at(&self, t_ms: f64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.active_at(t_ms))
+    }
+
+    /// The degraded network at time `t_ms`: a clone of `base` (typically a
+    /// [`DynamicNetwork::snapshot_at`] for the same instant) with every
+    /// active fault applied in schedule order. Healed flaps leave no trace —
+    /// the result is always recomputed from `base`.
+    ///
+    /// [`DynamicNetwork::snapshot_at`]: crate::dynamics::DynamicNetwork::snapshot_at
+    pub fn apply_at(&self, base: &Network, t_ms: f64) -> Result<Network> {
+        let mut net = base.clone();
+        for ev in self.active_at(t_ms) {
+            match &ev.kind {
+                FaultKind::NodeCrash { node } => {
+                    net.fail_node(*node)?;
+                }
+                FaultKind::LinkCut { link } => {
+                    net.fail_link_symmetric(*link)?;
+                }
+                FaultKind::LinkDegrade { link, factor } => {
+                    let old = net.link(*link)?.clone();
+                    let degraded = crate::model::Link::new(old.bw_mbps * factor, old.mld_ms);
+                    net.set_link_symmetric(*link, degraded)?;
+                }
+            }
+        }
+        Ok(net)
+    }
+
+    /// Every element whose fault status flips between `t0_ms` and `t1_ms`:
+    /// crashed/restored nodes (plus their incident links, which the crash
+    /// fails as a side effect) and cut/degraded/restored links. Reported as
+    /// a [`ChangeSet`] of representative (even) edge ids, deduplicated and
+    /// sorted — over-reporting an element that ends up bit-identical is
+    /// harmless to delta builders, under-reporting is not.
+    pub fn changed_elements_between(&self, base: &Network, t0_ms: f64, t1_ms: f64) -> ChangeSet {
+        let mut nodes = BTreeSet::new();
+        let mut links = BTreeSet::new();
+        for ev in &self.events {
+            if ev.active_at(t0_ms) == ev.active_at(t1_ms) {
+                continue;
+            }
+            match &ev.kind {
+                FaultKind::NodeCrash { node } => {
+                    nodes.insert(node.0);
+                    for nb in base.neighbors(*node) {
+                        links.insert(nb.edge.0 & !1);
+                    }
+                }
+                FaultKind::LinkCut { link } | FaultKind::LinkDegrade { link, .. } => {
+                    links.insert(link.0 & !1);
+                }
+            }
+        }
+        ChangeSet {
+            nodes: nodes.into_iter().map(NodeId).collect(),
+            links: links.into_iter().map(EdgeId).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Link;
+
+    /// 6-node ring: enough redundancy that any single cut never
+    /// disconnects anything.
+    fn ring6() -> Network {
+        let topo = elpc_netgraph::gen::ring(6).unwrap();
+        Network::from_topology(
+            &topo,
+            |i| crate::model::Node::with_power(100.0 * (i + 1) as f64),
+            |a, b| Link::new(50.0 + (a + b) as f64, 0.5),
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> FaultConfig {
+        FaultConfig {
+            events: 12,
+            horizon_ms: 1_000.0,
+            protect: vec![NodeId(0), NodeId(3)],
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let net = ring6();
+        let a = FaultSchedule::generate(&net, &cfg(), 42).unwrap();
+        let b = FaultSchedule::generate(&net, &cfg(), 42).unwrap();
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(&net, &cfg(), 43).unwrap();
+        assert_ne!(a, c, "different seed should draw a different schedule");
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn protected_nodes_never_crash_and_stay_reachable() {
+        let net = ring6();
+        for seed in 0..20u64 {
+            let sched = FaultSchedule::generate(&net, &cfg(), seed).unwrap();
+            for ev in sched.events() {
+                if let FaultKind::NodeCrash { node } = ev.kind {
+                    assert!(node != NodeId(0) && node != NodeId(3));
+                }
+            }
+            // worst case: every event active at once
+            let mut worst = net.clone();
+            for ev in sched.events() {
+                worst = FaultSchedule::from_events(vec![FaultEvent {
+                    kind: ev.kind.clone(),
+                    start_ms: 0.0,
+                    end_ms: f64::INFINITY,
+                }])
+                .apply_at(&worst, 0.0)
+                .unwrap();
+            }
+            let seen = healthy_component(&worst, NodeId(0));
+            assert!(seen[3], "seed {seed}: protected pair disconnected");
+        }
+    }
+
+    #[test]
+    fn flaps_heal_without_a_trace() {
+        let net = ring6();
+        let sched = FaultSchedule::from_events(vec![
+            FaultEvent {
+                kind: FaultKind::LinkCut { link: EdgeId(0) },
+                start_ms: 10.0,
+                end_ms: 20.0,
+            },
+            FaultEvent {
+                kind: FaultKind::NodeCrash { node: NodeId(2) },
+                start_ms: 15.0,
+                end_ms: 25.0,
+            },
+        ]);
+        let during = sched.apply_at(&net, 16.0).unwrap();
+        assert!(during.link(EdgeId(0)).unwrap().is_failed());
+        assert!(during.node_is_failed(NodeId(2)));
+        let after = sched.apply_at(&net, 30.0).unwrap();
+        assert_eq!(after.fingerprint(), net.fingerprint());
+    }
+
+    #[test]
+    fn degrade_scales_bandwidth_in_both_directions() {
+        let net = ring6();
+        let before = net.link(EdgeId(4)).unwrap().bw_mbps;
+        let sched = FaultSchedule::from_events(vec![FaultEvent {
+            kind: FaultKind::LinkDegrade {
+                link: EdgeId(4),
+                factor: 0.25,
+            },
+            start_ms: 0.0,
+            end_ms: f64::INFINITY,
+        }]);
+        let out = sched.apply_at(&net, 5.0).unwrap();
+        assert_eq!(out.link(EdgeId(4)).unwrap().bw_mbps, before * 0.25);
+        assert_eq!(out.link(EdgeId(5)).unwrap().bw_mbps, before * 0.25);
+    }
+
+    #[test]
+    fn changed_elements_cover_crash_side_effects() {
+        let net = ring6();
+        let sched = FaultSchedule::from_events(vec![FaultEvent {
+            kind: FaultKind::NodeCrash { node: NodeId(1) },
+            start_ms: 10.0,
+            end_ms: 20.0,
+        }]);
+        // flip on
+        let on = sched.changed_elements_between(&net, 0.0, 15.0);
+        assert_eq!(on.nodes, vec![NodeId(1)]);
+        assert_eq!(on.links.len(), 2, "both incident ring links reported");
+        // no flip inside the window
+        assert!(sched.changed_elements_between(&net, 12.0, 18.0).is_empty());
+        // flip off (restore)
+        let off = sched.changed_elements_between(&net, 15.0, 30.0);
+        assert_eq!(off.nodes, vec![NodeId(1)]);
+    }
+}

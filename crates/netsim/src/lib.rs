@@ -18,6 +18,10 @@
 //!   DESIGN.md §4).
 //! * [`dynamics`] models the time-varying resource availability that §5
 //!   flags as future work; it drives the adaptive-remapping extension.
+//! * [`faults`] injects *failures* on top: seeded, reproducible crash /
+//!   cut / degrade schedules whose removals are cost-space sentinels
+//!   (`bw = 0`, `power = 0`) rather than graph surgery, so edge ids stay
+//!   stable for incremental closure repair.
 //! * [`mod@format`] reads/writes a plain-text network description matching the
 //!   paper's parameter tables, and serde/JSON works on all model types.
 //!
@@ -42,6 +46,7 @@
 
 pub mod dynamics;
 pub mod error;
+pub mod faults;
 pub mod format;
 pub mod measure;
 mod model;

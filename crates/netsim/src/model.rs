@@ -60,6 +60,16 @@ impl Link {
     pub fn serialization_time_ms(&self, bytes: f64) -> f64 {
         serialization_ms(bytes, self.bw_mbps)
     }
+
+    /// True when this link carries the *failure sentinel*: bandwidth exactly
+    /// `0.0`. A failed link keeps its place in the graph (edge ids stay
+    /// stable, which is what keeps repaired closures byte-comparable to cold
+    /// builds) but every transfer over it costs `+∞`, so no shortest-path
+    /// tree ever uses it.
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        self.bw_mbps == 0.0
+    }
 }
 
 /// The transport network `G = (V, E)`: a wrapper around
@@ -172,26 +182,34 @@ impl Network {
         algo::is_connected(&self.graph)
     }
 
-    /// Structural validation: positive powers, positive bandwidths,
-    /// non-negative MLDs, non-empty, connected.
+    /// Structural validation: non-negative powers and bandwidths (exact
+    /// `0.0` is the failure sentinel — see [`Link::is_failed`] and
+    /// [`Network::fail_node`]), non-negative MLDs, non-empty, connected.
+    ///
+    /// The builder stays strict (it rejects zero powers and bandwidths), so
+    /// a failed element can only arise by degrading a once-valid network —
+    /// exactly the semantics of a fault.
     pub fn validate(&self) -> Result<()> {
         if self.graph.is_empty() {
             return Err(NetworkError::Invalid("network has no nodes".into()));
         }
         for (id, n) in self.graph.nodes() {
-            if !(n.power > 0.0) || !n.power.is_finite() {
+            if !(n.power >= 0.0) || !n.power.is_finite() {
                 return Err(NetworkError::BadNodeParameter {
                     node: id,
-                    reason: format!("power must be positive and finite, got {}", n.power),
+                    reason: format!(
+                        "power must be positive and finite (or exactly 0 = failed), got {}",
+                        n.power
+                    ),
                 });
             }
         }
         for (_, e) in self.graph.edges() {
-            if !(e.payload.bw_mbps > 0.0) || !e.payload.bw_mbps.is_finite() {
+            if !(e.payload.bw_mbps >= 0.0) || !e.payload.bw_mbps.is_finite() {
                 return Err(NetworkError::BadLinkParameter {
                     endpoints: (e.src, e.dst),
                     reason: format!(
-                        "bandwidth must be positive and finite, got {}",
+                        "bandwidth must be positive and finite (or exactly 0 = failed), got {}",
                         e.payload.bw_mbps
                     ),
                 });
@@ -270,6 +288,45 @@ impl Network {
     /// Mutable node payload access (used by the dynamics models).
     pub fn node_mut(&mut self, node: NodeId) -> Result<&mut Node> {
         Ok(self.graph.node_mut(node)?)
+    }
+
+    /// Marks the undirected link of `edge` as failed: bandwidth `0.0` in
+    /// both directions, MLD preserved. The edge stays in the graph — ids,
+    /// indices, and the undirected-twin pairing are untouched — but every
+    /// cost over it becomes `+∞`, so shortest-path trees route around it
+    /// exactly as if it had been removed. Returns the link's state before
+    /// the failure (for restores).
+    pub fn fail_link_symmetric(&mut self, edge: EdgeId) -> Result<Link> {
+        let old = self.link(edge)?.clone();
+        self.set_link_symmetric(edge, Link::new(0.0, old.mld_ms))?;
+        Ok(old)
+    }
+
+    /// Marks `node` as crashed: power `0.0` *and* every incident link failed
+    /// in both directions (a dead host neither computes nor forwards).
+    /// Returns the node's previous power plus the even (representative) edge
+    /// id and prior payload of every incident link that was still healthy,
+    /// so a restore can undo the crash exactly.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<(f64, Vec<(EdgeId, Link)>)> {
+        let old_power = self.node(node)?.power;
+        self.node_mut(node)?.power = 0.0;
+        let incident: Vec<EdgeId> = self.graph.neighbors(node).map(|nb| nb.edge).collect();
+        let mut failed = Vec::new();
+        for edge in incident {
+            // the even id of the undirected pair is the canonical handle
+            let rep = EdgeId(edge.0 & !1);
+            if !self.link(rep)?.is_failed() {
+                let old = self.fail_link_symmetric(rep)?;
+                failed.push((rep, old));
+            }
+        }
+        Ok((old_power, failed))
+    }
+
+    /// True when `node` carries the crash sentinel (power exactly `0.0`).
+    #[inline]
+    pub fn node_is_failed(&self, node: NodeId) -> bool {
+        self.power(node) == 0.0
     }
 }
 
@@ -511,6 +568,65 @@ mod tests {
         let mut f = chain();
         f.node_mut(NodeId(0)).unwrap().name = Some("renamed".into());
         assert_eq!(a.fingerprint(), f.fingerprint());
+    }
+
+    #[test]
+    fn failed_link_is_infinitely_slow_but_stays_in_the_graph() {
+        let mut net = chain();
+        let old = net.fail_link_symmetric(EdgeId(0)).unwrap();
+        assert_eq!(old.bw_mbps, 100.0);
+        assert!(net.link(EdgeId(0)).unwrap().is_failed());
+        assert!(net.link(EdgeId(1)).unwrap().is_failed());
+        assert_eq!(net.link(EdgeId(0)).unwrap().mld_ms, 1.0, "MLD preserved");
+        assert!(net.transfer_time_ms(EdgeId(0), 1.0).is_infinite());
+        // structurally unchanged: ids stable, still "connected" as wiring
+        assert_eq!(net.link_count(), 2);
+        assert!(net.is_connected());
+        // the degraded network still validates (failure is a legal state)
+        assert!(net.validate().is_ok());
+        // restore: put the old payload back, fully healthy again
+        net.set_link_symmetric(EdgeId(0), old).unwrap();
+        assert!(!net.link(EdgeId(0)).unwrap().is_failed());
+        assert_eq!(net.fingerprint(), chain().fingerprint());
+    }
+
+    #[test]
+    fn failed_node_kills_power_and_incident_links() {
+        let mut net = chain();
+        let (old_power, failed) = net.fail_node(NodeId(1)).unwrap();
+        assert_eq!(old_power, 500.0);
+        assert!(net.node_is_failed(NodeId(1)));
+        // both incident undirected links fail, reported by even id
+        let mut ids: Vec<u32> = failed.iter().map(|(e, _)| e.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2]);
+        for e in [0u32, 1, 2, 3] {
+            assert!(net.link(EdgeId(e)).unwrap().is_failed());
+        }
+        assert!(net.compute_time_ms(NodeId(1), 1.0, 1.0).is_infinite());
+        assert!(net.validate().is_ok());
+        // exact restore from the returned undo-log
+        net.node_mut(NodeId(1)).unwrap().power = old_power;
+        for (e, link) in failed {
+            net.set_link_symmetric(e, link).unwrap();
+        }
+        assert_eq!(net.fingerprint(), chain().fingerprint());
+    }
+
+    #[test]
+    fn validate_still_rejects_negative_and_nonfinite_parameters() {
+        let mut net = chain();
+        net.node_mut(NodeId(0)).unwrap().power = -1.0;
+        assert!(net.validate().is_err());
+        let mut net = chain();
+        net.node_mut(NodeId(0)).unwrap().power = f64::NAN;
+        assert!(net.validate().is_err());
+        let mut net = chain();
+        net.link_mut(EdgeId(0)).unwrap().bw_mbps = -5.0;
+        assert!(net.validate().is_err());
+        let mut net = chain();
+        net.link_mut(EdgeId(0)).unwrap().bw_mbps = f64::INFINITY;
+        assert!(net.validate().is_err());
     }
 
     #[test]

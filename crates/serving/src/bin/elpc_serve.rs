@@ -3,15 +3,18 @@
 //! Subcommands:
 //!
 //! ```text
-//! elpc-serve serve    --socket PATH [--workers N] [--bank-capacity N]
+//! elpc-serve serve    --socket PATH [--workers N] [--bank-capacity N] [--queue-capacity N]
 //! elpc-serve ping     --socket PATH
 //! elpc-serve solve    --socket PATH [--solver NAME] [--modules M --nodes N --links L]
 //!                     [--seed S] [--threads T] [--timeout-ms MS]
+//!                     [--retries N] [--retry-base-ms MS] [--retry-seed S]
 //! elpc-serve stats    --socket PATH
 //! elpc-serve shutdown --socket PATH
 //! elpc-serve loadgen  --socket PATH [--requests N] [--connections C] [--rate R]
 //!                     [--solver NAME] [--modules M --nodes N --links L] [--seed S]
-//! elpc-serve smoke    [--requests N] [--connections C] [--workers W]
+//!                     [--retries N] [--retry-base-ms MS] [--retry-seed S]
+//! elpc-serve smoke    [--requests N] [--connections C] [--workers W] [--queue-capacity N]
+//! elpc-serve chaos    [--requests N] [--connections C] [--workers W]
 //! ```
 //!
 //! `serve` blocks until a client sends `shutdown`, then drains and exits.
@@ -19,13 +22,22 @@
 //! boots an in-process daemon on a temp socket, fires an open-loop burst
 //! at it, requests shutdown, verifies the drain answered everything, and
 //! exits non-zero on any failure.
+//! `chaos` is the CI `CHAOS_SMOKE` step: it kills and restarts the daemon
+//! in the middle of a retrying closed-loop burst and proves no request is
+//! lost, then drives an open-loop overload at a tiny queue and proves the
+//! daemon sheds with exact accounting instead of queueing without bound.
+//!
+//! `--retries N` (N > 1) makes `solve` and `loadgen` retry transient
+//! failures — shed replies, daemon restarts — under a deterministic
+//! seeded exponential-backoff-with-jitter policy.
 
 use elpc_mapping::CostModel;
 use elpc_serving::loadgen::{run_open_loop, LoadConfig};
-use elpc_serving::{Client, Server, ServerConfig, SolveRequest};
+use elpc_serving::{Client, RetryPolicy, Server, ServerConfig, SolveRequest};
 use elpc_workloads::{InstanceSpec, ProblemInstance};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -104,11 +116,27 @@ fn solve_request(args: &Args, instance: ProblemInstance) -> Result<SolveRequest,
     })
 }
 
+/// `--retries N` (plus `--retry-base-ms`/`--retry-seed`) as a policy;
+/// `None` when retries are off (N <= 1).
+fn retry_policy(args: &Args) -> Result<Option<RetryPolicy>, String> {
+    let retries: u32 = args.num("retries", 1)?;
+    if retries <= 1 {
+        return Ok(None);
+    }
+    Ok(Some(RetryPolicy {
+        max_attempts: retries,
+        base_ms: args.num("retry-base-ms", RetryPolicy::default().base_ms)?,
+        seed: args.num("retry-seed", RetryPolicy::default().seed)?,
+        ..RetryPolicy::default()
+    }))
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let socket = args.socket()?;
     let config = ServerConfig {
         workers: args.num("workers", 0)?,
         bank_capacity: args.num("bank-capacity", 64)?,
+        queue_capacity: args.num("queue-capacity", ServerConfig::default().queue_capacity)?,
         ..ServerConfig::default()
     };
     let server = Server::bind(&socket, config).map_err(|e| format!("bind failed: {e}"))?;
@@ -120,8 +148,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     server.run_until_shutdown();
     let stats = server.shutdown();
     println!(
-        "elpc-serve: drained; {} requests, {} completed, {} errors, {} timeouts",
-        stats.requests, stats.completed, stats.errors, stats.timeouts
+        "elpc-serve: drained; {} requests ({} accepted, {} shed), {} completed, {} errors, {} timeouts",
+        stats.requests, stats.accepted, stats.shed, stats.completed, stats.errors, stats.timeouts
     );
     Ok(())
 }
@@ -143,7 +171,11 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let inst = gen_instances(args, 1)?.pop().expect("one instance");
     let label = inst.label.clone();
     let req = solve_request(args, inst)?;
-    let reply = client.solve(req).map_err(|e| e.to_string())?;
+    let reply = match retry_policy(args)? {
+        Some(policy) => client.solve_with_retry(&req, &policy),
+        None => client.solve(req),
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "{label}: solver={} objective_ms={:.6} banked={} coalesced={} queue_ms={:.3} solve_ms={:.3}",
         reply.solver, reply.objective_ms, reply.banked, reply.coalesced, reply.queue_ms,
@@ -160,8 +192,8 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let mut client = connect(args)?;
     let s = client.stats().map_err(|e| e.to_string())?;
     println!(
-        "requests={} completed={} errors={} timeouts={} coalesced={}",
-        s.requests, s.completed, s.errors, s.timeouts, s.coalesced
+        "requests={} accepted={} shed={} completed={} errors={} timeouts={} coalesced={}",
+        s.requests, s.accepted, s.shed, s.completed, s.errors, s.timeouts, s.coalesced
     );
     println!(
         "queue_depth={} max_queue_depth={} workers={}",
@@ -196,6 +228,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
             .unwrap_or("elpc_delay_routed")
             .to_string(),
         threads: args.num("threads", 1)?,
+        retry: retry_policy(args)?,
         ..LoadConfig::default()
     };
     let instances = gen_instances(args, args.num("distinct", 1)?)?;
@@ -212,8 +245,16 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
 
 fn print_report(r: &elpc_serving::LoadReport) {
     println!(
-        "sent={} ok={} errors={} elapsed={:.3}s throughput={:.1}/s",
-        r.sent, r.ok, r.errors, r.elapsed_s, r.throughput_rps
+        "sent={} ok={} errors={} (shed={} timeouts={} server_errors={} lost={}) elapsed={:.3}s throughput={:.1}/s",
+        r.sent,
+        r.ok,
+        r.errors,
+        r.shed,
+        r.timeouts,
+        r.server_errors,
+        r.lost,
+        r.elapsed_s,
+        r.throughput_rps
     );
     println!(
         "latency: mean={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms",
@@ -239,6 +280,7 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
         &socket,
         ServerConfig {
             workers: args.num("workers", 0)?,
+            queue_capacity: args.num("queue-capacity", ServerConfig::default().queue_capacity)?,
             ..ServerConfig::default()
         },
     )
@@ -305,8 +347,146 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Self-contained CI chaos smoke (the `CHAOS_SMOKE` step), two phases:
+///
+/// 1. **Kill/restart**: a retrying closed-loop burst is mid-flight when
+///    the daemon is torn down and rebound on the same socket. The retry
+///    policy must carry every request across the restart — zero lost,
+///    all answered.
+/// 2. **Overload**: an unpaced open-loop burst against a 1-slot queue.
+///    The daemon must shed (typed `Overloaded`) rather than queue
+///    without bound, keeping `requests == accepted + shed` and
+///    `accepted == completed + timeouts + errors` exact.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let socket = std::env::temp_dir().join(format!("elpc-chaos-{}.sock", std::process::id()));
+    let env_requests = std::env::var("CHAOS_SMOKE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 1);
+    // Floor high enough that the burst is still mid-flight when the kill
+    // lands (the kill triggers on the first observed completion).
+    let requests: usize = match env_requests {
+        Some(n) => n,
+        None => args.num("requests", 48)?,
+    }
+    .max(192);
+    let connections: usize = args.num("connections", 4)?;
+    let workers: usize = args.num("workers", 2)?;
+    let instances = gen_instances(args, 1)?;
+
+    // Phase 1: kill + restart mid-burst under a retrying client fleet.
+    let config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&socket, config.clone()).map_err(|e| format!("bind failed: {e}"))?;
+    println!("chaos: daemon on {} ({workers} workers)", socket.display());
+    let cfg = LoadConfig {
+        connections,
+        requests,
+        retry: Some(RetryPolicy {
+            max_attempts: 16,
+            base_ms: 20,
+            max_backoff_ms: 500,
+            ..RetryPolicy::default()
+        }),
+        ..LoadConfig::default()
+    };
+    let (report, restarted) = std::thread::scope(|s| -> Result<_, String> {
+        let burst = s.spawn(|| run_open_loop(&socket, &instances, &cfg));
+        // yank the daemon the moment the burst demonstrably started, so
+        // most of the request stream still lies ahead of the restart
+        while server.stats().completed == 0 {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let mid = server.shutdown();
+        println!(
+            "chaos: daemon killed mid-burst ({} completed); restarting",
+            mid.completed
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let restarted =
+            Server::bind(&socket, config.clone()).map_err(|e| format!("rebind failed: {e}"))?;
+        let report = burst
+            .join()
+            .map_err(|_| "loadgen thread panicked".to_string())?
+            .map_err(|e| format!("loadgen: {e}"))?;
+        Ok((report, restarted))
+    })?;
+    let finale = restarted.shutdown();
+    print_report(&report);
+    if report.lost != 0 {
+        return Err(format!("{} replies lost across the restart", report.lost));
+    }
+    if report.ok != requests {
+        return Err(format!(
+            "expected all {requests} requests to survive the restart, got {} ok",
+            report.ok
+        ));
+    }
+    if finale.completed == 0 {
+        return Err("restarted daemon served nothing; the kill happened too late".into());
+    }
+    println!(
+        "chaos: restart survived; resumed daemon completed {} of {requests}",
+        finale.completed
+    );
+
+    // Phase 2: open-loop overload against a tiny queue must shed, not grow.
+    let server = Server::bind(
+        &socket,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("overload bind failed: {e}"))?;
+    let cfg = LoadConfig {
+        connections: connections.max(4),
+        requests: requests.max(64),
+        ..LoadConfig::default()
+    };
+    let report = run_open_loop(&socket, &instances, &cfg).map_err(|e| format!("loadgen: {e}"))?;
+    let stats = server.shutdown();
+    print_report(&report);
+    println!(
+        "chaos: overload stats requests={} accepted={} shed={} completed={} timeouts={} errors={} max_depth={}",
+        stats.requests,
+        stats.accepted,
+        stats.shed,
+        stats.completed,
+        stats.timeouts,
+        stats.errors,
+        stats.max_queue_depth
+    );
+    if stats.requests != stats.accepted + stats.shed {
+        return Err("admission accounting broken: requests != accepted + shed".into());
+    }
+    if stats.accepted != stats.completed + stats.timeouts + stats.errors {
+        return Err("drain accounting broken: accepted != completed + timeouts + errors".into());
+    }
+    if stats.max_queue_depth > 1 {
+        return Err(format!(
+            "queue bound violated: max depth {} > capacity 1",
+            stats.max_queue_depth
+        ));
+    }
+    if stats.shed == 0 {
+        return Err("overload burst never shed; the bound did nothing".into());
+    }
+    if report.shed as u64 != stats.shed {
+        return Err(format!(
+            "client saw {} shed replies, server counted {}",
+            report.shed, stats.shed
+        ));
+    }
+    println!("chaos: OK");
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: elpc-serve <serve|ping|solve|stats|shutdown|loadgen|smoke> [--flag value ...]\n\
+    "usage: elpc-serve <serve|ping|solve|stats|shutdown|loadgen|smoke|chaos> [--flag value ...]\n\
      run with a subcommand; see crate docs for the flag list"
         .to_string()
 }
@@ -325,6 +505,7 @@ fn main() -> ExitCode {
         "shutdown" => cmd_shutdown(&args),
         "loadgen" => cmd_loadgen(&args),
         "smoke" => cmd_smoke(&args),
+        "chaos" => cmd_chaos(&args),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     });
     match run {

@@ -4,13 +4,32 @@
 //! request/response exchanges; open several clients for concurrency (the
 //! server multiplexes them onto its worker pool). The CLI subcommands and
 //! the serving test harness are both built on this type.
+//!
+//! The client survives a flaky daemon:
+//!
+//! * solve/remap calls derive **socket read/write timeouts** from the
+//!   request's own deadline, so a dead peer can never hang a deadlined
+//!   call forever;
+//! * any transport failure marks the connection broken and the next call
+//!   transparently **reconnects** (the daemon may have restarted under
+//!   the same socket path);
+//! * [`Client::solve_with_retry`] layers a deterministic, seeded
+//!   [`RetryPolicy`] (exponential backoff with jitter) on top, honoring
+//!   the `retry_after_ms` hint carried by [`ServeError::Overloaded`]
+//!   shed replies.
 
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, FrameError, RemapReply, RemapRequest,
     Request, RequestFrame, Response, ServeError, SolveReply, SolveRequest, StatsReply,
 };
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Socket-timeout headroom over a request's deadline: the server answers
+/// a typed `Timeout` itself at the deadline, so the raw socket timeout
+/// only fires when the daemon is actually gone or wedged.
+const DEADLINE_SLACK_MS: u64 = 500;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -47,6 +66,98 @@ impl std::fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// True when retrying the same request can plausibly succeed: a
+    /// transport failure (the daemon may be restarting), a shed
+    /// [`ServeError::Overloaded`] reply, or a drain-window
+    /// [`ServeError::ShuttingDown`]. Typed solve failures, malformed
+    /// requests, and deadline timeouts are final answers.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Frame(_)
+                | ClientError::Closed
+                | ClientError::Server(ServeError::Overloaded { .. })
+                | ClientError::Server(ServeError::ShuttingDown)
+        )
+    }
+
+    /// The server's backoff hint, when this error carries one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ClientError::Server(ServeError::Overloaded { retry_after_ms }) => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic exponential-backoff-with-jitter schedule for
+/// [`Client::solve_with_retry`].
+///
+/// The jitter is drawn from a SplitMix64 hash of `(seed, attempt)` — the
+/// same policy always produces the same wait sequence, so retry behavior
+/// in tests and benchmarks is reproducible, while different seeds
+/// decorrelate concurrent clients and avoid a retry stampede.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, initial try included (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_ms: u64,
+    /// Cap on the exponential backoff (pre-jitter).
+    pub max_backoff_ms: u64,
+    /// Fraction of the backoff randomized away, in `[0, 1]`: the wait is
+    /// drawn from `[backoff × (1 - jitter), backoff]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_ms: 10,
+            max_backoff_ms: 2_000,
+            jitter: 0.5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based), in milliseconds.
+    ///
+    /// Exponential in `attempt` from [`base_ms`](RetryPolicy::base_ms),
+    /// capped at [`max_backoff_ms`](RetryPolicy::max_backoff_ms),
+    /// jittered downward deterministically, and never below the server's
+    /// `server_hint_ms` (an [`ServeError::Overloaded`] reply's
+    /// `retry_after_ms` estimate of when capacity frees up).
+    pub fn backoff_ms(&self, attempt: u32, server_hint_ms: Option<u64>) -> u64 {
+        let exp = self
+            .base_ms
+            .max(1)
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff_ms.max(1));
+        let h = splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform [0, 1)
+        let jittered = exp as f64 * (1.0 - self.jitter.clamp(0.0, 1.0) * frac);
+        (jittered.round() as u64)
+            .max(1)
+            .max(server_hint_ms.unwrap_or(0))
+    }
+}
+
+/// SplitMix64 finalizer — the same mix used by the fault-schedule
+/// generator; good enough to decorrelate per-attempt jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
@@ -97,27 +208,83 @@ impl From<FrameError> for ClientError {
 /// server.shutdown();
 /// ```
 pub struct Client {
+    path: PathBuf,
     stream: UnixStream,
     next_id: u64,
+    broken: bool,
 }
 
 impl Client {
-    /// Connects to the daemon listening on `path`.
+    /// Connects to the daemon listening on `path`. The path is kept so a
+    /// broken connection can be re-established transparently.
     pub fn connect<P: AsRef<Path>>(path: P) -> std::io::Result<Client> {
+        let path = path.as_ref().to_path_buf();
         Ok(Client {
-            stream: UnixStream::connect(path)?,
+            stream: UnixStream::connect(&path)?,
+            path,
             next_id: 1,
+            broken: false,
         })
     }
 
+    /// Re-dials the daemon's socket, replacing the current connection.
+    /// Called automatically by [`Client::request`] after a transport
+    /// failure; exposed for callers that want to force a fresh dial.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.stream = UnixStream::connect(&self.path)?;
+        self.broken = false;
+        Ok(())
+    }
+
+    /// Re-dials only when a prior exchange broke the connection. A
+    /// half-exchanged stream is never reused: its frame boundary may be
+    /// mid-reply, and a late reply to a stale id must not be
+    /// misattributed to a new request.
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.broken {
+            self.reconnect()?;
+        }
+        Ok(())
+    }
+
+    /// Sets socket read/write timeouts from a request deadline (`None`
+    /// blocks indefinitely). The slack keeps the server's own typed
+    /// `Timeout` reply the common outcome; the socket timeout is the
+    /// backstop for a daemon that died mid-request.
+    fn set_deadline(&mut self, timeout_ms: Option<u64>) {
+        let t =
+            timeout_ms.map(|ms| Duration::from_millis(ms.saturating_add(DEADLINE_SLACK_MS).max(1)));
+        let _ = self.stream.set_read_timeout(t);
+        let _ = self.stream.set_write_timeout(t);
+    }
+
     /// Sends one request and blocks for its response.
+    ///
+    /// A transport failure (write error, short read, torn frame, EOF)
+    /// marks the connection broken; the next call reconnects before
+    /// sending. The error is still surfaced — retry orchestration
+    /// belongs to [`Client::solve_with_retry`] or the caller.
     pub fn request(&mut self, body: Request) -> Result<Response, ClientError> {
+        self.ensure_connected()?;
         let id = self.next_id;
         self.next_id += 1;
         let json = encode_request(&RequestFrame { id, body });
-        write_frame(&mut self.stream, json.as_bytes())?;
+        if let Err(e) = write_frame(&mut self.stream, json.as_bytes()) {
+            self.broken = true;
+            return Err(e.into());
+        }
         loop {
-            let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Closed)?;
+            let payload = match read_frame(&mut self.stream) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => {
+                    self.broken = true;
+                    return Err(ClientError::Closed);
+                }
+                Err(e) => {
+                    self.broken = true;
+                    return Err(e.into());
+                }
+            };
             let frame = decode_response(&payload)?;
             // A synchronous client only ever has one request outstanding;
             // skip anything stale rather than misattributing it.
@@ -135,8 +302,11 @@ impl Client {
         }
     }
 
-    /// Runs a solve on the daemon and returns its reply.
+    /// Runs a solve on the daemon and returns its reply. Socket timeouts
+    /// are derived from the request's own deadline.
     pub fn solve(&mut self, req: SolveRequest) -> Result<SolveReply, ClientError> {
+        self.ensure_connected()?;
+        self.set_deadline(req.timeout_ms);
         match self.request(Request::Solve(req))? {
             Response::Solved(reply) => Ok(reply),
             Response::Error(e) => Err(ClientError::Server(e)),
@@ -144,8 +314,53 @@ impl Client {
         }
     }
 
-    /// Runs a remap on the daemon and returns its reply.
+    /// Like [`Client::solve`], but retries transient failures (shed
+    /// replies, daemon restarts, broken pipes) under `policy`,
+    /// reconnecting as needed and sleeping the policy's deterministic
+    /// backoff — never less than a shed reply's `retry_after_ms` hint —
+    /// between attempts. Non-transient errors and exhausted attempts
+    /// surface the last error unchanged.
+    pub fn solve_with_retry(
+        &mut self,
+        req: &SolveRequest,
+        policy: &RetryPolicy,
+    ) -> Result<SolveReply, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.solve(req.clone()) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts.max(1) => {
+                    let wait = policy.backoff_ms(attempt, e.retry_after_ms());
+                    std::thread::sleep(Duration::from_millis(wait));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Liveness probe with retries: waits out a daemon restart under
+    /// `policy`. Useful to block until a (re)spawned daemon is up.
+    pub fn ping_with_retry(&mut self, policy: &RetryPolicy) -> Result<(), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.ping() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts.max(1) => {
+                    let wait = policy.backoff_ms(attempt, e.retry_after_ms());
+                    std::thread::sleep(Duration::from_millis(wait));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Runs a remap on the daemon and returns its reply. Socket timeouts
+    /// are derived from the request's own deadline.
     pub fn remap(&mut self, req: RemapRequest) -> Result<RemapReply, ClientError> {
+        self.ensure_connected()?;
+        self.set_deadline(req.solve.timeout_ms);
         match self.request(Request::Remap(req))? {
             Response::Remapped(reply) => Ok(reply),
             Response::Error(e) => Err(ClientError::Server(e)),
@@ -174,5 +389,73 @@ fn unexpected(expected: &'static str, got: &Response) -> ClientError {
     ClientError::Unexpected {
         expected,
         got: format!("{got:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        let a: Vec<u64> = (0..6).map(|i| p.backoff_ms(i, None)).collect();
+        let b: Vec<u64> = (0..6).map(|i| p.backoff_ms(i, None)).collect();
+        assert_eq!(a, b, "same policy must replay the same schedule");
+        let other = RetryPolicy {
+            seed: 1234,
+            ..RetryPolicy::default()
+        };
+        let c: Vec<u64> = (0..6).map(|i| other.backoff_ms(i, None)).collect();
+        assert_ne!(a, c, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        // jitter off: pure doubling from base_ms, capped at max_backoff_ms
+        assert_eq!(p.backoff_ms(0, None), 10);
+        assert_eq!(p.backoff_ms(1, None), 20);
+        assert_eq!(p.backoff_ms(4, None), 160);
+        assert_eq!(p.backoff_ms(12, None), 2_000);
+        assert_eq!(p.backoff_ms(63, None), 2_000); // shift amount is clamped
+    }
+
+    #[test]
+    fn backoff_honors_the_server_hint() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff_ms(0, Some(5_000)) >= 5_000);
+        // jittered wait stays within [backoff × (1 - jitter), backoff]
+        let full = RetryPolicy {
+            jitter: 0.0,
+            ..p.clone()
+        };
+        for i in 0..8 {
+            let cap = full.backoff_ms(i, None);
+            let w = p.backoff_ms(i, None);
+            assert!(w <= cap && w as f64 >= cap as f64 * (1.0 - p.jitter) - 1.0);
+        }
+    }
+
+    #[test]
+    fn transient_classification_matches_the_retry_contract() {
+        use std::io;
+        assert!(ClientError::Closed.is_transient());
+        assert!(ClientError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x")).is_transient());
+        assert!(ClientError::Server(ServeError::Overloaded { retry_after_ms: 7 }).is_transient());
+        assert!(ClientError::Server(ServeError::ShuttingDown).is_transient());
+        assert!(!ClientError::Server(ServeError::Timeout { waited_ms: 9 }).is_transient());
+        assert!(!ClientError::Server(ServeError::UnknownSolver {
+            name: "nope".into()
+        })
+        .is_transient());
+        assert_eq!(
+            ClientError::Server(ServeError::Overloaded { retry_after_ms: 7 }).retry_after_ms(),
+            Some(7)
+        );
+        assert_eq!(ClientError::Closed.retry_after_ms(), None);
     }
 }

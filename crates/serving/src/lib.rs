@@ -33,7 +33,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use loadgen::{LoadConfig, LoadReport};
 pub use protocol::{
     FrameError, RemapReply, RemapRequest, Request, RequestFrame, Response, ResponseFrame,

@@ -10,10 +10,21 @@
 //!
 //! The `serving` bench and the CI `SERVING_SMOKE` step both drive the
 //! daemon through [`run_open_loop`].
+//!
+//! Replies are tallied by kind — [`LoadReport::ok`], [`LoadReport::shed`]
+//! (typed `Overloaded` refusals), [`LoadReport::timeouts`],
+//! [`LoadReport::server_errors`], and [`LoadReport::lost`] (sent but
+//! never answered) — so overload experiments can tell load-shedding from
+//! failure. Setting [`LoadConfig::retry`] switches to a **closed-loop**
+//! mode built on [`Client::solve_with_retry`]: each connection waits for
+//! (and retries) every reply before sending the next request, which is
+//! the mode chaos tests use to prove no accepted request is lost across
+//! a daemon restart.
 
+use crate::client::{Client, ClientError, RetryPolicy};
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, Request, RequestFrame, Response,
-    SolveRequest,
+    ServeError, SolveRequest,
 };
 use elpc_mapping::CostModel;
 use elpc_workloads::ProblemInstance;
@@ -43,6 +54,11 @@ pub struct LoadConfig {
     pub threads: usize,
     /// Optional per-request timeout forwarded to the server.
     pub timeout_ms: Option<u64>,
+    /// When set, the run is **closed-loop**: each connection issues its
+    /// requests synchronously through [`Client::solve_with_retry`] under
+    /// this policy (reconnecting across daemon restarts, backing off on
+    /// shed replies) instead of the open-loop fire-and-match schedule.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for LoadConfig {
@@ -55,6 +71,7 @@ impl Default for LoadConfig {
             cost: CostModel::default(),
             threads: 1,
             timeout_ms: None,
+            retry: None,
         }
     }
 }
@@ -66,8 +83,20 @@ pub struct LoadReport {
     pub sent: usize,
     /// Successful solve replies.
     pub ok: usize,
-    /// Typed server errors plus responses that never arrived.
+    /// Every non-ok outcome: `shed + timeouts + server_errors + lost`
+    /// (kept as the historical aggregate existing consumers assert on).
     pub errors: usize,
+    /// Typed `Overloaded` refusals — the daemon shedding load, not
+    /// failing.
+    pub shed: usize,
+    /// Typed `Timeout` replies (deadline expired server-side).
+    pub timeouts: usize,
+    /// Any other typed error reply (solve failures, malformed, internal,
+    /// shutting-down).
+    pub server_errors: usize,
+    /// Requests written to a socket but never answered (connection died
+    /// with the reply outstanding).
+    pub lost: usize,
     /// Wall-clock duration of the whole run in seconds.
     pub elapsed_s: f64,
     /// Successful replies per second of wall clock.
@@ -91,6 +120,9 @@ pub fn run_open_loop(
     cfg: &LoadConfig,
 ) -> std::io::Result<LoadReport> {
     assert!(!instances.is_empty(), "need at least one instance");
+    if cfg.retry.is_some() {
+        return run_closed_loop(socket, instances, cfg);
+    }
     let connections = cfg.connections.max(1);
     let interval = if cfg.rate_per_sec > 0.0 {
         Duration::from_secs_f64(1.0 / cfg.rate_per_sec)
@@ -107,7 +139,9 @@ pub fn run_open_loop(
     let latencies = Mutex::new(Vec::<f64>::with_capacity(cfg.requests));
     let sent = AtomicUsize::new(0);
     let ok = AtomicUsize::new(0);
-    let errors = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let timeouts = AtomicUsize::new(0);
+    let server_errors = AtomicUsize::new(0);
     let start = Instant::now();
 
     std::thread::scope(|s| -> std::io::Result<()> {
@@ -124,7 +158,9 @@ pub fn run_open_loop(
             let latencies = &latencies;
             let sent = &sent;
             let ok = &ok;
-            let errors = &errors;
+            let shed = &shed;
+            let timeouts = &timeouts;
+            let server_errors = &server_errors;
             let cfg_ref = cfg;
 
             s.spawn(move || {
@@ -187,8 +223,14 @@ pub fn run_open_loop(
                                         .unwrap_or_else(|e| e.into_inner())
                                         .push(t0.elapsed().as_secs_f64() * 1e3);
                                 }
+                                (Response::Error(ServeError::Overloaded { .. }), _) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                (Response::Error(ServeError::Timeout { .. }), _) => {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
+                                }
                                 _ => {
-                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    server_errors.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                         }
@@ -199,17 +241,132 @@ pub fn run_open_loop(
         Ok(())
     })?;
 
-    let elapsed_s = start.elapsed().as_secs_f64();
-    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
     let sent = sent.into_inner();
     let ok = ok.into_inner();
-    let answered_errors = errors.into_inner();
-    let lost = sent.saturating_sub(ok + answered_errors);
-    Ok(LoadReport {
+    let shed = shed.into_inner();
+    let timeouts = timeouts.into_inner();
+    let server_errors = server_errors.into_inner();
+    let lost = sent.saturating_sub(ok + shed + timeouts + server_errors);
+    Ok(build_report(
+        start.elapsed().as_secs_f64(),
+        lat,
         sent,
         ok,
-        errors: answered_errors + lost,
+        shed,
+        timeouts,
+        server_errors,
+        lost,
+    ))
+}
+
+/// The closed-loop retry mode behind [`LoadConfig::retry`]: every
+/// connection synchronously drives its share of the request stream
+/// through [`Client::solve_with_retry`], so a mid-run daemon restart
+/// shows up as retried-and-answered work, not lost replies. Each
+/// connection's policy seed is decorrelated by its index.
+fn run_closed_loop(
+    socket: &Path,
+    instances: &[ProblemInstance],
+    cfg: &LoadConfig,
+) -> std::io::Result<LoadReport> {
+    let policy = cfg.retry.clone().expect("run_closed_loop needs a policy");
+    let connections = cfg.connections.max(1);
+    let mut clients = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        clients.push(Client::connect(socket)?);
+    }
+
+    let latencies = Mutex::new(Vec::<f64>::with_capacity(cfg.requests));
+    let sent = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let timeouts = AtomicUsize::new(0);
+    let server_errors = AtomicUsize::new(0);
+    let lost = AtomicUsize::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|s| {
+        for (conn_idx, mut client) in clients.into_iter().enumerate() {
+            let my_ids: Vec<usize> = (0..cfg.requests)
+                .filter(|k| k % connections == conn_idx)
+                .collect();
+            let policy = RetryPolicy {
+                seed: policy.seed ^ (conn_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..policy.clone()
+            };
+            let (latencies, sent, ok) = (&latencies, &sent, &ok);
+            let (shed, timeouts, server_errors, lost) = (&shed, &timeouts, &server_errors, &lost);
+            let cfg_ref = cfg;
+            s.spawn(move || {
+                for k in my_ids {
+                    let req = SolveRequest {
+                        solver: cfg_ref.solver.clone(),
+                        cost: cfg_ref.cost,
+                        threads: cfg_ref.threads,
+                        timeout_ms: cfg_ref.timeout_ms,
+                        instance: instances[k % instances.len()].clone(),
+                    };
+                    sent.fetch_add(1, Ordering::Relaxed);
+                    let t0 = Instant::now();
+                    match client.solve_with_retry(&req, &policy) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            latencies
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Err(ClientError::Server(ServeError::Overloaded { .. })) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server(ServeError::Timeout { .. })) => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Io(_) | ClientError::Closed | ClientError::Frame(_)) => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            server_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    Ok(build_report(
+        start.elapsed().as_secs_f64(),
+        latencies.into_inner().unwrap_or_else(|e| e.into_inner()),
+        sent.into_inner(),
+        ok.into_inner(),
+        shed.into_inner(),
+        timeouts.into_inner(),
+        server_errors.into_inner(),
+        lost.into_inner(),
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_report(
+    elapsed_s: f64,
+    mut lat: Vec<f64>,
+    sent: usize,
+    ok: usize,
+    shed: usize,
+    timeouts: usize,
+    server_errors: usize,
+    lost: usize,
+) -> LoadReport {
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    LoadReport {
+        sent,
+        ok,
+        errors: shed + timeouts + server_errors + lost,
+        shed,
+        timeouts,
+        server_errors,
+        lost,
         elapsed_s,
         throughput_rps: if elapsed_s > 0.0 {
             ok as f64 / elapsed_s
@@ -224,7 +381,7 @@ pub fn run_open_loop(
         p50_ms: pct(&lat, 0.50),
         p99_ms: pct(&lat, 0.99),
         max_ms: lat.last().copied().unwrap_or(0.0),
-    })
+    }
 }
 
 fn pct(sorted: &[f64], q: f64) -> f64 {

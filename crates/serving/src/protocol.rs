@@ -329,8 +329,14 @@ pub struct LatencySummary {
 /// A point-in-time snapshot of server counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
-    /// Solve/remap requests accepted onto the queue.
+    /// Solve/remap requests that arrived (admitted + shed).
     pub requests: u64,
+    /// Solve/remap requests admitted onto the bounded queue. Once drained,
+    /// `accepted == completed + timeouts + errors` exactly.
+    pub accepted: u64,
+    /// Requests shed at admission with [`ServeError::Overloaded`] because
+    /// the queue was full; `requests == accepted + shed` always.
+    pub shed: u64,
     /// Requests answered with a successful reply.
     pub completed: u64,
     /// Requests answered with a typed error (timeouts counted separately).
@@ -372,6 +378,13 @@ pub enum ServeError {
         /// Milliseconds the request had waited when it was expired.
         waited_ms: u64,
     },
+    /// The bounded job queue is full; the request was shed at admission
+    /// and never enqueued. Idempotent clients should back off and retry.
+    Overloaded {
+        /// Server's estimate of when a slot is likely to free up, from the
+        /// current queue depth and recent per-request service time.
+        retry_after_ms: u64,
+    },
     /// The request frame decoded but its content is unusable.
     Malformed {
         /// What was wrong.
@@ -393,6 +406,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Solve(e) => write!(f, "solve failed: {} ({})", e.message, e.kind.name()),
             ServeError::Timeout { waited_ms } => {
                 write!(f, "request timed out after {waited_ms} ms")
+            }
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
             }
             ServeError::Malformed { detail } => write!(f, "malformed request: {detail}"),
             ServeError::ShuttingDown => f.write_str("server is shutting down"),
@@ -584,6 +600,7 @@ mod tests {
                 budget: 4096,
             })),
             ServeError::Timeout { waited_ms: 250 },
+            ServeError::Overloaded { retry_after_ms: 40 },
             ServeError::Malformed {
                 detail: "empty pipeline".into(),
             },

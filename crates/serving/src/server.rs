@@ -20,6 +20,14 @@
 //! `hits + misses` always equals the number of executed solve requests —
 //! the soak suite pins this exactness.
 //!
+//! The work queue is **bounded** ([`ServerConfig::queue_capacity`]):
+//! requests beyond the bound are shed with a typed
+//! [`ServeError::Overloaded`] reply carrying a `retry_after_ms` hint
+//! instead of queueing without limit, so an open-loop overload keeps
+//! tail latency bounded. The counters keep two invariants exact:
+//! `requests == accepted + shed` at all times, and once drained
+//! `accepted == completed + timeouts + errors`.
+//!
 //! Shutdown is a **drain**: new work is refused with
 //! [`ServeError::ShuttingDown`], connection readers notice the drain flag
 //! within one read-timeout tick, queued work still completes and its
@@ -53,6 +61,11 @@ pub struct ServerConfig {
     /// Read-timeout tick on connection readers; bounds how long an idle
     /// connection takes to notice a drain.
     pub read_timeout: Duration,
+    /// Admission bound on queued-plus-executing work (0 = unbounded).
+    /// Requests arriving when the queue is full are **shed** with a typed
+    /// [`ServeError::Overloaded`] carrying a `retry_after_ms` hint instead
+    /// of growing the queue without limit.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +74,7 @@ impl Default for ServerConfig {
             workers: 0,
             bank_capacity: 64,
             read_timeout: Duration::from_millis(50),
+            queue_capacity: 1024,
         }
     }
 }
@@ -110,12 +124,19 @@ impl InFlight {
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,
+    accepted: AtomicU64,
+    shed: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
     timeouts: AtomicU64,
     coalesced: AtomicU64,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
+    /// Sum of completed-request latencies in microseconds; with
+    /// `completed` this yields the mean latency the shed path's
+    /// `retry_after_ms` hint is derived from without taking the
+    /// latencies lock on the hot refusal path.
+    latency_sum_us: AtomicU64,
     latencies: parking_lot::Mutex<Vec<f64>>,
 }
 
@@ -134,6 +155,7 @@ struct Shared {
     no_closure: parking_lot::Mutex<HashSet<u64>>,
     read_timeout: Duration,
     workers: u64,
+    queue_capacity: u64,
     stats: Counters,
 }
 
@@ -142,12 +164,30 @@ impl Shared {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// `retry_after_ms` hint answered with [`ServeError::Overloaded`]:
+    /// roughly how long the current backlog takes to clear.
+    fn retry_after_ms(&self) -> u64 {
+        let completed = self.stats.completed.load(Ordering::Relaxed);
+        let mean_ms = if completed == 0 {
+            10.0
+        } else {
+            self.stats.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e3 / completed as f64
+        };
+        retry_after_hint(
+            self.stats.queue_depth.load(Ordering::SeqCst),
+            mean_ms,
+            self.workers,
+        )
+    }
+
     fn stats_snapshot(&self) -> StatsReply {
         let bank = self.bank.stats();
         let mut sorted = self.stats.latencies.lock().clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         StatsReply {
             requests: self.stats.requests.load(Ordering::Relaxed),
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
             completed: self.stats.completed.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
             timeouts: self.stats.timeouts.load(Ordering::Relaxed),
@@ -167,6 +207,15 @@ impl Shared {
             },
         }
     }
+}
+
+/// Backlog-drain estimate for shed replies: `depth` jobs at
+/// `mean_latency_ms` each across `workers` lanes, clamped to
+/// [10 ms, 10 s] so clients never busy-spin or stall for minutes on a
+/// skewed sample.
+fn retry_after_hint(depth: u64, mean_latency_ms: f64, workers: u64) -> u64 {
+    let est = depth as f64 * mean_latency_ms / workers.max(1) as f64;
+    (est.ceil() as u64).clamp(10, 10_000)
 }
 
 /// Nearest-rank percentile over an ascending slice (0 when empty).
@@ -215,6 +264,7 @@ impl Server {
             no_closure: parking_lot::Mutex::new(HashSet::new()),
             read_timeout: config.read_timeout,
             workers: workers as u64,
+            queue_capacity: config.queue_capacity as u64,
             stats: Counters::default(),
         });
         let worker_handles = (0..workers)
@@ -396,23 +446,64 @@ fn connection_loop(shared: &Arc<Shared>, stream: UnixStream) {
     }
 }
 
+/// Admission control: reserves one queue slot, or refuses.
+///
+/// A compare-and-swap loop on `queue_depth` makes the bound exact under
+/// concurrent readers — two connections racing for the last slot cannot
+/// both win, so `max_queue_depth` never exceeds `queue_capacity`. On
+/// refusal the caller sheds the request with [`ServeError::Overloaded`].
+fn try_admit(shared: &Shared) -> Option<u64> {
+    if shared.queue_capacity == 0 {
+        return Some(shared.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1);
+    }
+    let mut cur = shared.stats.queue_depth.load(Ordering::SeqCst);
+    loop {
+        if cur >= shared.queue_capacity {
+            return None;
+        }
+        match shared.stats.queue_depth.compare_exchange(
+            cur,
+            cur + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return Some(cur + 1),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
 fn enqueue(shared: &Arc<Shared>, id: u64, kind: WorkKind, writer: &SharedWriter) {
     if shared.draining() {
         respond(writer, id, Response::Error(ServeError::ShuttingDown));
         return;
     }
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let Some(depth) = try_admit(shared) else {
+        // Queue full: shed instead of queueing without bound. The typed
+        // refusal carries a backlog-drain estimate so well-behaved
+        // clients back off rather than hammer.
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        respond(
+            writer,
+            id,
+            Response::Error(ServeError::Overloaded {
+                retry_after_ms: shared.retry_after_ms(),
+            }),
+        );
+        return;
+    };
+    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .max_queue_depth
+        .fetch_max(depth, Ordering::SeqCst);
     let submitted = Instant::now();
     let timeout_ms = match &kind {
         WorkKind::Solve(s) => s.timeout_ms,
         WorkKind::Remap(r) => r.solve.timeout_ms,
     };
     let deadline = timeout_ms.map(|ms| submitted + Duration::from_millis(ms));
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let depth = shared.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
-    shared
-        .stats
-        .max_queue_depth
-        .fetch_max(depth, Ordering::SeqCst);
     let item = Box::new(WorkItem {
         id,
         kind,
@@ -421,7 +512,11 @@ fn enqueue(shared: &Arc<Shared>, id: u64, kind: WorkKind, writer: &SharedWriter)
         writer: Arc::clone(writer),
     });
     if shared.tx.send(Job::Work(item)).is_err() {
+        // Drain raced the admission: the job will never execute, so its
+        // accepted slot settles as an error to keep
+        // `accepted == completed + timeouts + errors` exact.
         shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         respond(writer, id, Response::Error(ServeError::ShuttingDown));
     }
 }
@@ -440,7 +535,27 @@ fn worker_loop(shared: &Arc<Shared>, rx: &channel::Receiver<Job>) {
     // `Stop` sentinels (one per worker, queued behind the remaining work
     // during drain) and a closed channel both end the loop
     while let Ok(Job::Work(item)) = rx.recv() {
-        handle_item(shared, *item);
+        let (id, writer) = (item.id, Arc::clone(&item.writer));
+        // `handle_item` already converts solver panics into typed
+        // `Internal` replies; this outer net catches a panic anywhere
+        // else in the request path so a poisoned job can never shrink
+        // the worker pool.
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| handle_item(shared, *item)));
+        if run.is_err() {
+            // handle_item never reached its own accounting: settle the
+            // slot as an error so queue_depth and the
+            // accepted == completed + timeouts + errors invariant stay
+            // exact, and still answer the client.
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            respond(
+                &writer,
+                id,
+                Response::Error(ServeError::Internal {
+                    detail: "worker panicked outside the solve scope".to_string(),
+                }),
+            );
+        }
     }
 }
 
@@ -482,6 +597,10 @@ fn handle_item(shared: &Arc<Shared>, item: WorkItem) {
         _ => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             let latency_ms = item.submitted.elapsed().as_secs_f64() * 1e3;
+            shared
+                .stats
+                .latency_sum_us
+                .fetch_add((latency_ms * 1e3) as u64, Ordering::Relaxed);
             shared.stats.latencies.lock().push(latency_ms);
         }
     }
@@ -676,6 +795,62 @@ mod tests {
         assert_eq!(percentile(&v, 0.50), 51.0);
         assert_eq!(percentile(&v, 0.99), 99.0);
         assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn retry_after_hint_scales_and_clamps() {
+        // 8 queued × 50 ms each over 4 workers ≈ 100 ms of backlog
+        assert_eq!(retry_after_hint(8, 50.0, 4), 100);
+        // never below 10 ms (empty queue / tiny jobs)…
+        assert_eq!(retry_after_hint(0, 50.0, 4), 10);
+        assert_eq!(retry_after_hint(1, 0.001, 64), 10);
+        // …never above 10 s (skewed first sample), and 0 workers is safe
+        assert_eq!(retry_after_hint(10_000, 5_000.0, 0), 10_000);
+    }
+
+    #[test]
+    fn admission_is_exact_at_the_bound() {
+        let shared = Shared {
+            path: PathBuf::new(),
+            bank: ClosureBank::with_capacity(1),
+            tx: channel::unbounded().0,
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            conns: parking_lot::Mutex::new(Vec::new()),
+            coalesce: StdMutex::new(HashMap::new()),
+            no_closure: parking_lot::Mutex::new(HashSet::new()),
+            read_timeout: Duration::from_millis(1),
+            workers: 1,
+            queue_capacity: 3,
+            stats: Counters::default(),
+        };
+        assert_eq!(try_admit(&shared), Some(1));
+        assert_eq!(try_admit(&shared), Some(2));
+        assert_eq!(try_admit(&shared), Some(3));
+        assert_eq!(try_admit(&shared), None); // full: shed
+        shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        assert_eq!(try_admit(&shared), Some(3)); // slot freed: admitted again
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let shared = Shared {
+            path: PathBuf::new(),
+            bank: ClosureBank::with_capacity(1),
+            tx: channel::unbounded().0,
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            conns: parking_lot::Mutex::new(Vec::new()),
+            coalesce: StdMutex::new(HashMap::new()),
+            no_closure: parking_lot::Mutex::new(HashSet::new()),
+            read_timeout: Duration::from_millis(1),
+            workers: 1,
+            queue_capacity: 0,
+            stats: Counters::default(),
+        };
+        for expect in 1..=4096u64 {
+            assert_eq!(try_admit(&shared), Some(expect));
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   corrupt length prefixes must come back as typed [`FrameError`]s,
 //!   never a panic.
 
-use elpc_mapping::{CostModel, LinkPerturbation, NetworkDelta, NodeId, NodePerturbation};
+use elpc_mapping::{
+    CostModel, LinkFailure, LinkPerturbation, NetworkDelta, NodeFailure, NodeId, NodePerturbation,
+};
 use elpc_netgraph::EdgeId;
 use elpc_netsim::Link;
 use elpc_serving::protocol::{
@@ -121,19 +123,55 @@ fn arb_delta() -> impl Strategy<Value = NetworkDelta> {
                     new_power,
                 })
                 .collect(),
+            // Failure payloads ride the same wire; exercised separately in
+            // arb_failure_delta to keep this generator's tuple small.
+            link_failures: Vec::new(),
+            node_failures: Vec::new(),
+        })
+}
+
+/// Deltas carrying failure payloads: the failover repair fields must
+/// round-trip exactly like perturbations do.
+fn arb_failure_delta() -> impl Strategy<Value = NetworkDelta> {
+    (
+        prop::collection::vec(
+            (any::<u32>(), arb_node(), arb_node(), arb_finite_f64()),
+            0..3,
+        ),
+        prop::collection::vec((arb_node(), arb_finite_f64()), 0..3),
+    )
+        .prop_map(|(links, nodes)| NetworkDelta {
+            links: Vec::new(),
+            nodes: Vec::new(),
+            link_failures: links
+                .into_iter()
+                .map(|(e, src, dst, old_bw)| LinkFailure {
+                    edge: EdgeId(e % 64),
+                    src,
+                    dst,
+                    old: Link::new(old_bw.abs().max(1.0), 0.1),
+                })
+                .collect(),
+            node_failures: nodes
+                .into_iter()
+                .map(|(node, old_power)| NodeFailure {
+                    node,
+                    old_power: old_power.abs().max(1.0),
+                })
+                .collect(),
         })
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..5,
+        0u8..6,
         arb_solve_request(),
         prop::collection::vec(arb_node(), 0..6),
         (any::<bool>(), any::<u64>()),
-        (any::<bool>(), arb_delta()),
+        ((any::<bool>(), arb_delta()), arb_failure_delta()),
     )
         .prop_map(
-            |(sel, solve, previous, (has_key, key), (has_delta, delta))| match sel {
+            |(sel, solve, previous, (has_key, key), ((has_delta, delta), failures))| match sel {
                 0 => Request::Ping,
                 1 => Request::Solve(solve),
                 2 => Request::Remap(RemapRequest {
@@ -142,7 +180,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     previous_key: has_key.then_some(key),
                     delta: has_delta.then_some(delta),
                 }),
-                3 => Request::Stats,
+                3 => Request::Remap(RemapRequest {
+                    solve,
+                    previous,
+                    previous_key: has_key.then_some(key),
+                    delta: Some(failures),
+                }),
+                4 => Request::Stats,
                 _ => Request::Shutdown,
             },
         )
@@ -172,23 +216,25 @@ fn arb_solve_reply() -> impl Strategy<Value = SolveReply> {
 
 fn arb_stats_reply() -> impl Strategy<Value = StatsReply> {
     (
-        prop::collection::vec(any::<u64>(), 12..13),
+        prop::collection::vec(any::<u64>(), 14..15),
         (arb_finite_f64(), arb_finite_f64(), arb_finite_f64()),
         any::<u64>(),
     )
         .prop_map(|(counts, (p50_ms, p99_ms, max_ms), lat_count)| StatsReply {
             requests: counts[0],
-            completed: counts[1],
-            errors: counts[2],
-            timeouts: counts[3],
-            coalesced: counts[4],
-            queue_depth: counts[5],
-            max_queue_depth: counts[6],
-            workers: counts[7],
-            bank_hits: counts[8],
-            bank_misses: counts[9],
-            bank_deposits: counts[10],
-            bank_repairs: counts[11],
+            accepted: counts[1],
+            shed: counts[2],
+            completed: counts[3],
+            errors: counts[4],
+            timeouts: counts[5],
+            coalesced: counts[6],
+            queue_depth: counts[7],
+            max_queue_depth: counts[8],
+            workers: counts[9],
+            bank_hits: counts[10],
+            bank_misses: counts[11],
+            bank_deposits: counts[12],
+            bank_repairs: counts[13],
             latency: LatencySummary {
                 count: lat_count,
                 p50_ms,
@@ -200,7 +246,7 @@ fn arb_stats_reply() -> impl Strategy<Value = StatsReply> {
 
 /// Every [`ServeError`] variant, every [`SolveErrorKind`] kind.
 fn arb_serve_error() -> impl Strategy<Value = ServeError> {
-    (0u8..6, arb_string(), any::<u64>(), 0u8..6).prop_map(|(sel, text, num, kind_sel)| {
+    (0u8..7, arb_string(), any::<u64>(), 0u8..6).prop_map(|(sel, text, num, kind_sel)| {
         let kind = match kind_sel {
             0 => SolveErrorKind::Infeasible,
             1 => SolveErrorKind::InvalidMapping,
@@ -218,6 +264,9 @@ fn arb_serve_error() -> impl Strategy<Value = ServeError> {
             2 => ServeError::Timeout { waited_ms: num },
             3 => ServeError::Malformed { detail: text },
             4 => ServeError::ShuttingDown,
+            5 => ServeError::Overloaded {
+                retry_after_ms: num,
+            },
             _ => ServeError::Internal { detail: text },
         }
     })
